@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: Talus on Futility Scaling vs on Vantage.
+ *
+ * Sec. VI-B: Vantage's unmanaged region forces Talus to assume only
+ * 0.9s of usable capacity; the paper notes "Using Talus with Futility
+ * Scaling would avoid this complication." We implement Futility
+ * Scaling (partition/futility_scaling.h) and measure the difference
+ * the paper predicted.
+ */
+
+#include "bench/bench_util.h"
+#include "core/convex_hull.h"
+#include "sim/single_app_sim.h"
+#include "util/table.h"
+#include "workload/spec_suite.h"
+
+using namespace talus;
+
+int
+main(int argc, char** argv)
+{
+    const BenchEnv env = BenchEnv::init(argc, argv);
+    bench::header("Ablation: Talus+Futility vs Talus+Vantage",
+                  "Futility Scaling has no unmanaged region, so Talus "
+                  "uses the full allocation (paper Sec. VI-B)",
+                  env);
+
+    const AppSpec& app = findApp("libquantum");
+    const uint64_t max_lines = env.scale.lines(40.0);
+    auto curve_stream =
+        app.buildStream(env.scale.linesPerMb(), 0, env.seed);
+    const MissCurve lru = measureLruCurve(
+        *curve_stream, env.measureAccesses * 3, max_lines,
+        max_lines / 80);
+    const ConvexHull hull(lru);
+
+    const auto sizes = sizeGridLines(env.scale, 32.0, 4.0);
+    auto sweep = [&](SchemeKind scheme) {
+        auto stream = app.buildStream(env.scale.linesPerMb(), 0, env.seed);
+        TalusSweepOptions opts;
+        opts.scheme = scheme;
+        opts.ways = 64; // Both papers' schemes assume many candidates.
+        opts.measureAccesses = env.measureAccesses;
+        opts.seed = env.seed;
+        return sweepTalusCurve(*stream, lru, sizes, opts);
+    };
+    const MissCurve vantage = sweep(SchemeKind::Vantage);
+    const MissCurve futility = sweep(SchemeKind::Futility);
+
+    Table table("libquantum MPKI: Talus on Vantage vs Futility",
+                {"size_mb", "Talus+V/LRU", "Talus+F/LRU", "hull"});
+    double v_stable = 0, f_stable = 0; // Sizes up to half the cliff.
+    uint32_t stable_points = 0;
+    for (uint64_t s : sizes) {
+        const double fs = static_cast<double>(s);
+        table.addRow({env.scale.mb(s), app.apki * vantage.at(fs),
+                      app.apki * futility.at(fs),
+                      app.apki * hull.at(fs)});
+        if (env.scale.mb(s) <= 16.0) {
+            v_stable += vantage.at(fs);
+            f_stable += futility.at(fs);
+            stable_points++;
+        }
+    }
+    table.print(env.csv);
+
+    std::printf("mean miss ratio up to 16MB: Vantage %.4f, Futility "
+                "%.4f (hull promise differs: V can only use 0.9s)\n",
+                v_stable / stable_points, f_stable / stable_points);
+    bench::verdict(f_stable <= v_stable + 1e-3,
+                   "Talus+Futility beats Talus+Vantage where "
+                   "enforcement is stable: no 10% capacity discount");
+    std::printf("note: near the cliff edge both schemes are limited "
+                "by per-set candidate scarcity (the papers use 52-"
+                "candidate zcaches); see EXPERIMENTS.md.\n");
+    return 0;
+}

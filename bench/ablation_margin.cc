@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: the safety margin on rho (Sec. VI-B).
+ *
+ * Paper: deviations from Assumptions 1-3 can "push beta up the
+ * performance cliff"; bumping the routed rho by 5% (shrinking the
+ * effective alpha, growing the effective beta) restores convexity
+ * with little performance loss. This ablation sweeps the margin and
+ * reports measured MPKI and convexity violations across a size sweep
+ * on libquantum.
+ */
+
+#include "bench/bench_util.h"
+#include "core/convex_hull.h"
+#include "sim/single_app_sim.h"
+#include "util/table.h"
+#include "workload/spec_suite.h"
+
+using namespace talus;
+
+int
+main(int argc, char** argv)
+{
+    const BenchEnv env = BenchEnv::init(argc, argv);
+    bench::header("Ablation: Talus safety margin (0-10%)",
+                  "5% margin keeps beta past the cliff with little "
+                  "loss",
+                  env);
+
+    const AppSpec& app = findApp("libquantum");
+    const uint64_t max_lines = env.scale.lines(40.0);
+    auto curve_stream =
+        app.buildStream(env.scale.linesPerMb(), 0, env.seed);
+    const MissCurve lru = measureLruCurve(
+        *curve_stream, env.measureAccesses * 3, max_lines,
+        max_lines / 80);
+    const ConvexHull hull(lru);
+
+    const auto sizes = sizeGridLines(env.scale, 36.0, 6.0);
+    Table table("Measured Talus+V/LRU MPKI by margin",
+                {"margin_%", "mpki@12MB", "mpki@24MB", "mean off-hull",
+                 "max off-hull"});
+
+    double best_excess_5 = 0, best_excess_0 = 0;
+    for (double margin : {0.0, 0.01, 0.02, 0.05, 0.08, 0.10}) {
+        auto stream = app.buildStream(env.scale.linesPerMb(), 0, env.seed);
+        TalusSweepOptions opts;
+        opts.scheme = SchemeKind::Vantage;
+        opts.margin = margin;
+        opts.measureAccesses = env.measureAccesses;
+        opts.seed = env.seed;
+        const MissCurve talus =
+            sweepTalusCurve(*stream, lru, sizes, opts);
+
+        double mean_excess = 0, max_excess = 0;
+        for (uint64_t s : sizes) {
+            const double fs = static_cast<double>(s);
+            const double excess =
+                std::max(0.0, talus.at(fs) - hull.at(fs));
+            mean_excess += excess;
+            max_excess = std::max(max_excess, excess);
+        }
+        mean_excess /= static_cast<double>(sizes.size());
+        if (margin == 0.0)
+            best_excess_0 = max_excess;
+        if (margin == 0.05)
+            best_excess_5 = max_excess;
+
+        const double twelve =
+            static_cast<double>(env.scale.lines(12.0));
+        const double twenty_four =
+            static_cast<double>(env.scale.lines(24.0));
+        table.addRow({100 * margin, app.apki * talus.at(twelve),
+                      app.apki * talus.at(twenty_four),
+                      app.apki * mean_excess, app.apki * max_excess});
+    }
+    table.print(env.csv);
+
+    bench::verdict(best_excess_5 < best_excess_0 + 0.05,
+                   "5% margin does not inflate the off-hull error");
+    std::printf("(The margin matters most for noisy monitored curves; "
+                "with exact curves margins mainly trade a small MPKI "
+                "increase for robustness.)\n");
+    return 0;
+}

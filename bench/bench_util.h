@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ */
+
+#ifndef TALUS_BENCH_BENCH_UTIL_H
+#define TALUS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment_util.h"
+
+namespace talus::bench {
+
+/** Prints a standard header naming the reproduced artifact. */
+inline void
+header(const char* artifact, const char* claim, const BenchEnv& env)
+{
+    std::printf("### %s\n", artifact);
+    std::printf("paper claim: %s\n", claim);
+    std::printf("scale: %llu lines per paper-MB%s\n\n",
+                static_cast<unsigned long long>(env.scale.linesPerMb()),
+                env.scale.linesPerMb() == Scale::kFullLinesPerMb
+                    ? " (paper-true)"
+                    : "");
+}
+
+/** Prints a PASS/NOTE verdict line for a reproduced claim. */
+inline void
+verdict(bool ok, const std::string& text)
+{
+    std::printf("[%s] %s\n", ok ? "REPRODUCED" : "DEVIATION",
+                text.c_str());
+}
+
+} // namespace talus::bench
+
+#endif // TALUS_BENCH_BENCH_UTIL_H

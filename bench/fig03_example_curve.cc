@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 3: the example miss curve with a cliff at 5MB.
+ *
+ * Paper: an app accessing 2MB at random plus 3MB sequentially has a
+ * plateau at 12 MPKI from 2MB to 5MB under LRU; Talus's curve is the
+ * convex hull bridging the plateau.
+ */
+
+#include "bench/bench_util.h"
+#include "core/convex_hull.h"
+#include "sim/single_app_sim.h"
+#include "util/table.h"
+#include "workload/app_spec.h"
+
+using namespace talus;
+
+int
+main(int argc, char** argv)
+{
+    const BenchEnv env = BenchEnv::init(argc, argv);
+    bench::header("Figure 3: example app miss curve (0-10MB)",
+                  "LRU plateau 2-5MB at 12 MPKI, cliff to 3 MPKI; "
+                  "Talus = convex hull",
+                  env);
+
+    using Kind = AppSpec::Component::Kind;
+    const AppSpec app{"fig3-example", 24, 0.8, 2.0,
+                      {{Kind::Random, 2.0, 0.5, 0.0},
+                       {Kind::Scan, 3.0, 0.5, 0.0}}};
+
+    auto stream = app.buildStream(env.scale.linesPerMb(), 0, env.seed);
+    const uint64_t max_lines = env.scale.lines(10.0);
+    const MissCurve lru = measureLruCurve(
+        *stream, env.measureAccesses * 2, max_lines, max_lines / 100);
+    const ConvexHull hull(lru);
+
+    Table table("Fig. 3 series: MPKI vs size (MB)",
+                {"size_mb", "Original (LRU)", "Talus (hull)"});
+    for (double mb = 0.0; mb <= 10.0; mb += 0.5) {
+        const double s = mb * static_cast<double>(env.scale.linesPerMb());
+        table.addRow({mb, app.apki * lru.at(s), app.apki * hull.at(s)});
+    }
+    table.print(env.csv);
+
+    const auto at = [&](double mb) {
+        return app.apki *
+               lru.at(mb * static_cast<double>(env.scale.linesPerMb()));
+    };
+    // The paper's Fig. 3 idealizes the 2-5MB region as perfectly flat;
+    // a real interleaved stream gives a shallow knee instead. The
+    // shape claim that matters for Talus: the pre-cliff slope is much
+    // smaller than the cliff's, i.e. a non-convex knee at ~5MB.
+    const double knee_slope = (at(2.5) - at(4.5)) / 2.0;
+    const double cliff_slope = at(4.5) - at(5.5);
+    bench::verdict(cliff_slope > 3.0 * std::max(knee_slope, 0.0),
+                   "shallow knee 2-5MB, then a steep cliff at ~5MB");
+    bench::verdict(at(3.0) - at(6.5) > 5.0,
+                   "cliff: large MPKI drop once everything fits");
+    bench::verdict(!lru.isConvex(1e-3) && hull.hull().isConvex(1e-9),
+                   "original is non-convex; Talus hull is convex");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 6: Talus (convex hull) vs optimal bypassing across sizes.
+ *
+ * Paper: the optimal-bypassing curve lies on or above the hull
+ * everywhere, with the gap largest in the middle of the plateau. We
+ * reproduce it on the analytic Fig. 3 curve and on a measured
+ * libquantum curve.
+ */
+
+#include "bench/bench_util.h"
+#include "core/bypass_analysis.h"
+#include "core/convex_hull.h"
+#include "sim/single_app_sim.h"
+#include "util/table.h"
+#include "workload/spec_suite.h"
+
+using namespace talus;
+
+int
+main(int argc, char** argv)
+{
+    const BenchEnv env = BenchEnv::init(argc, argv);
+    bench::header("Figure 6: Talus vs optimal bypassing",
+                  "bypassing never beats the hull; the gap peaks "
+                  "mid-plateau",
+                  env);
+
+    // Analytic curve.
+    const MissCurve example({{0, 24}, {1, 18}, {2, 12}, {3, 12}, {4, 12},
+                             {5, 3}, {6, 3}, {8, 3}, {10, 3}});
+    const ConvexHull example_hull(example);
+    Table t1("Example curve (MPKI vs MB)",
+             {"size_mb", "Original", "Talus", "Bypassing"});
+    bool bypass_above_hull = true;
+    for (double mb = 0; mb <= 10; mb += 0.5) {
+        const double bypass = optimalBypass(example, mb).misses;
+        bypass_above_hull &= bypass >= example_hull.at(mb) - 1e-9;
+        t1.addRow({mb, example.at(mb), example_hull.at(mb), bypass});
+    }
+    t1.print(env.csv);
+    bench::verdict(bypass_above_hull,
+                   "bypassing >= hull at every size (example curve)");
+
+    // Measured libquantum curve.
+    const AppSpec& app = findApp("libquantum");
+    auto stream = app.buildStream(env.scale.linesPerMb(), 0, env.seed);
+    const uint64_t max_lines = env.scale.lines(40.0);
+    const MissCurve lib = measureLruCurve(
+        *stream, env.measureAccesses * 2, max_lines, max_lines / 80);
+    const ConvexHull lib_hull(lib);
+
+    Table t2("libquantum (MPKI vs MB)",
+             {"size_mb", "Original", "Talus", "Bypassing"});
+    bool lib_ok = true;
+    for (double mb = 0; mb <= 40; mb += 4) {
+        const double s = mb * static_cast<double>(env.scale.linesPerMb());
+        const double bypass = optimalBypass(lib, s).misses;
+        lib_ok &= bypass >= lib_hull.at(s) - 1e-9;
+        t2.addRow({mb, app.apki * lib.at(s), app.apki * lib_hull.at(s),
+                   app.apki * bypass});
+    }
+    t2.print(env.csv);
+    bench::verdict(lib_ok,
+                   "bypassing >= hull at every size (libquantum)");
+    return 0;
+}

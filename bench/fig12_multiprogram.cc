@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Figure 12: weighted and harmonic speedups over unpartitioned LRU
+ * for random 8-app mixes of the memory-intensive suite.
+ *
+ * Paper (gmean weighted speedups): hill climbing on Talus+V/LRU 12.5%
+ * > Lookahead on LRU 10.2% > TA-DRRIP 6.3% > hill climbing on LRU
+ * 3.8%. The qualitative claims this bench checks:
+ *   - naive hill climbing on Talus matches/beats expensive Lookahead;
+ *   - hill climbing on raw (cliffy) LRU curves is far behind;
+ *   - Talus also wins on the fairness-emphasizing harmonic speedup.
+ */
+
+#include "bench/bench_util.h"
+#include "sim/metrics.h"
+#include "sim/multi_prog_sim.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/spec_suite.h"
+
+using namespace talus;
+
+namespace {
+
+struct SchemeResult
+{
+    std::string name;
+    std::vector<double> weighted;
+    std::vector<double> harmonic;
+};
+
+MultiProgConfig
+schemeConfig(const std::string& which, const BenchEnv& env)
+{
+    MultiProgConfig cfg;
+    cfg.llcLines = env.scale.lines(8.0); // 8 cores x 1MB (Table I).
+    cfg.instrPerApp = env.instrPerApp;
+    cfg.reconfigCycles =
+        static_cast<double>(env.instrPerApp) / 4.0;
+    cfg.seed = env.seed;
+    if (which == "LRU") {
+        cfg.scheme = SchemeKind::Unpartitioned;
+        cfg.allocatorName = "";
+    } else if (which == "TA-DRRIP") {
+        cfg.scheme = SchemeKind::Unpartitioned;
+        cfg.policyName = "TA-DRRIP";
+        cfg.allocatorName = "";
+    } else if (which == "Hill LRU") {
+        cfg.scheme = SchemeKind::Vantage;
+        cfg.allocatorName = "HillClimb";
+    } else if (which == "Lookahead") {
+        cfg.scheme = SchemeKind::Vantage;
+        cfg.allocatorName = "Lookahead";
+    } else { // Talus+V/LRU (Hill)
+        cfg.scheme = SchemeKind::Vantage;
+        cfg.useTalus = true;
+        cfg.allocateOnHulls = true;
+        cfg.allocatorName = "HillClimb";
+    }
+    return cfg;
+}
+
+void
+quantileRow(Table& table, const std::string& name,
+            const std::vector<double>& xs)
+{
+    table.addRow({name, fmtDouble(quantile(xs, 0.0), 3),
+                  fmtDouble(quantile(xs, 0.25), 3),
+                  fmtDouble(quantile(xs, 0.5), 3),
+                  fmtDouble(quantile(xs, 0.75), 3),
+                  fmtDouble(quantile(xs, 1.0), 3),
+                  fmtDouble(geomean(xs), 3)});
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchEnv env = BenchEnv::init(argc, argv);
+    bench::header(
+        "Figure 12: 8-app mixes, speedup over unpartitioned LRU",
+        "Talus+Hill >= Lookahead > TA-DRRIP > Hill-on-LRU (gmean "
+        "weighted)",
+        env);
+    std::printf("mixes: %u, fixed work: %llu instr/app\n\n", env.mixes,
+                static_cast<unsigned long long>(env.instrPerApp));
+
+    const auto mixes = sampleMixes(env.mixes, 8, env.seed);
+    const std::vector<std::string> schemes{
+        "Talus+V/LRU (Hill)", "Lookahead", "TA-DRRIP", "Hill LRU"};
+    std::vector<SchemeResult> results;
+    for (const auto& s : schemes)
+        results.push_back({s, {}, {}});
+
+    const Scale& scale = env.scale;
+    for (const auto& mix_names : mixes) {
+        std::vector<const AppSpec*> apps;
+        for (const auto& name : mix_names)
+            apps.push_back(&findApp(name));
+
+        const auto base =
+            runMultiProg(apps, schemeConfig("LRU", env), scale);
+        const auto base_ipc = base.ipcVector();
+
+        for (size_t i = 0; i < schemes.size(); ++i) {
+            const auto res =
+                runMultiProg(apps, schemeConfig(schemes[i], env), scale);
+            results[i].weighted.push_back(
+                weightedSpeedup(res.ipcVector(), base_ipc));
+            results[i].harmonic.push_back(
+                harmonicSpeedup(res.ipcVector(), base_ipc));
+        }
+    }
+
+    Table wtable("Weighted speedup over LRU (quantiles over mixes)",
+                 {"scheme", "min", "p25", "median", "p75", "max",
+                  "gmean"});
+    for (const auto& r : results)
+        quantileRow(wtable, r.name, r.weighted);
+    wtable.print(env.csv);
+
+    Table htable("Harmonic speedup over LRU (quantiles over mixes)",
+                 {"scheme", "min", "p25", "median", "p75", "max",
+                  "gmean"});
+    for (const auto& r : results)
+        quantileRow(htable, r.name, r.harmonic);
+    htable.print(env.csv);
+
+    const double talus_w = geomean(results[0].weighted);
+    const double look_w = geomean(results[1].weighted);
+    const double tad_w = geomean(results[2].weighted);
+    const double hill_w = geomean(results[3].weighted);
+    bench::verdict(talus_w >= look_w - 0.01,
+                   "Talus+Hill matches or beats Lookahead (weighted)");
+    bench::verdict(talus_w > hill_w,
+                   "Talus+Hill beats hill climbing on raw LRU curves");
+    bench::verdict(look_w > hill_w,
+                   "Lookahead beats hill climbing on raw LRU curves");
+    bench::verdict(geomean(results[0].harmonic) >=
+                       geomean(results[2].harmonic),
+                   "Talus+Hill >= TA-DRRIP on harmonic speedup");
+    (void)tad_w;
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): throughput of the hot paths —
+ * cache accesses under each policy, Talus routing overhead, monitor
+ * updates, and the reconfiguration-time math (hull + configuration).
+ *
+ * These verify the library is fast enough for the trace volumes the
+ * figure benches need, and quantify the paper's claim that Talus's
+ * software overheads are "a few thousand cycles per reconfiguration".
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/convex_hull.h"
+#include "core/talus_config.h"
+#include "core/talus_controller.h"
+#include "monitor/combined_umon.h"
+#include "monitor/mattson_curve.h"
+#include "policy/policy_factory.h"
+#include "util/h3_hash.h"
+#include "util/rng.h"
+#include "workload/zipf_stream.h"
+
+using namespace talus;
+
+namespace {
+
+void
+BM_H3Hash(benchmark::State& state)
+{
+    H3Hash hash(8, 1);
+    Addr addr = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hash.hash(addr++));
+}
+BENCHMARK(BM_H3Hash);
+
+void
+BM_CacheAccess(benchmark::State& state, const std::string& policy)
+{
+    SetAssocCache::Config cfg;
+    cfg.numSets = 1024;
+    cfg.numWays = 16;
+    SetAssocCache cache(cfg, makePolicy(policy, 7));
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.below(32768)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CacheAccess, lru, std::string("LRU"));
+BENCHMARK_CAPTURE(BM_CacheAccess, srrip, std::string("SRRIP"));
+BENCHMARK_CAPTURE(BM_CacheAccess, drrip, std::string("DRRIP"));
+BENCHMARK_CAPTURE(BM_CacheAccess, dip, std::string("DIP"));
+BENCHMARK_CAPTURE(BM_CacheAccess, pdp, std::string("PDP"));
+
+void
+BM_TalusRoutedAccess(benchmark::State& state)
+{
+    auto phys =
+        makePartitionedCache(SchemeKind::Vantage, 16384, 16, "LRU", 2, 9);
+    TalusController::Config tc;
+    tc.numLogicalParts = 1;
+    TalusController ctl(std::move(phys), tc);
+    const MissCurve cliff({{0, 1.0}, {8192, 0.9}, {12288, 0.1},
+                           {16384, 0.1}});
+    ctl.configure({cliff}, {10000});
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctl.access(rng.below(32768), 0));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TalusRoutedAccess);
+
+void
+BM_UmonAccess(benchmark::State& state)
+{
+    CombinedUMon::Config cfg;
+    cfg.llcLines = 1 << 17;
+    CombinedUMon mon(cfg);
+    Rng rng(7);
+    for (auto _ : state)
+        mon.access(rng.below(1 << 20));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UmonAccess);
+
+void
+BM_MattsonAccess(benchmark::State& state)
+{
+    MattsonCurve mattson(1 << 16);
+    Rng rng(9);
+    for (auto _ : state)
+        mattson.access(rng.below(1 << 15));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MattsonAccess);
+
+void
+BM_ZipfNext(benchmark::State& state)
+{
+    ZipfStream zipf(1 << 16, 0.8, 0, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfNext);
+
+/** The per-reconfiguration software work: hull + configuration. */
+void
+BM_ReconfigurationMath(benchmark::State& state)
+{
+    // A 64-point monitored curve, as UMONs produce.
+    std::vector<CurvePoint> pts;
+    Rng rng(13);
+    double value = 1.0;
+    for (int i = 0; i <= 64; ++i) {
+        pts.push_back({static_cast<double>(i * 2048), value});
+        value = std::max(0.0, value - rng.unit() * 0.05);
+    }
+    const MissCurve curve(pts);
+    for (auto _ : state) {
+        const ConvexHull hull(curve);
+        benchmark::DoNotOptimize(
+            computeTalusConfig(hull, 77777.0, 0.05));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReconfigurationMath);
+
+} // namespace
+
+BENCHMARK_MAIN();

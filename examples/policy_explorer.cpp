@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compare replacement policies on any app of the synthetic suite.
+ *
+ * Usage:  ./build/examples/policy_explorer [app] [max_mb]
+ *         (defaults: omnetpp 8)
+ *
+ * Prints MPKI for LRU, DIP, SRRIP, DRRIP, PDP, and the Talus promise
+ * (LRU's convex hull) across cache sizes — a build-your-own Fig. 10.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/convex_hull.h"
+#include "sim/experiment_util.h"
+#include "sim/single_app_sim.h"
+#include "util/table.h"
+#include "workload/spec_suite.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace talus;
+
+    const std::string app_name = argc > 1 ? argv[1] : "omnetpp";
+    const double max_mb = argc > 2 ? std::atof(argv[2]) : 8.0;
+
+    const Scale scale(64);
+    const AppSpec& app = findApp(app_name);
+    std::printf("app: %s (APKI %.1f, footprint %.1fMB)\n\n",
+                app.name.c_str(), app.apki, app.footprintMb());
+
+    const auto sizes = sizeGridLines(scale, max_mb, max_mb / 8);
+
+    // Exact LRU curve (one pass) + hull = the Talus promise.
+    auto lru_stream = app.buildStream(scale.linesPerMb(), 0, 3);
+    const uint64_t max_lines = scale.lines(max_mb);
+    const MissCurve lru = measureLruCurve(
+        *lru_stream, 300000, max_lines,
+        std::max<uint64_t>(1, max_lines / 64));
+    const ConvexHull hull(lru);
+
+    // Trace-driven sweeps for the high-performance policies.
+    const std::vector<std::string> policies{"DIP", "SRRIP", "DRRIP",
+                                            "PDP"};
+    std::vector<MissCurve> curves;
+    for (const auto& policy : policies) {
+        auto stream = app.buildStream(scale.linesPerMb(), 0, 3);
+        SweepOptions opts;
+        opts.policyName = policy;
+        opts.measureAccesses = 150000;
+        curves.push_back(sweepPolicyCurve(*stream, sizes, opts));
+    }
+
+    Table table("MPKI vs cache size",
+                {"size_mb", "LRU", "DIP", "SRRIP", "DRRIP", "PDP",
+                 "Talus promise"});
+    for (uint64_t s : sizes) {
+        const double fs = static_cast<double>(s);
+        std::vector<double> row{scale.mb(s), app.apki * lru.at(fs)};
+        for (const auto& curve : curves)
+            row.push_back(app.apki * curve.at(fs));
+        row.push_back(app.apki * hull.at(fs));
+        table.addRow(row);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: the Talus math on a miss curve with a cliff.
+ *
+ * This is the paper's Sec. III worked example, in ~40 lines of API:
+ * take a measured miss curve, compute its convex hull, and ask Talus
+ * how to configure the shadow partitions at a size in the middle of
+ * the cliff. No simulation involved — Talus needs only the curve.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/bypass_analysis.h"
+#include "core/convex_hull.h"
+#include "core/talus_config.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace talus;
+
+    // An application that accesses 2MB at random plus 3MB
+    // sequentially: LRU is flat at 12 MPKI from 2MB until everything
+    // fits at 5MB (the paper's Fig. 3).
+    const MissCurve lru({{0, 24}, {1, 18}, {2, 12}, {3, 12}, {4, 12},
+                         {5, 3}, {6, 3}, {8, 3}, {10, 3}});
+
+    // Pre-processing: the convex hull is what Talus promises.
+    const ConvexHull hull(lru);
+
+    Table curve_table("Miss curves (MPKI vs cache MB)",
+                      {"size_mb", "LRU", "Talus", "OptBypass"});
+    for (double mb = 0; mb <= 10; mb += 1) {
+        curve_table.addRow({mb, lru.at(mb), hull.at(mb),
+                            optimalBypass(lru, mb).misses});
+    }
+    curve_table.print();
+
+    // Post-processing: shadow partition configuration at 4MB.
+    const TalusConfig cfg = computeTalusConfig(hull, 4.0, /*margin=*/0.0);
+    std::printf("Talus at 4MB:\n");
+    std::printf("  hull segment:     alpha=%.2gMB  beta=%.2gMB\n",
+                cfg.alpha, cfg.beta);
+    std::printf("  sampling rate:    rho=%.4g  (fraction of accesses "
+                "routed to the alpha shadow partition)\n",
+                cfg.rho);
+    std::printf("  shadow sizes:     s1=%.4gMB  s2=%.4gMB\n", cfg.s1,
+                cfg.s2);
+    std::printf("  emulated caches:  s1/rho=%.4gMB  s2/(1-rho)=%.4gMB\n",
+                cfg.s1 / cfg.rho, cfg.s2 / (1 - cfg.rho));
+    std::printf("  predicted MPKI:   %.4g (LRU at 4MB: %.4g)\n",
+                cfg.predictedMisses(lru), lru.at(4.0));
+    return 0;
+}

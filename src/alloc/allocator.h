@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cache-partitioning (capacity allocation) algorithms.
+ *
+ * An Allocator divides a cache of `total` lines among N partitions to
+ * minimize total misses, given each partition's miss curve in
+ * *commensurable* units (e.g., misses per interval — callers scale
+ * miss ratios by access counts). The paper's central systems claim is
+ * that once Talus guarantees convex curves, trivial hill climbing is
+ * optimal, matching or beating the expensive Lookahead heuristic that
+ * non-convex LRU curves otherwise require (Sec. VII-D).
+ */
+
+#ifndef TALUS_ALLOC_ALLOCATOR_H
+#define TALUS_ALLOC_ALLOCATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/miss_curve.h"
+
+namespace talus {
+
+/** Abstract capacity allocator over miss curves. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * Divides @p total lines among curves.size() partitions.
+     *
+     * @param curves Per-partition miss curves (misses vs lines).
+     * @param total Lines to hand out (allocations sum to <= total,
+     *        and to exactly total when granularity divides it).
+     * @param granularity Allocation step in lines (>= 1).
+     * @return One allocation per partition, in lines.
+     */
+    virtual std::vector<uint64_t>
+    allocate(const std::vector<MissCurve>& curves, uint64_t total,
+             uint64_t granularity) = 0;
+
+    /** Algorithm name for bench output. */
+    virtual const char* name() const = 0;
+};
+
+/** Total misses of an allocation under the given curves. */
+double allocationCost(const std::vector<MissCurve>& curves,
+                      const std::vector<uint64_t>& alloc);
+
+} // namespace talus
+
+#endif // TALUS_ALLOC_ALLOCATOR_H

@@ -1,0 +1,34 @@
+#include "alloc/allocator_factory.h"
+
+#include "alloc/dp_optimal.h"
+#include "alloc/fair_alloc.h"
+#include "alloc/hill_climb.h"
+#include "alloc/lookahead.h"
+#include "alloc/peekahead.h"
+#include "util/log.h"
+
+namespace talus {
+
+std::unique_ptr<Allocator>
+makeAllocator(const std::string& name)
+{
+    if (name == "HillClimb")
+        return std::make_unique<HillClimbAllocator>();
+    if (name == "Lookahead")
+        return std::make_unique<LookaheadAllocator>();
+    if (name == "Fair")
+        return std::make_unique<FairAllocator>();
+    if (name == "Peekahead")
+        return std::make_unique<PeekaheadAllocator>();
+    if (name == "DP-Optimal")
+        return std::make_unique<DpOptimalAllocator>();
+    talus_fatal("unknown allocator: ", name);
+}
+
+std::vector<std::string>
+knownAllocators()
+{
+    return {"HillClimb", "Lookahead", "Peekahead", "Fair", "DP-Optimal"};
+}
+
+} // namespace talus

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Creates allocators by name ("HillClimb", "Lookahead", "Fair",
+ * "DP-Optimal") for benches and parameterized tests.
+ */
+
+#ifndef TALUS_ALLOC_ALLOCATOR_FACTORY_H
+#define TALUS_ALLOC_ALLOCATOR_FACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+
+namespace talus {
+
+/** Instantiates the allocator named @p name; fatal on unknown names. */
+std::unique_ptr<Allocator> makeAllocator(const std::string& name);
+
+/** Names accepted by makeAllocator(). */
+std::vector<std::string> knownAllocators();
+
+} // namespace talus
+
+#endif // TALUS_ALLOC_ALLOCATOR_FACTORY_H

@@ -1,0 +1,54 @@
+#include "alloc/dp_optimal.h"
+
+#include <limits>
+
+#include "util/log.h"
+
+namespace talus {
+
+std::vector<uint64_t>
+DpOptimalAllocator::allocate(const std::vector<MissCurve>& curves,
+                             uint64_t total, uint64_t granularity)
+{
+    talus_assert(!curves.empty(), "no partitions to allocate");
+    talus_assert(granularity >= 1, "granularity must be >= 1");
+
+    const size_t n = curves.size();
+    const uint64_t budget = total / granularity; // In granules.
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // dp[b] = min cost of the first i partitions using exactly b
+    // granules; choice[i][b] = granules given to partition i.
+    std::vector<double> dp(budget + 1, 0.0);
+    std::vector<std::vector<uint32_t>> choice(
+        n, std::vector<uint32_t>(budget + 1, 0));
+
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> next(budget + 1, inf);
+        for (uint64_t b = 0; b <= budget; ++b) {
+            for (uint64_t x = 0; x <= b; ++x) {
+                const double cost =
+                    dp[b - x] +
+                    curves[i].at(static_cast<double>(x * granularity));
+                if (cost < next[b]) {
+                    next[b] = cost;
+                    choice[i][b] = static_cast<uint32_t>(x);
+                }
+            }
+        }
+        dp = std::move(next);
+    }
+
+    // Backtrack. Using exactly `budget` granules is always optimal
+    // since curves are non-increasing (extra capacity never hurts).
+    std::vector<uint64_t> alloc(n, 0);
+    uint64_t b = budget;
+    for (size_t i = n; i-- > 0;) {
+        const uint64_t x = choice[i][b];
+        alloc[i] = x * granularity;
+        b -= x;
+    }
+    return alloc;
+}
+
+} // namespace talus

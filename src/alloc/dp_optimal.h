@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Exact dynamic-programming allocation.
+ *
+ * Minimizes total misses exactly, in O(N * B^2) for B budget
+ * granules. Too slow for runtime use at fine granularity (the point
+ * the paper makes about optimal partitioning being NP-complete only
+ * holds for *continuous/arbitrary* formulations; at fixed granularity
+ * DP is exact but expensive) — we use it as the gold reference that
+ * hill climbing must match on convex curves in tests and ablations.
+ */
+
+#ifndef TALUS_ALLOC_DP_OPTIMAL_H
+#define TALUS_ALLOC_DP_OPTIMAL_H
+
+#include "alloc/allocator.h"
+
+namespace talus {
+
+/** Exact DP allocator (reference implementation). */
+class DpOptimalAllocator : public Allocator
+{
+  public:
+    std::vector<uint64_t> allocate(const std::vector<MissCurve>& curves,
+                                   uint64_t total,
+                                   uint64_t granularity) override;
+    const char* name() const override { return "DP-Optimal"; }
+};
+
+} // namespace talus
+
+#endif // TALUS_ALLOC_DP_OPTIMAL_H

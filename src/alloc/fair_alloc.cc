@@ -1,0 +1,22 @@
+#include "alloc/fair_alloc.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+std::vector<uint64_t>
+FairAllocator::allocate(const std::vector<MissCurve>& curves, uint64_t total,
+                        uint64_t granularity)
+{
+    talus_assert(!curves.empty(), "no partitions to allocate");
+    talus_assert(granularity >= 1, "granularity must be >= 1");
+
+    const uint64_t n = curves.size();
+    const uint64_t granules = total / granularity;
+    std::vector<uint64_t> alloc(n, (granules / n) * granularity);
+    for (uint64_t i = 0; i < granules % n; ++i)
+        alloc[i] += granularity;
+    return alloc;
+}
+
+} // namespace talus

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fair (equal) allocation. With convex curves and homogeneous
+ * threads, equal allocations are simultaneously the most fair and the
+ * maximum-utility choice (Sec. II-D); Fig. 13 runs this policy under
+ * Talus and under plain LRU.
+ */
+
+#ifndef TALUS_ALLOC_FAIR_ALLOC_H
+#define TALUS_ALLOC_FAIR_ALLOC_H
+
+#include "alloc/allocator.h"
+
+namespace talus {
+
+/** Equal split, granularity-rounded, remainder round-robin. */
+class FairAllocator : public Allocator
+{
+  public:
+    std::vector<uint64_t> allocate(const std::vector<MissCurve>& curves,
+                                   uint64_t total,
+                                   uint64_t granularity) override;
+    const char* name() const override { return "Fair"; }
+};
+
+} // namespace talus
+
+#endif // TALUS_ALLOC_FAIR_ALLOC_H

@@ -1,0 +1,52 @@
+#include "alloc/hill_climb.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+double
+allocationCost(const std::vector<MissCurve>& curves,
+               const std::vector<uint64_t>& alloc)
+{
+    talus_assert(curves.size() == alloc.size(), "size mismatch");
+    double cost = 0;
+    for (size_t i = 0; i < curves.size(); ++i)
+        cost += curves[i].at(static_cast<double>(alloc[i]));
+    return cost;
+}
+
+std::vector<uint64_t>
+HillClimbAllocator::allocate(const std::vector<MissCurve>& curves,
+                             uint64_t total, uint64_t granularity)
+{
+    talus_assert(!curves.empty(), "no partitions to allocate");
+    talus_assert(granularity >= 1, "granularity must be >= 1");
+
+    std::vector<uint64_t> alloc(curves.size(), 0);
+    uint64_t remaining = total;
+    while (remaining >= granularity) {
+        // Give the next granule to the partition that benefits most;
+        // break ties toward the least-allocated partition (a fair,
+        // deterministic rule — and the reason hill climbing splits
+        // budget across plateaus instead of luckily piling onto one
+        // app's cliff).
+        double best_gain = -1.0;
+        size_t best = 0;
+        for (size_t i = 0; i < curves.size(); ++i) {
+            const double s = static_cast<double>(alloc[i]);
+            const double gain =
+                curves[i].at(s) -
+                curves[i].at(s + static_cast<double>(granularity));
+            if (gain > best_gain ||
+                (gain == best_gain && alloc[i] < alloc[best])) {
+                best_gain = gain;
+                best = i;
+            }
+        }
+        alloc[best] += granularity;
+        remaining -= granularity;
+    }
+    return alloc;
+}
+
+} // namespace talus

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Hill climbing: the trivial linear-time allocator.
+ *
+ * Grows allocations one granule at a time, always feeding the
+ * partition with the largest marginal miss reduction. Optimal when
+ * curves are convex (Sec. II-D); with cliffy LRU curves it gets stuck
+ * in local optima — which is precisely the pathology Fig. 12 shows
+ * and Talus removes.
+ */
+
+#ifndef TALUS_ALLOC_HILL_CLIMB_H
+#define TALUS_ALLOC_HILL_CLIMB_H
+
+#include "alloc/allocator.h"
+
+namespace talus {
+
+/** Greedy marginal-utility hill climbing. */
+class HillClimbAllocator : public Allocator
+{
+  public:
+    std::vector<uint64_t> allocate(const std::vector<MissCurve>& curves,
+                                   uint64_t total,
+                                   uint64_t granularity) override;
+    const char* name() const override { return "HillClimb"; }
+};
+
+} // namespace talus
+
+#endif // TALUS_ALLOC_HILL_CLIMB_H

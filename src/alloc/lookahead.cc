@@ -1,0 +1,56 @@
+#include "alloc/lookahead.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+std::vector<uint64_t>
+LookaheadAllocator::allocate(const std::vector<MissCurve>& curves,
+                             uint64_t total, uint64_t granularity)
+{
+    talus_assert(!curves.empty(), "no partitions to allocate");
+    talus_assert(granularity >= 1, "granularity must be >= 1");
+
+    std::vector<uint64_t> alloc(curves.size(), 0);
+    uint64_t remaining = total / granularity; // In granules.
+
+    while (remaining > 0) {
+        // For each partition, find the extension (in granules)
+        // maximizing miss reduction per granule ("max marginal
+        // utility" with lookahead across plateaus).
+        double best_mu = -1.0;
+        size_t best_part = 0;
+        uint64_t best_extend = 1;
+        for (size_t i = 0; i < curves.size(); ++i) {
+            const double base =
+                curves[i].at(static_cast<double>(alloc[i]));
+            for (uint64_t k = 1; k <= remaining; ++k) {
+                const double s = static_cast<double>(
+                    alloc[i] + k * granularity);
+                const double mu =
+                    (base - curves[i].at(s)) / static_cast<double>(k);
+                if (mu > best_mu) {
+                    best_mu = mu;
+                    best_part = i;
+                    best_extend = k;
+                }
+            }
+        }
+        if (best_mu <= 0.0) {
+            // No extension reduces misses; spread the remainder evenly
+            // (matches UCP's behaviour of handing out leftover ways).
+            size_t i = 0;
+            while (remaining > 0) {
+                alloc[i % curves.size()] += granularity;
+                remaining--;
+                i++;
+            }
+            break;
+        }
+        alloc[best_part] += best_extend * granularity;
+        remaining -= best_extend;
+    }
+    return alloc;
+}
+
+} // namespace talus

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The Lookahead allocator (Qureshi & Patt's UCP, MICRO'06).
+ *
+ * Lookahead copes with non-convex curves by considering, for each
+ * partition, the best miss reduction *per allocated granule* over
+ * every possible extension — so it can "see across" a plateau to the
+ * cliff beyond it. It is quadratic in the number of granules and
+ * makes all-or-nothing allocations at cliffs, which is what costs it
+ * fairness in Fig. 13.
+ */
+
+#ifndef TALUS_ALLOC_LOOKAHEAD_H
+#define TALUS_ALLOC_LOOKAHEAD_H
+
+#include "alloc/allocator.h"
+
+namespace talus {
+
+/** Quadratic Lookahead (UCP) allocation. */
+class LookaheadAllocator : public Allocator
+{
+  public:
+    std::vector<uint64_t> allocate(const std::vector<MissCurve>& curves,
+                                   uint64_t total,
+                                   uint64_t granularity) override;
+    const char* name() const override { return "Lookahead"; }
+};
+
+} // namespace talus
+
+#endif // TALUS_ALLOC_LOOKAHEAD_H

@@ -1,0 +1,132 @@
+#include "alloc/peekahead.h"
+
+#include <vector>
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+/** One partition's granule-sampled curve with hull-walk state. */
+struct PartState
+{
+    std::vector<double> value; //!< Misses at k granules, k = 0..n.
+    std::vector<uint32_t> nextVertex; //!< Next hull vertex after k.
+    uint64_t pos = 0;          //!< Granules allocated so far.
+};
+
+/**
+ * Computes next-hull-vertex indices with a right-to-left convex
+ * stack: nextVertex[i] is the j > i maximizing average descent
+ * (value[i] - value[j]) / (j - i).
+ */
+void
+computeNextVertices(PartState& ps)
+{
+    const size_t n = ps.value.size();
+    ps.nextVertex.assign(n, static_cast<uint32_t>(n - 1));
+    // Stack of hull vertex indices, rightmost at the bottom. For each
+    // point, pop vertices that are no longer on the hull when this
+    // point is included (i.e., the slope to the vertex below the top
+    // dominates the slope to the top).
+    std::vector<uint32_t> stack;
+    for (size_t i = n; i-- > 0;) {
+        while (stack.size() >= 2) {
+            const uint32_t a = stack.back();          // Nearer vertex.
+            const uint32_t b = stack[stack.size() - 2]; // Farther.
+            const double slope_a = (ps.value[i] - ps.value[a]) /
+                                   static_cast<double>(a - i);
+            const double slope_b = (ps.value[i] - ps.value[b]) /
+                                   static_cast<double>(b - i);
+            // Prefer the farther vertex on ties: one bigger step is
+            // cheaper and matches Lookahead's plateau-crossing.
+            if (slope_b >= slope_a)
+                stack.pop_back();
+            else
+                break;
+        }
+        if (!stack.empty())
+            ps.nextVertex[i] = stack.back();
+        stack.push_back(static_cast<uint32_t>(i));
+    }
+}
+
+} // namespace
+
+std::vector<uint64_t>
+PeekaheadAllocator::allocate(const std::vector<MissCurve>& curves,
+                             uint64_t total, uint64_t granularity)
+{
+    talus_assert(!curves.empty(), "no partitions to allocate");
+    talus_assert(granularity >= 1, "granularity must be >= 1");
+
+    const uint64_t budget = total / granularity;
+    std::vector<PartState> parts(curves.size());
+    for (size_t p = 0; p < curves.size(); ++p) {
+        PartState& ps = parts[p];
+        ps.value.resize(budget + 1);
+        for (uint64_t k = 0; k <= budget; ++k)
+            ps.value[k] =
+                curves[p].at(static_cast<double>(k * granularity));
+        computeNextVertices(ps);
+    }
+
+    uint64_t remaining = budget;
+    while (remaining > 0) {
+        double best_mu = -1.0;
+        size_t best_part = 0;
+        uint64_t best_step = 1;
+        for (size_t p = 0; p < parts.size(); ++p) {
+            const PartState& ps = parts[p];
+            if (ps.pos >= budget)
+                continue;
+            uint64_t target = ps.nextVertex[ps.pos];
+            double mu;
+            if (target - ps.pos <= remaining) {
+                mu = (ps.value[ps.pos] - ps.value[target]) /
+                     static_cast<double>(target - ps.pos);
+            } else {
+                // Budget window smaller than the next vertex: find
+                // the windowed maximum directly (end-of-budget only).
+                mu = -1.0;
+                target = ps.pos;
+                for (uint64_t k = 1; k <= remaining; ++k) {
+                    const double m =
+                        (ps.value[ps.pos] - ps.value[ps.pos + k]) /
+                        static_cast<double>(k);
+                    if (m > mu) {
+                        mu = m;
+                        target = ps.pos + k;
+                    }
+                }
+            }
+            if (mu > best_mu) {
+                best_mu = mu;
+                best_part = p;
+                best_step = target - ps.pos;
+            }
+        }
+        if (best_mu <= 0.0)
+            break; // Nothing reduces misses; spread below.
+        parts[best_part].pos += best_step;
+        remaining -= best_step;
+    }
+
+    // Spread any zero-utility leftover round-robin (as Lookahead).
+    size_t rr = 0;
+    while (remaining > 0) {
+        if (parts[rr % parts.size()].pos < budget) {
+            parts[rr % parts.size()].pos++;
+            remaining--;
+        }
+        rr++;
+    }
+
+    std::vector<uint64_t> alloc(curves.size());
+    for (size_t p = 0; p < curves.size(); ++p)
+        alloc[p] = parts[p].pos * granularity;
+    return alloc;
+}
+
+} // namespace talus

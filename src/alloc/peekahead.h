@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Peekahead: Lookahead in amortized linear time (Beckmann & Sanchez's
+ * Jigsaw, PACT'13 — cited by the Talus paper as the way "equivalent
+ * algorithms achieve linear-time common case performance").
+ *
+ * Lookahead's inner loop finds, for each partition, the extension
+ * maximizing miss reduction *per granule*. That maximum is always
+ * achieved at a vertex of the convex hull of the remaining curve: the
+ * steepest average descent from point i is the slope to the next hull
+ * vertex after i. Peekahead therefore precomputes, for every curve
+ * point, its next hull vertex (one right-to-left stack pass), and the
+ * allocation loop just walks vertices — O(points) total instead of
+ * Lookahead's O(points^2).
+ *
+ * The only subtlety is the end of the budget: when fewer granules
+ * remain than the distance to the next vertex, the windowed maximum
+ * is recomputed directly (bounded by the leftover budget, so still
+ * cheap).
+ */
+
+#ifndef TALUS_ALLOC_PEEKAHEAD_H
+#define TALUS_ALLOC_PEEKAHEAD_H
+
+#include "alloc/allocator.h"
+
+namespace talus {
+
+/** Linear-time Lookahead via next-hull-vertex precomputation. */
+class PeekaheadAllocator : public Allocator
+{
+  public:
+    std::vector<uint64_t> allocate(const std::vector<MissCurve>& curves,
+                                   uint64_t total,
+                                   uint64_t granularity) override;
+    const char* name() const override { return "Peekahead"; }
+};
+
+} // namespace talus
+
+#endif // TALUS_ALLOC_PEEKAHEAD_H

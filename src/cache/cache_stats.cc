@@ -1,0 +1,65 @@
+#include "cache/cache_stats.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+void
+CacheStats::ensure(PartId part)
+{
+    talus_assert(part != kNoPart, "stats for the unmanaged sentinel");
+    if (part >= accesses_.size()) {
+        accesses_.resize(part + 1, 0);
+        hits_.resize(part + 1, 0);
+    }
+}
+
+void
+CacheStats::record(PartId part, bool hit)
+{
+    ensure(part);
+    accesses_[part]++;
+    if (hit)
+        hits_[part]++;
+}
+
+uint64_t
+CacheStats::accesses(PartId part) const
+{
+    return part < accesses_.size() ? accesses_[part] : 0;
+}
+
+uint64_t
+CacheStats::hits(PartId part) const
+{
+    return part < hits_.size() ? hits_[part] : 0;
+}
+
+uint64_t
+CacheStats::totalAccesses() const
+{
+    uint64_t total = 0;
+    for (uint64_t a : accesses_)
+        total += a;
+    return total;
+}
+
+uint64_t
+CacheStats::totalHits() const
+{
+    uint64_t total = 0;
+    for (uint64_t h : hits_)
+        total += h;
+    return total;
+}
+
+void
+CacheStats::reset()
+{
+    accesses_.assign(accesses_.size(), 0);
+    hits_.assign(hits_.size(), 0);
+    bypasses_ = 0;
+    evictions_ = 0;
+}
+
+} // namespace talus

@@ -1,0 +1,64 @@
+#include "cache/fully_assoc_lru.h"
+
+namespace talus {
+
+FullyAssocLru::FullyAssocLru(uint64_t capacity_lines)
+    : capacity_(capacity_lines)
+{
+}
+
+bool
+FullyAssocLru::access(Addr addr)
+{
+    accesses_++;
+    auto it = map_.find(addr);
+    if (it != map_.end()) {
+        hits_++;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    if (capacity_ == 0)
+        return false;
+    while (map_.size() >= capacity_)
+        evictLru();
+    lru_.push_front(addr);
+    map_.emplace(addr, lru_.begin());
+    return false;
+}
+
+bool
+FullyAssocLru::contains(Addr addr) const
+{
+    return map_.find(addr) != map_.end();
+}
+
+void
+FullyAssocLru::setCapacity(uint64_t capacity_lines)
+{
+    capacity_ = capacity_lines;
+    while (map_.size() > capacity_)
+        evictLru();
+}
+
+void
+FullyAssocLru::clear()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+void
+FullyAssocLru::resetStats()
+{
+    hits_ = 0;
+    accesses_ = 0;
+}
+
+void
+FullyAssocLru::evictLru()
+{
+    map_.erase(lru_.back());
+    lru_.pop_back();
+}
+
+} // namespace talus

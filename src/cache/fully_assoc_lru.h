@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Exact fully-associative LRU cache.
+ *
+ * Used for (i) the paper's "idealized partitioning on a fully-
+ * associative cache" configuration (Talus+I/LRU, Fig. 8), where each
+ * partition is one of these with an exact line-granularity capacity,
+ * and (ii) as a reference model in tests.
+ *
+ * Capacity can be changed at runtime; shrinking evicts from the LRU
+ * end, which is exactly how an idealized repartitioning behaves.
+ */
+
+#ifndef TALUS_CACHE_FULLY_ASSOC_LRU_H
+#define TALUS_CACHE_FULLY_ASSOC_LRU_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace talus {
+
+/** An exact, resizable, fully-associative LRU cache of line addresses. */
+class FullyAssocLru
+{
+  public:
+    /** Creates a cache holding up to @p capacity_lines lines. */
+    explicit FullyAssocLru(uint64_t capacity_lines = 0);
+
+    /**
+     * Performs one access; inserts on miss (evicting the LRU line if
+     * at capacity). Accesses with zero capacity always miss and do
+     * not insert.
+     *
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** True if @p addr is resident (no side effects). */
+    bool contains(Addr addr) const;
+
+    /** Current number of resident lines. */
+    uint64_t size() const { return map_.size(); }
+
+    /** Capacity in lines. */
+    uint64_t capacity() const { return capacity_; }
+
+    /**
+     * Changes the capacity; shrinking evicts least-recently-used
+     * lines immediately.
+     */
+    void setCapacity(uint64_t capacity_lines);
+
+    /** Evicts everything. */
+    void clear();
+
+    /** Hits observed since construction or reset. */
+    uint64_t hits() const { return hits_; }
+
+    /** Accesses observed since construction or reset. */
+    uint64_t accesses() const { return accesses_; }
+
+    /** Resets statistics (contents are kept). */
+    void resetStats();
+
+  private:
+    void evictLru();
+
+    uint64_t capacity_;
+    uint64_t hits_ = 0;
+    uint64_t accesses_ = 0;
+    std::list<Addr> lru_; //!< Front = MRU, back = LRU.
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+};
+
+} // namespace talus
+
+#endif // TALUS_CACHE_FULLY_ASSOC_LRU_H

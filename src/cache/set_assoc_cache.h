@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Set-associative cache model with pluggable replacement policy and
+ * partitioning scheme.
+ *
+ * This is the workhorse substrate: the LLC in every experiment is an
+ * instance of this class (possibly wrapped by partition/ and core/
+ * layers). The model is trace-driven and tracks tags only — there is
+ * no data array, since Talus and all evaluated policies depend only on
+ * hit/miss behaviour.
+ *
+ * Geometry notes:
+ *  - Lines are identified by flat index `set * numWays + way`.
+ *  - Set indices are computed by hashing the line address ("hashed
+ *    cache", which the paper's Assumption 3 relies on); tests can
+ *    disable hashing for determinism.
+ */
+
+#ifndef TALUS_CACHE_SET_ASSOC_CACHE_H
+#define TALUS_CACHE_SET_ASSOC_CACHE_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "cache/repl_policy.h"
+#include "cache/scheme.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** A trace-driven set-associative cache. */
+class SetAssocCache
+{
+  public:
+    /** Geometry and behaviour configuration. */
+    struct Config
+    {
+        uint32_t numSets = 1024;     //!< Number of sets (any positive value).
+        uint32_t numWays = 16;       //!< Associativity; at most kMaxWays.
+        /**
+         * Hash addresses to sets instead of bit selection. Bit
+         * selection (the default, as in real LLC indexing) maps
+         * sequential scans perfectly evenly across sets, which keeps
+         * cliffs as sharp as the paper's zsim curves; hashing spreads
+         * pathological strides but Poisson-smears scans.
+         */
+        bool hashSetIndex = false;
+        uint64_t hashSeed = 0xC0FFEE; //!< Seed for the set-index hash.
+    };
+
+    /** Maximum supported associativity. */
+    static constexpr uint32_t kMaxWays = 256;
+
+    /**
+     * Builds a cache.
+     *
+     * @param config Geometry.
+     * @param policy Replacement policy (required, owned).
+     * @param scheme Partitioning scheme (optional, owned); when null
+     *               the cache is unpartitioned but still records
+     *               per-PartId statistics.
+     */
+    SetAssocCache(const Config& config, std::unique_ptr<ReplPolicy> policy,
+                  std::unique_ptr<PartitionScheme> scheme = nullptr);
+
+    /**
+     * Performs one access.
+     *
+     * @param addr Line address.
+     * @param part Requesting partition (or app id when unpartitioned).
+     * @return true on hit.
+     */
+    bool access(Addr addr, PartId part = 0);
+
+    /** Looks up @p addr without side effects; returns line or -1. */
+    int64_t probe(Addr addr, PartId part = 0) const;
+
+    /** Number of sets. */
+    uint32_t numSets() const { return numSets_; }
+
+    /** Associativity. */
+    uint32_t numWays() const { return numWays_; }
+
+    /** Total lines (numSets * numWays). */
+    uint32_t numLines() const { return numSets_ * numWays_; }
+
+    /** True if @p line holds valid data. */
+    bool lineValid(uint32_t line) const { return valid_[line] != 0; }
+
+    /** Tag (line address) stored in @p line; undefined if invalid. */
+    Addr lineTag(uint32_t line) const { return tags_[line]; }
+
+    /** Partition owning @p line (kNoPart = unmanaged). */
+    PartId linePart(uint32_t line) const { return parts_[line]; }
+
+    /** Re-tags @p line to partition @p part (Vantage demote/promote). */
+    void setLinePart(uint32_t line, PartId part) { parts_[line] = part; }
+
+    /** Invalidates one line, notifying the scheme. */
+    void invalidateLine(uint32_t line);
+
+    /** Invalidates the whole cache and resets policy state. */
+    void invalidateAll();
+
+    /** Default hashed set index over the full cache. */
+    uint32_t defaultSetIndex(Addr addr) const;
+
+    /** Counts valid lines owned by @p part (O(lines); for tests). */
+    uint64_t countLines(PartId part) const;
+
+    /** Forwards per-partition target sizes to the scheme. */
+    void setTargets(const std::vector<uint64_t>& lines);
+
+    /** Access statistics. */
+    CacheStats& stats() { return stats_; }
+    const CacheStats& stats() const { return stats_; }
+
+    /** The replacement policy (never null). */
+    ReplPolicy& policy() { return *policy_; }
+
+    /** The partitioning scheme, or nullptr if unpartitioned. */
+    PartitionScheme* scheme() { return scheme_.get(); }
+    const PartitionScheme* scheme() const { return scheme_.get(); }
+
+  private:
+    uint32_t setIndexFor(Addr addr, PartId part) const;
+
+    uint32_t numSets_;
+    uint32_t numWays_;
+    bool hashSetIndex_;
+    uint64_t hashSeed_;
+
+    std::vector<Addr> tags_;
+    std::vector<uint8_t> valid_;
+    std::vector<PartId> parts_;
+
+    std::unique_ptr<ReplPolicy> policy_;
+    std::unique_ptr<PartitionScheme> scheme_;
+    CacheStats stats_;
+};
+
+} // namespace talus
+
+#endif // TALUS_CACHE_SET_ASSOC_CACHE_H

@@ -1,0 +1,60 @@
+#include "core/bypass_analysis.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+double
+bypassMisses(const MissCurve& curve, double s, double rho)
+{
+    talus_assert(rho > 0.0 && rho <= 1.0, "rho must be in (0,1]: ", rho);
+    const double m0 = curve.at(0.0);
+    return rho * curve.at(s / rho) + (1.0 - rho) * m0;
+}
+
+BypassChoice
+optimalBypass(const MissCurve& curve, double s)
+{
+    talus_assert(s >= 0, "negative size");
+    const double m0 = curve.at(0.0);
+
+    // m_bypass(s, rho) with s0 = s/rho is a chord from (0, m(0)) to
+    // (s0, m(s0)); over each linear curve segment the objective is
+    // monotone in s0, so the optimum lies at a sampled vertex (or at
+    // rho = 1 exactly).
+    BypassChoice best;
+    best.rho = 1.0;
+    best.emulated = s;
+    best.keptPart = curve.at(s);
+    best.bypassPart = 0.0;
+    best.misses = best.keptPart;
+
+    for (const CurvePoint& p : curve.points()) {
+        if (p.size <= s || p.size <= 0)
+            continue;
+        const double rho = s / p.size;
+        const double kept = rho * p.misses;
+        const double bypassed = (1.0 - rho) * m0;
+        const double total = kept + bypassed;
+        if (total < best.misses) {
+            best.rho = rho;
+            best.misses = total;
+            best.emulated = p.size;
+            best.keptPart = kept;
+            best.bypassPart = bypassed;
+        }
+    }
+    return best;
+}
+
+MissCurve
+optimalBypassCurve(const MissCurve& curve)
+{
+    std::vector<CurvePoint> pts;
+    pts.reserve(curve.numPoints());
+    for (const CurvePoint& p : curve.points())
+        pts.push_back({p.size, optimalBypass(curve, p.size).misses});
+    return MissCurve(std::move(pts));
+}
+
+} // namespace talus

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Optimal bypassing analysis (Sec. V-C, Corollary 8).
+ *
+ * Bypassing a fraction 1-rho of accesses makes the remaining accesses
+ * behave as a cache of size s/rho (Theorem 4), at the price of always
+ * missing on the bypassed fraction:
+ *
+ *     m_bypass(s, rho) = rho * m(s/rho) + (1 - rho) * m(0)
+ *
+ * Corollary 8 shows this is a chord of the miss curve from (0, m(0))
+ * to (s/rho, m(s/rho)), so no bypass scheme can beat the convex hull
+ * that Talus traces. These helpers compute the optimal bypass rate
+ * and its miss metric so benches can regenerate Figs. 5 and 6.
+ */
+
+#ifndef TALUS_CORE_BYPASS_ANALYSIS_H
+#define TALUS_CORE_BYPASS_ANALYSIS_H
+
+#include "core/miss_curve.h"
+
+namespace talus {
+
+/** Miss metric of bypassing with acceptance rate @p rho at size @p s. */
+double bypassMisses(const MissCurve& curve, double s, double rho);
+
+/** Result of optimizing the bypass rate at one size. */
+struct BypassChoice
+{
+    double rho;        //!< Optimal acceptance rate (0 < rho <= 1).
+    double misses;     //!< Miss metric achieved.
+    double emulated;   //!< Size the non-bypassed stream emulates (s/rho).
+    double bypassPart; //!< Contribution of bypassed accesses, (1-rho)m(0).
+    double keptPart;   //!< Contribution of kept accesses, rho m(s/rho).
+};
+
+/**
+ * Finds the acceptance rate minimizing bypassMisses at size @p s by
+ * scanning all curve points s0 >= s as emulated sizes (the optimum is
+ * always at a curve vertex) plus rho = 1.
+ */
+BypassChoice optimalBypass(const MissCurve& curve, double s);
+
+/** The full optimal-bypassing curve, one point per curve sample. */
+MissCurve optimalBypassCurve(const MissCurve& curve);
+
+} // namespace talus
+
+#endif // TALUS_CORE_BYPASS_ANALYSIS_H

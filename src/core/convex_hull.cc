@@ -1,0 +1,75 @@
+#include "core/convex_hull.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+/** Cross product (A-O) x (B-O); > 0 means O->A->B turns left. */
+double
+cross(const CurvePoint& o, const CurvePoint& a, const CurvePoint& b)
+{
+    return (a.size - o.size) * (b.misses - o.misses) -
+           (a.misses - o.misses) * (b.size - o.size);
+}
+
+} // namespace
+
+ConvexHull::ConvexHull(const MissCurve& curve)
+{
+    const auto& pts = curve.points();
+    talus_assert(!pts.empty(), "hull of empty curve");
+
+    // Andrew's monotone chain, lower hull only: points arrive sorted
+    // by size; pop while the last two plus the new point fail to make
+    // a counter-clockwise turn. Collinear middle points are dropped.
+    std::vector<CurvePoint> hull;
+    hull.reserve(pts.size());
+    for (const CurvePoint& p : pts) {
+        while (hull.size() >= 2 &&
+               cross(hull[hull.size() - 2], hull[hull.size() - 1], p) <= 0) {
+            hull.pop_back();
+        }
+        hull.push_back(p);
+    }
+    hull_ = MissCurve(std::move(hull));
+}
+
+ConvexHull::Segment
+ConvexHull::segmentFor(double size) const
+{
+    const auto& pts = hull_.points();
+    Segment seg;
+
+    if (size <= pts.front().size) {
+        seg.alpha = seg.beta = pts.front();
+        seg.degenerate = true;
+        return seg;
+    }
+    if (size >= pts.back().size) {
+        seg.alpha = seg.beta = pts.back();
+        seg.degenerate = true;
+        return seg;
+    }
+    for (size_t i = 1; i < pts.size(); ++i) {
+        if (pts[i].size > size) {
+            seg.alpha = pts[i - 1];
+            seg.beta = pts[i];
+            // Exactly on the alpha vertex: no interpolation needed.
+            seg.degenerate = (pts[i - 1].size == size);
+            return seg;
+        }
+        if (pts[i].size == size) {
+            seg.alpha = seg.beta = pts[i];
+            seg.degenerate = true;
+            return seg;
+        }
+    }
+    talus_panic("unreachable: segmentFor fell through");
+}
+
+} // namespace talus

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lower convex hulls of miss curves.
+ *
+ * Talus traces the convex hull of the underlying policy's miss curve
+ * (Theorem 6): the hull is both the performance Talus promises to the
+ * partitioning algorithm (pre-processing, Fig. 7) and the source of
+ * the (alpha, beta) interpolation anchors (post-processing). The hull
+ * is computed in linear time with a single monotone pass (the
+ * three-coins / Melkman-style algorithm the paper cites [31]).
+ */
+
+#ifndef TALUS_CORE_CONVEX_HULL_H
+#define TALUS_CORE_CONVEX_HULL_H
+
+#include "core/miss_curve.h"
+
+namespace talus {
+
+/** The lower convex hull of a miss curve. */
+class ConvexHull
+{
+  public:
+    /** Computes the hull of @p curve (at least one point). */
+    explicit ConvexHull(const MissCurve& curve);
+
+    /** Hull vertices as a (convex) miss curve. */
+    const MissCurve& hull() const { return hull_; }
+
+    /** Evaluates the hull at @p size (linear interpolation). */
+    double at(double size) const { return hull_.at(size); }
+
+    /** Hull segment bracketing a target size. */
+    struct Segment
+    {
+        CurvePoint alpha; //!< Largest hull vertex with size <= s.
+        CurvePoint beta;  //!< Smallest hull vertex with size > s.
+        bool degenerate;  //!< True if s falls on a vertex or outside.
+    };
+
+    /**
+     * Returns the hull vertices bracketing @p size (the paper's alpha
+     * and beta, Theorem 6). If @p size coincides with a vertex or
+     * lies outside the sampled range, the segment is degenerate with
+     * alpha == beta == the clamped vertex.
+     */
+    Segment segmentFor(double size) const;
+
+  private:
+    MissCurve hull_;
+};
+
+} // namespace talus
+
+#endif // TALUS_CORE_CONVEX_HULL_H

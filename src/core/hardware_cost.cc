@@ -1,0 +1,42 @@
+#include "core/hardware_cost.h"
+
+namespace talus {
+
+HardwareCost
+computeHardwareCost(const HardwareCostParams& p)
+{
+    HardwareCost cost;
+
+    const uint64_t llc_lines = p.llcBytes / p.lineBytes;
+
+    // Doubling partitions widens each line's partition-id by one bit.
+    cost.tagExtensionBytes = llc_lines / 8;
+
+    // 256 bits of Vantage bookkeeping per added (shadow) partition.
+    cost.vantageStateBytes =
+        static_cast<uint64_t>(p.cores) * p.vantageBitsPerPart / 8;
+
+    // One sampling function (8-bit H3 + 8-bit limit) per logical
+    // partition.
+    cost.samplerBytes = static_cast<uint64_t>(p.cores) * p.samplerBits / 8;
+
+    // Monitors: the conventional UMON is charged to the baseline
+    // partitioning hardware; Talus adds the low-rate sampled monitor
+    // (same sets, sampledUmonWays ways).
+    const uint64_t tag_bytes = p.umonTagBits / 8;
+    cost.baseMonitorBytes = static_cast<uint64_t>(p.cores) * p.umonLines *
+                            tag_bytes;
+    const uint64_t sampled_lines =
+        static_cast<uint64_t>(p.umonLines) * p.sampledUmonWays / p.umonWays;
+    cost.talusMonitorBytes =
+        static_cast<uint64_t>(p.cores) * sampled_lines * tag_bytes;
+
+    cost.talusTotalBytes = cost.tagExtensionBytes + cost.vantageStateBytes +
+                           cost.samplerBytes + cost.talusMonitorBytes;
+    cost.llcOverheadFraction =
+        static_cast<double>(cost.talusTotalBytes) /
+        static_cast<double>(p.llcBytes);
+    return cost;
+}
+
+} // namespace talus

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware overhead model (Sec. VI-D).
+ *
+ * Reproduces the paper's accounting of Talus's extra state on top of
+ * an existing partitioned cache:
+ *
+ *  - doubling the number of partitions: +1 tag bit per LLC line (to
+ *    widen the partition-id field) and 256 bits of Vantage state per
+ *    added partition;
+ *  - one sampling function per logical partition: an 8-bit H3 hash
+ *    plus an 8-bit limit register;
+ *  - monitors: a 64-way, 1K-line UMON per core (32-bit tags = 4KB)
+ *    exists already for partitioning; Talus adds the 1:16-sampled
+ *    16-way monitor (1KB) to cover 4x the LLC size.
+ *
+ * On the paper's 8-core, 8MB system this totals 24.2KB, 0.3% of LLC
+ * capacity; the table2_overheads bench regenerates that arithmetic.
+ */
+
+#ifndef TALUS_CORE_HARDWARE_COST_H
+#define TALUS_CORE_HARDWARE_COST_H
+
+#include <cstdint>
+
+namespace talus {
+
+/** System parameters for the overhead model. */
+struct HardwareCostParams
+{
+    uint32_t cores = 8;              //!< Cores = logical partitions.
+    uint64_t llcBytes = 8ull << 20;  //!< LLC capacity in bytes.
+    uint32_t lineBytes = 64;         //!< Cache line size.
+    uint32_t umonWays = 64;          //!< Primary UMON associativity.
+    uint32_t umonLines = 1024;       //!< Primary UMON lines.
+    uint32_t umonTagBits = 32;       //!< Monitor tag width.
+    uint32_t sampledUmonWays = 16;   //!< Talus's extra monitor ways.
+    uint32_t vantageBitsPerPart = 256; //!< Per-partition Vantage state.
+    uint32_t samplerBits = 16;       //!< H3 (8) + limit register (8).
+};
+
+/** Computed overhead breakdown, in bytes unless noted. */
+struct HardwareCost
+{
+    uint64_t tagExtensionBytes;   //!< +1 partition-id bit per line.
+    uint64_t vantageStateBytes;   //!< Extra partition state.
+    uint64_t samplerBytes;        //!< Hash + limit registers.
+    uint64_t baseMonitorBytes;    //!< Pre-existing UMONs (not Talus).
+    uint64_t talusMonitorBytes;   //!< Talus's extra sampled monitors.
+    uint64_t talusTotalBytes;     //!< Everything Talus adds.
+    double llcOverheadFraction;   //!< talusTotalBytes / llcBytes.
+};
+
+/** Evaluates the overhead model for @p params. */
+HardwareCost computeHardwareCost(const HardwareCostParams& params);
+
+} // namespace talus
+
+#endif // TALUS_CORE_HARDWARE_COST_H

@@ -1,0 +1,28 @@
+#include "core/shadow_router.h"
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace talus {
+
+ShadowRouter::ShadowRouter(uint32_t bits, uint64_t seed)
+    : hash_(bits, seed), limit_(hash_.range())
+{
+}
+
+void
+ShadowRouter::setRho(double rho)
+{
+    talus_assert(rho >= 0.0 && rho <= 1.0, "rho out of [0,1]: ", rho);
+    limit_ = static_cast<uint64_t>(
+        std::llround(rho * static_cast<double>(hash_.range())));
+}
+
+double
+ShadowRouter::effectiveRho() const
+{
+    return static_cast<double>(limit_) / static_cast<double>(hash_.range());
+}
+
+} // namespace talus

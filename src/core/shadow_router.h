@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Talus sampling function: routes each address to the alpha or
+ * beta shadow partition of its logical partition.
+ *
+ * Hardware model (Sec. VI-B, Fig. 7b): an H3 hash of the line address
+ * is compared against a limit register; below the limit goes to
+ * alpha. The paper uses 8-bit hashes and limit registers, which
+ * quantizes rho to 1/256 steps — the width is configurable so the
+ * quantization ablation can measure its effect.
+ */
+
+#ifndef TALUS_CORE_SHADOW_ROUTER_H
+#define TALUS_CORE_SHADOW_ROUTER_H
+
+#include "util/h3_hash.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** H3 + limit-register router for one logical partition. */
+class ShadowRouter
+{
+  public:
+    /**
+     * @param bits Hash/limit width in bits (paper: 8).
+     * @param seed H3 seed; distinct per logical partition.
+     */
+    explicit ShadowRouter(uint32_t bits = 8, uint64_t seed = 0x70C4);
+
+    /** Sets the sampling rate; the limit register is round(rho*2^bits). */
+    void setRho(double rho);
+
+    /** The quantized rate actually implemented by the limit register. */
+    double effectiveRho() const;
+
+    /** True if @p addr routes to the alpha shadow partition. */
+    bool toAlpha(Addr addr) const { return hash_.hash(addr) < limit_; }
+
+    /** Raw limit register value, for the hardware-cost model. */
+    uint64_t limit() const { return limit_; }
+
+    /** Hash/limit width in bits. */
+    uint32_t bits() const { return hash_.outBits(); }
+
+  private:
+    H3Hash hash_;
+    uint64_t limit_;
+};
+
+} // namespace talus
+
+#endif // TALUS_CORE_SHADOW_ROUTER_H

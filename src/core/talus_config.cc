@@ -1,0 +1,85 @@
+#include "core/talus_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace talus {
+
+double
+TalusConfig::predictedMisses(const MissCurve& curve) const
+{
+    if (degenerate)
+        return curve.at(s1 + s2);
+    const double s = s1 + s2;
+    const double w_alpha = (beta - s) / (beta - alpha);
+    const double w_beta = (s - alpha) / (beta - alpha);
+    return w_alpha * curve.at(alpha) + w_beta * curve.at(beta);
+}
+
+TalusConfig
+computeTalusConfig(const ConvexHull& hull, double s, double margin)
+{
+    talus_assert(s >= 0, "negative partition size");
+    talus_assert(margin >= 0 && margin < 1, "margin must be in [0,1)");
+
+    TalusConfig cfg;
+    const ConvexHull::Segment seg = hull.segmentFor(s);
+
+    // A (nearly) flat hull segment means interpolation cannot help:
+    // m(alpha) == m(beta), so splitting buys nothing, while the safety
+    // margin would shrink the effective alpha — potentially pushing it
+    // back below a cliff the cache has already climbed. Treat shallow
+    // segments (< 1% relative drop) as degenerate.
+    const bool flat =
+        !seg.degenerate &&
+        (seg.alpha.misses - seg.beta.misses) <=
+            0.01 * std::max(seg.alpha.misses, 1e-12);
+
+    if (seg.degenerate || flat) {
+        // On a hull vertex, outside the sampled range, or on a flat
+        // segment: the underlying policy is already efficient at this
+        // size; run a single partition.
+        cfg.alpha = cfg.beta = s;
+        cfg.rho = 1.0;
+        cfg.s1 = s;
+        cfg.s2 = 0;
+        cfg.degenerate = true;
+        return cfg;
+    }
+
+    const double alpha = seg.alpha.size;
+    const double beta = seg.beta.size;
+    talus_assert(alpha < s && s < beta,
+                 "hull segment does not bracket size: ", alpha, " ", s, " ",
+                 beta);
+
+    // Lemma 5 / Theorem 6.
+    const double rho = (beta - s) / (beta - alpha);
+    cfg.alpha = alpha;
+    cfg.beta = beta;
+    cfg.s1 = rho * alpha;
+    cfg.s2 = s - cfg.s1;
+    cfg.degenerate = false;
+
+    // Safety margin (Sec. VI-B): bump the *routed* rho, leaving the
+    // physical sizes unchanged. The alpha partition then emulates
+    // s1 / rho' < alpha and the beta partition s2 / (1 - rho') > beta,
+    // keeping measurement noise from pushing beta back up the cliff.
+    cfg.rho = std::min(1.0, rho * (1.0 + margin));
+    return cfg;
+}
+
+double
+interpolatedMisses(const ConvexHull& hull, double s)
+{
+    const ConvexHull::Segment seg = hull.segmentFor(s);
+    if (seg.degenerate)
+        return seg.alpha.misses;
+    const double w_alpha =
+        (seg.beta.size - s) / (seg.beta.size - seg.alpha.size);
+    return w_alpha * seg.alpha.misses + (1.0 - w_alpha) * seg.beta.misses;
+}
+
+} // namespace talus

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Talus shadow-partition configuration (Sec. IV of the paper).
+ *
+ * Given a miss curve's convex hull and a total partition size s,
+ * Theorem 6 picks the hull vertices alpha <= s < beta bracketing s and
+ * Lemma 5 yields:
+ *
+ *     rho = (beta - s) / (beta - alpha)     (sampling rate into alpha)
+ *     s1  = rho * alpha                     (alpha shadow partition)
+ *     s2  = s - s1                          (beta shadow partition)
+ *
+ * so that a fraction rho of accesses behaves like a cache of size
+ * alpha and the rest like a cache of size beta, interpolating the
+ * hull:  m_shadow(s) = (beta-s)/(beta-alpha) m(alpha)
+ *                    + (s-alpha)/(beta-alpha) m(beta).     (Eq. 5)
+ *
+ * Practical deviations from Assumptions 1-3 are absorbed by bumping
+ * the routed rho by a safety margin (5% in the paper, Sec. VI-B),
+ * which shrinks the effective alpha and grows the effective beta
+ * without changing the physical sizes.
+ */
+
+#ifndef TALUS_CORE_TALUS_CONFIG_H
+#define TALUS_CORE_TALUS_CONFIG_H
+
+#include "core/convex_hull.h"
+
+namespace talus {
+
+/** A resolved shadow-partition configuration for one logical size. */
+struct TalusConfig
+{
+    double alpha = 0;  //!< Emulated small cache size (hull vertex).
+    double beta = 0;   //!< Emulated large cache size (hull vertex).
+    double rho = 1.0;  //!< Fraction of accesses routed to alpha
+                       //!< (includes the safety margin).
+    double s1 = 0;     //!< Physical size of the alpha partition.
+    double s2 = 0;     //!< Physical size of the beta partition.
+    bool degenerate = true; //!< True: single partition, no split.
+
+    /** Predicted miss metric of this configuration (Eq. 5). */
+    double predictedMisses(const MissCurve& curve) const;
+};
+
+/**
+ * Computes the Talus configuration for total size @p s.
+ *
+ * @param hull Convex hull of the underlying policy's miss curve.
+ * @param s Total lines available to this logical partition.
+ * @param margin Safety bump applied to rho (paper default 0.05).
+ *
+ * Sizes outside the hull's sampled range yield a degenerate
+ * configuration (all capacity in one partition).
+ */
+TalusConfig computeTalusConfig(const ConvexHull& hull, double s,
+                               double margin = 0.05);
+
+/**
+ * Eq. 5 evaluated directly: the linear interpolation of m between the
+ * bracketing hull vertices at size @p s, i.e. the miss metric Talus
+ * promises at @p s. Equivalent to hull.at(s); kept separate so tests
+ * can check both derivations agree.
+ */
+double interpolatedMisses(const ConvexHull& hull, double s);
+
+} // namespace talus
+
+#endif // TALUS_CORE_TALUS_CONFIG_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TalusController: the full Talus mechanism around a partitioned
+ * cache (Fig. 7 of the paper).
+ *
+ * The controller owns a physical cache with 2N partitions for N
+ * logical (software-visible) partitions: logical p maps to physical
+ * 2p (the alpha shadow partition) and 2p+1 (beta). Accesses are
+ * routed by per-logical-partition H3 sampling functions.
+ *
+ * Reconfiguration follows the paper's software flow:
+ *  - pre-processing: convexHulls() turns monitored miss curves into
+ *    hulls for the system's partitioning algorithm (which can then
+ *    safely assume convexity);
+ *  - the partitioning algorithm (alloc/) runs on the hulls, producing
+ *    logical allocations — the controller does NOT choose them;
+ *  - post-processing: configure() converts logical allocations into
+ *    shadow partition sizes and sampling rates (Theorem 6 + the 5%
+ *    safety margin), handles way-partitioning coarsening by
+ *    recomputing rho from the achieved sizes (Sec. VI-B), and scales
+ *    targets by the scheme's usable fraction (0.9 for Vantage).
+ */
+
+#ifndef TALUS_CORE_TALUS_CONTROLLER_H
+#define TALUS_CORE_TALUS_CONTROLLER_H
+
+#include <memory>
+#include <vector>
+
+#include "core/convex_hull.h"
+#include "core/shadow_router.h"
+#include "core/talus_config.h"
+#include "partition/partitioned_cache.h"
+
+namespace talus {
+
+/** Talus wrapped around a physical partitioned cache. */
+class TalusController
+{
+  public:
+    /** Controller configuration. */
+    struct Config
+    {
+        uint32_t numLogicalParts = 1; //!< Software-visible partitions.
+        double margin = 0.05;         //!< Safety margin on rho.
+        uint32_t routerBits = 8;      //!< Sampling hash/limit width.
+        double usableFraction = 1.0;  //!< 0.9 under Vantage.
+        bool recomputeFromCoarsened = false; //!< Way/set coarsening fix.
+        uint64_t seed = 0x7A1C5;
+    };
+
+    /**
+     * @param phys Physical cache; must expose 2 * numLogicalParts
+     *        partitions.
+     * @param config Controller configuration.
+     */
+    TalusController(std::unique_ptr<PartitionedCacheBase> phys,
+                    const Config& config);
+
+    /** Routes and performs one access for logical partition @p part. */
+    bool access(Addr addr, PartId part);
+
+    /**
+     * Pre-processing: convex hulls of monitored miss curves, in the
+     * same order. Partitioning algorithms consume these.
+     */
+    static std::vector<MissCurve>
+    convexHulls(const std::vector<MissCurve>& curves);
+
+    /**
+     * Post-processing: applies logical allocations.
+     *
+     * @param curves Monitored miss curves (one per logical partition,
+     *        sizes in lines of the physical cache).
+     * @param logical_alloc Lines allocated to each logical partition
+     *        by the partitioning algorithm; the sum must not exceed
+     *        capacity.
+     */
+    void configure(const std::vector<MissCurve>& curves,
+                   const std::vector<uint64_t>& logical_alloc);
+
+    /** Last applied shadow configuration of logical partition @p p. */
+    const TalusConfig& configOf(PartId p) const;
+
+    /** Effective (quantized) routing rate of partition @p p. */
+    double routedRho(PartId p) const;
+
+    /** Underlying physical cache. */
+    PartitionedCacheBase& cache() { return *phys_; }
+    const PartitionedCacheBase& cache() const { return *phys_; }
+
+    /** Number of logical partitions. */
+    uint32_t numLogicalParts() const { return cfg_.numLogicalParts; }
+
+    /** Accesses by logical partition (alpha + beta shadows). */
+    uint64_t logicalAccesses(PartId p) const;
+
+    /** Misses by logical partition. */
+    uint64_t logicalMisses(PartId p) const;
+
+    /** Interval hook forwarded to the physical cache/policy. */
+    void nextInterval() { phys_->nextInterval(); }
+
+  private:
+    Config cfg_;
+    std::unique_ptr<PartitionedCacheBase> phys_;
+    std::vector<ShadowRouter> routers_;
+    std::vector<TalusConfig> shadowCfg_;
+};
+
+} // namespace talus
+
+#endif // TALUS_CORE_TALUS_CONTROLLER_H

@@ -1,0 +1,85 @@
+#include "monitor/combined_umon.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+UMon::Config
+primaryConfig(const CombinedUMon::Config& c)
+{
+    UMon::Config pc;
+    pc.ways = c.primaryWays;
+    pc.sets = c.sets;
+    pc.modeledLines = c.llcLines;
+    pc.seed = c.seed;
+    return pc;
+}
+
+UMon::Config
+secondaryConfig(const CombinedUMon::Config& c)
+{
+    UMon::Config sc;
+    sc.ways = c.sampledWays;
+    sc.sets = c.sets;
+    sc.modeledLines = c.llcLines * c.coverage;
+    // Same hash family, different seed: the secondary samples an
+    // independent 1:16-rate slice.
+    sc.seed = c.seed ^ 0x5A5A5A5A;
+    return sc;
+}
+
+} // namespace
+
+CombinedUMon::CombinedUMon(const Config& config)
+    : cfg_(config), primary_(primaryConfig(config)),
+      secondary_(secondaryConfig(config))
+{
+    talus_assert(cfg_.coverage >= 1, "coverage must be >= 1");
+}
+
+void
+CombinedUMon::access(Addr addr)
+{
+    primary_.access(addr);
+    if (cfg_.coverage > 1)
+        secondary_.access(addr);
+}
+
+MissCurve
+CombinedUMon::curve() const
+{
+    const MissCurve fine = primary_.curve();
+    std::vector<CurvePoint> pts = fine.points();
+    if (cfg_.coverage > 1) {
+        const MissCurve coarse = secondary_.curve();
+        for (const CurvePoint& p : coarse.points()) {
+            if (p.size > static_cast<double>(cfg_.llcLines))
+                pts.push_back(p);
+        }
+    }
+    return MissCurve(std::move(pts)).monotoneClamped();
+}
+
+void
+CombinedUMon::decay()
+{
+    primary_.decay();
+    secondary_.decay();
+}
+
+void
+CombinedUMon::reset()
+{
+    primary_.reset();
+    secondary_.reset();
+}
+
+uint64_t
+CombinedUMon::coveredLines() const
+{
+    return cfg_.llcLines * (cfg_.coverage > 1 ? cfg_.coverage : 1);
+}
+
+} // namespace talus

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Combined UMON with 4x LLC-size coverage (Sec. VI-C, "Miss curve
+ * coverage").
+ *
+ * A conventional UMON only resolves the miss curve up to the LLC
+ * size, so Talus could not trace convex hulls whose beta vertex lies
+ * beyond it (e.g., libquantum's 32MB cliff seen from an 8MB LLC).
+ * The paper adds a second monitor sampling at 1:16 of the primary's
+ * rate: with only 16 ways it models 4x the LLC capacity at LLC/4
+ * granularity. This class owns both monitors and merges their curves.
+ */
+
+#ifndef TALUS_MONITOR_COMBINED_UMON_H
+#define TALUS_MONITOR_COMBINED_UMON_H
+
+#include "monitor/umon.h"
+
+namespace talus {
+
+/** Primary + low-rate-sampled UMON pair with merged miss curves. */
+class CombinedUMon
+{
+  public:
+    /** Configuration for the pair. */
+    struct Config
+    {
+        uint64_t llcLines = 1 << 17; //!< LLC size the primary models.
+        uint32_t primaryWays = 64;   //!< Primary monitor associativity.
+        uint32_t sets = 16;          //!< Sets in both monitors.
+        uint32_t sampledWays = 16;   //!< Secondary monitor ways.
+        uint32_t coverage = 4;       //!< Secondary models coverage*LLC.
+        uint64_t seed = 0x2B0B;
+    };
+
+    explicit CombinedUMon(const Config& config);
+
+    /** Observes one access (both monitors sample internally). */
+    void access(Addr addr);
+
+    /**
+     * Merged miss-ratio curve: primary points up to the LLC size,
+     * secondary points beyond it, clamped to be non-increasing so
+     * sampling noise cannot fabricate negative-utility regions.
+     */
+    MissCurve curve() const;
+
+    /** Accesses sampled by the primary monitor. */
+    uint64_t sampledAccesses() const { return primary_.sampledAccesses(); }
+
+    /** Inter-interval decay of both monitors. */
+    void decay();
+
+    /** Clears both monitors. */
+    void reset();
+
+    /** Largest size the merged curve covers. */
+    uint64_t coveredLines() const;
+
+  private:
+    Config cfg_;
+    UMon primary_;
+    UMon secondary_;
+};
+
+} // namespace talus
+
+#endif // TALUS_MONITOR_COMBINED_UMON_H

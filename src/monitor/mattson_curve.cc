@@ -1,0 +1,75 @@
+#include "monitor/mattson_curve.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+MattsonCurve::MattsonCurve(uint64_t max_lines)
+    : maxLines_(max_lines), hist_(max_lines, 0)
+{
+    talus_assert(max_lines >= 1, "need at least one line of range");
+}
+
+void
+MattsonCurve::access(Addr addr)
+{
+    accesses_++;
+    const uint64_t d = counter_.access(addr);
+    if (d < maxLines_)
+        hist_[d]++;
+    else
+        overflowOrCold_++; // Includes cold misses (d == kCold).
+}
+
+uint64_t
+MattsonCurve::missesAt(uint64_t size) const
+{
+    talus_assert(size <= maxLines_, "size ", size, " beyond histogram (",
+                 maxLines_, ")");
+    // An access with stack distance d hits iff d < size.
+    uint64_t hits = 0;
+    for (uint64_t d = 0; d < size; ++d)
+        hits += hist_[d];
+    return accesses_ - hits;
+}
+
+MissCurve
+MattsonCurve::curve(uint64_t step) const
+{
+    talus_assert(step >= 1, "step must be >= 1");
+    std::vector<CurvePoint> pts;
+    const double total =
+        accesses_ > 0 ? static_cast<double>(accesses_) : 1.0;
+
+    uint64_t hits = 0;
+    uint64_t d = 0;
+    for (uint64_t size = 0; size <= maxLines_; size += step) {
+        // Accumulate hits for distances in [previous size, size).
+        for (; d < size && d < maxLines_; ++d)
+            hits += hist_[d];
+        pts.push_back({static_cast<double>(size),
+                       static_cast<double>(accesses_ - hits) / total});
+        if (size == maxLines_)
+            break;
+        if (size + step > maxLines_ && size != maxLines_) {
+            // Always include the final point at maxLines_.
+            for (; d < maxLines_; ++d)
+                hits += hist_[d];
+            pts.push_back({static_cast<double>(maxLines_),
+                           static_cast<double>(accesses_ - hits) / total});
+            break;
+        }
+    }
+    return MissCurve(std::move(pts));
+}
+
+void
+MattsonCurve::reset()
+{
+    counter_.reset();
+    hist_.assign(hist_.size(), 0);
+    overflowOrCold_ = 0;
+    accesses_ = 0;
+}
+
+} // namespace talus

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Exact LRU miss curves via Mattson's stack algorithm.
+ *
+ * One pass over an access stream yields the LRU miss count at *every*
+ * cache size simultaneously (the stack property, Sec. II-C). This is
+ * the idealized monitor: UMONs approximate it with sampling, and
+ * tests validate them against this class.
+ */
+
+#ifndef TALUS_MONITOR_MATTSON_CURVE_H
+#define TALUS_MONITOR_MATTSON_CURVE_H
+
+#include <vector>
+
+#include "core/miss_curve.h"
+#include "monitor/stack_distance.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** Accumulates a stack-distance histogram into exact LRU miss curves. */
+class MattsonCurve
+{
+  public:
+    /**
+     * @param max_lines Largest cache size of interest; distances
+     *        beyond it are lumped together (they miss at all tracked
+     *        sizes).
+     */
+    explicit MattsonCurve(uint64_t max_lines);
+
+    /** Records one access. */
+    void access(Addr addr);
+
+    /** Total accesses recorded. */
+    uint64_t accesses() const { return accesses_; }
+
+    /** Exact LRU misses for a cache of @p size lines (size <= max). */
+    uint64_t missesAt(uint64_t size) const;
+
+    /**
+     * Miss-ratio curve sampled every @p step lines from 0 to
+     * max_lines inclusive. Values are misses/accesses in [0,1].
+     */
+    MissCurve curve(uint64_t step) const;
+
+    /** Largest size the histogram resolves. */
+    uint64_t maxLines() const { return maxLines_; }
+
+    /** Clears all state. */
+    void reset();
+
+  private:
+    uint64_t maxLines_;
+    StackDistanceCounter counter_;
+    std::vector<uint64_t> hist_; //!< hist_[d]: accesses at distance d.
+    uint64_t overflowOrCold_ = 0;
+    uint64_t accesses_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_MONITOR_MATTSON_CURVE_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Monitor arrays for non-stack replacement policies (Sec. VI-C,
+ * "Other replacement policies").
+ *
+ * High-performance policies (SRRIP et al.) do not obey the stack
+ * property, so one tag array cannot produce their whole miss curve.
+ * The paper's workaround — admittedly impractical in hardware at
+ * 256KB/core, which is exactly the point it makes — is one monitor
+ * per curve point, each sampling at a different rate to model a
+ * different cache size. This enables the policy-agnosticism
+ * experiment (Talus on SRRIP, Fig. 9).
+ */
+
+#ifndef TALUS_MONITOR_POLICY_MONITOR_H
+#define TALUS_MONITOR_POLICY_MONITOR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/set_assoc_cache.h"
+#include "core/miss_curve.h"
+#include "util/h3_hash.h"
+
+namespace talus {
+
+/** An array of sampled monitors, one per modeled cache size. */
+class PolicyMonitorArray
+{
+  public:
+    /** Configuration. */
+    struct Config
+    {
+        std::vector<uint64_t> modeledSizes; //!< Lines; one monitor each.
+        uint32_t monitorLines = 1024;       //!< Tag-array size per monitor.
+        uint32_t ways = 16;                 //!< Monitor associativity.
+        std::string policyName = "SRRIP";   //!< Policy under monitoring.
+        uint64_t seed = 0x901;
+    };
+
+    explicit PolicyMonitorArray(const Config& config);
+
+    /** Observes one access (each monitor samples independently). */
+    void access(Addr addr);
+
+    /**
+     * Miss-ratio curve: one point per modeled size (plus ratio 1 at
+     * size 0), clamped non-increasing.
+     */
+    MissCurve curve() const;
+
+    /** Total monitor tag state in bytes (32-bit tags), to report the
+     *  overhead the paper calls impractical. */
+    uint64_t stateBytes() const;
+
+    /** Clears all monitors. */
+    void reset();
+
+  private:
+    struct Monitor
+    {
+        uint64_t modeledLines;
+        double threshold;
+        std::unique_ptr<SetAssocCache> cache;
+    };
+
+    Config cfg_;
+    H3Hash sampleHash_;
+    std::vector<Monitor> monitors_;
+};
+
+} // namespace talus
+
+#endif // TALUS_MONITOR_POLICY_MONITOR_H

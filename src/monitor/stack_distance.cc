@@ -1,0 +1,69 @@
+#include "monitor/stack_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace talus {
+
+namespace {
+constexpr uint64_t kInitialCapacity = 1024;
+} // namespace
+
+StackDistanceCounter::StackDistanceCounter() : marks_(kInitialCapacity) {}
+
+uint64_t
+StackDistanceCounter::access(Addr addr)
+{
+    if (now_ >= marks_.size())
+        compact();
+
+    uint64_t distance = kCold;
+    auto it = lastTime_.find(addr);
+    if (it != lastTime_.end()) {
+        const uint64_t prev = it->second;
+        // Marks strictly after prev = distinct addresses since then.
+        distance = static_cast<uint64_t>(
+            marks_.rangeSum(prev + 1, now_));
+        marks_.add(prev, -1);
+        it->second = now_;
+    } else {
+        lastTime_.emplace(addr, now_);
+    }
+    marks_.add(now_, +1);
+    now_++;
+    return distance;
+}
+
+void
+StackDistanceCounter::compact()
+{
+    // Remap active times to 0..k-1 preserving order, then double the
+    // capacity headroom. Amortized O(log) per access overall.
+    std::vector<std::pair<uint64_t, Addr>> active;
+    active.reserve(lastTime_.size());
+    for (const auto& [addr, t] : lastTime_)
+        active.push_back({t, addr});
+    std::sort(active.begin(), active.end());
+
+    const uint64_t capacity =
+        std::max<uint64_t>(kInitialCapacity, active.size() * 4);
+    marks_ = Fenwick(capacity);
+    uint64_t t = 0;
+    for (const auto& [old_time, addr] : active) {
+        (void)old_time;
+        lastTime_[addr] = t;
+        marks_.add(t, +1);
+        t++;
+    }
+    now_ = t;
+}
+
+void
+StackDistanceCounter::reset()
+{
+    marks_ = Fenwick(kInitialCapacity);
+    lastTime_.clear();
+    now_ = 0;
+}
+
+} // namespace talus

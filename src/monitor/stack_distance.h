@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Exact LRU stack-distance computation in O(log n) per access.
+ *
+ * The LRU stack distance of an access is the number of distinct
+ * other addresses touched since the previous access to the same
+ * address; under fully-associative LRU, an access hits at cache size
+ * s iff its stack distance is < s (Mattson's stack algorithm). This
+ * is the idealized reference against which the UMON hardware model is
+ * validated, and the fast path for exact LRU miss curves in benches.
+ *
+ * Implementation: classic time-stamp + Fenwick-tree trick. Each
+ * address's most recent access time is marked in a Fenwick tree;
+ * the distance is the count of marks after the address's previous
+ * time. Time indices are compacted periodically so memory stays
+ * proportional to the number of distinct addresses.
+ */
+
+#ifndef TALUS_MONITOR_STACK_DISTANCE_H
+#define TALUS_MONITOR_STACK_DISTANCE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/fenwick.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** Streams accesses, reporting each access's exact LRU stack distance. */
+class StackDistanceCounter
+{
+  public:
+    /** Distance reported for first-ever (cold) accesses. */
+    static constexpr uint64_t kCold = ~0ull;
+
+    StackDistanceCounter();
+
+    /**
+     * Records one access and returns its stack distance (0 for an
+     * immediate re-access, kCold for a first access).
+     */
+    uint64_t access(Addr addr);
+
+    /** Number of distinct addresses seen so far. */
+    uint64_t distinctAddrs() const { return lastTime_.size(); }
+
+    /** Clears all state. */
+    void reset();
+
+  private:
+    void compact();
+
+    Fenwick marks_;
+    std::unordered_map<Addr, uint64_t> lastTime_;
+    uint64_t now_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_MONITOR_STACK_DISTANCE_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * UMON — utility monitor hardware model (Qureshi & Patt, MICRO'06;
+ * Sec. VI-C of the Talus paper).
+ *
+ * A UMON is a small LRU tag array that samples a pseudo-random subset
+ * of the access stream (by address hash). Because LRU obeys the stack
+ * property, per-way hit counters give the miss ratio of the modeled
+ * cache at every way-granularity size with a single array. A monitor
+ * of W ways and S sets sampling a 1-in-F slice of addresses models a
+ * cache of W*S*F lines at points spaced S*F lines apart (Theorem 4).
+ */
+
+#ifndef TALUS_MONITOR_UMON_H
+#define TALUS_MONITOR_UMON_H
+
+#include <vector>
+
+#include "core/miss_curve.h"
+#include "util/h3_hash.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** One sampled LRU tag-array monitor. */
+class UMon
+{
+  public:
+    /** Monitor geometry and target. */
+    struct Config
+    {
+        uint32_t ways = 64;          //!< Associativity (curve points).
+        uint32_t sets = 16;          //!< Monitor sets (64x16 = 1K lines).
+        uint64_t modeledLines = 1 << 17; //!< Cache size this UMON models.
+        uint64_t seed = 0x0707;      //!< Sampling/set hash seed.
+    };
+
+    explicit UMon(const Config& config);
+
+    /**
+     * Observes one access; internally decides whether the address is
+     * sampled (hash below the sampling threshold).
+     */
+    void access(Addr addr);
+
+    /** Accesses that passed the sampling filter. */
+    uint64_t sampledAccesses() const { return sampled_; }
+
+    /**
+     * Miss-ratio curve: ways+1 points at sizes k * modeledLines/ways,
+     * k = 0..ways, each the fraction of sampled accesses missing in a
+     * cache of that size.
+     */
+    MissCurve curve() const;
+
+    /** Halves all counters; called between reconfiguration intervals
+     *  so the curve tracks the recent phase (Assumption 1). */
+    void decay();
+
+    /** Clears tags and counters. */
+    void reset();
+
+    /** Size modeled by this monitor, in lines. */
+    uint64_t modeledLines() const { return cfg_.modeledLines; }
+
+  private:
+    Config cfg_;
+    H3Hash sampleHash_;
+    H3Hash setHash_;
+    double sampleThreshold_;
+
+    // tags_[set*ways + pos], pos 0 = MRU. Invalid entries hold
+    // kInvalidTag.
+    std::vector<Addr> tags_;
+    std::vector<uint64_t> wayHits_; //!< Hits at LRU stack position d.
+    uint64_t sampled_ = 0;
+
+    static constexpr Addr kInvalidTag = ~0ull;
+};
+
+} // namespace talus
+
+#endif // TALUS_MONITOR_UMON_H

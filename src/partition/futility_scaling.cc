@@ -1,0 +1,141 @@
+#include "partition/futility_scaling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/set_assoc_cache.h"
+#include "util/log.h"
+
+namespace talus {
+
+FutilityScheme::FutilityScheme(uint32_t num_parts)
+    : FutilityScheme(num_parts, Config{})
+{
+}
+
+FutilityScheme::FutilityScheme(uint32_t num_parts, const Config& config)
+    : numParts_(num_parts), cfg_(config), targets_(num_parts, 0),
+      occ_(num_parts, 0), scale_(num_parts, 1.0)
+{
+    talus_assert(num_parts >= 1, "need at least one partition");
+    talus_assert(cfg_.gain > 0 && cfg_.gain < 1, "gain in (0,1)");
+}
+
+void
+FutilityScheme::init(SetAssocCache* cache)
+{
+    cache_ = cache;
+    stamps_.assign(cache->numLines(), 0);
+    std::vector<uint64_t> equal(numParts_,
+                                cache->numLines() / numParts_);
+    setTargets(equal);
+}
+
+void
+FutilityScheme::setTargets(const std::vector<uint64_t>& lines)
+{
+    talus_assert(lines.size() == numParts_, "expected ", numParts_,
+                 " targets, got ", lines.size());
+    const uint64_t total =
+        std::accumulate(lines.begin(), lines.end(), uint64_t{0});
+    talus_assert(total <= cache_->numLines(),
+                 "targets (", total, " lines) exceed capacity (",
+                 cache_->numLines(), ")");
+    targets_ = lines;
+}
+
+uint64_t
+FutilityScheme::target(PartId part) const
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    return targets_[part];
+}
+
+uint64_t
+FutilityScheme::occupancy(PartId part) const
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    return occ_[part];
+}
+
+uint32_t
+FutilityScheme::selectVictim(uint32_t set, PartId part, ReplPolicy& policy)
+{
+    (void)part;
+    (void)policy;
+    const uint32_t ways = cache_->numWays();
+    const uint32_t base = set * ways;
+
+    // Highest scaled futility (age x partition scale) wins. Lines of
+    // partitions whose target is zero are always maximally futile.
+    uint32_t victim = kBypassLine;
+    double worst = -1.0;
+    for (uint32_t w = 0; w < ways; ++w) {
+        const uint32_t line = base + w;
+        if (!cache_->lineValid(line))
+            return line;
+        const PartId owner = cache_->linePart(line);
+        const double age =
+            static_cast<double>(clock_ - stamps_[line]) + 1.0;
+        double futility;
+        if (owner >= numParts_) {
+            futility = 1e30; // Foreign/stale line: reclaim first.
+        } else if (targets_[owner] == 0) {
+            futility = 1e24;
+        } else {
+            futility = age * scale_[owner];
+        }
+        if (futility > worst) {
+            worst = futility;
+            victim = line;
+        }
+    }
+    return victim;
+}
+
+void
+FutilityScheme::adjustScales()
+{
+    // Proportional feedback: over-target partitions become more
+    // futile (evicted more), under-target ones less.
+    for (uint32_t p = 0; p < numParts_; ++p) {
+        if (targets_[p] == 0)
+            continue;
+        const double err =
+            (static_cast<double>(occ_[p]) -
+             static_cast<double>(targets_[p])) /
+            static_cast<double>(targets_[p]);
+        scale_[p] = std::clamp(scale_[p] * (1.0 + cfg_.gain * err),
+                               cfg_.minScale, cfg_.maxScale);
+    }
+}
+
+void
+FutilityScheme::onInsert(uint32_t line, PartId part)
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    clock_++;
+    stamps_[line] = clock_;
+    occ_[part]++;
+    if (++insertions_ % cfg_.adjustEvery == 0)
+        adjustScales();
+}
+
+void
+FutilityScheme::onEvict(uint32_t line, PartId owner)
+{
+    (void)line;
+    if (owner < numParts_ && occ_[owner] > 0)
+        occ_[owner]--;
+}
+
+void
+FutilityScheme::onHit(uint32_t line, PartId owner, PartId part)
+{
+    (void)owner;
+    (void)part;
+    clock_++;
+    stamps_[line] = clock_;
+}
+
+} // namespace talus

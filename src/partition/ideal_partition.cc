@@ -1,0 +1,66 @@
+/**
+ * @file
+ * IdealPartitionedCache implementation: per-partition exact LRU.
+ */
+
+#include <numeric>
+
+#include "cache/fully_assoc_lru.h"
+#include "partition/partitioned_cache.h"
+#include "util/log.h"
+
+namespace talus {
+
+IdealPartitionedCache::IdealPartitionedCache(uint64_t capacity_lines,
+                                             uint32_t num_parts)
+    : capacity_(capacity_lines)
+{
+    talus_assert(num_parts >= 1, "need at least one partition");
+    parts_.resize(num_parts);
+    std::vector<uint64_t> equal(num_parts, capacity_lines / num_parts);
+    setTargets(equal);
+}
+
+bool
+IdealPartitionedCache::access(Addr addr, PartId part)
+{
+    talus_assert(part < parts_.size(), "bad partition id ", part);
+    const bool hit = parts_[part].access(addr);
+    stats_.record(part, hit);
+    return hit;
+}
+
+void
+IdealPartitionedCache::setTargets(const std::vector<uint64_t>& lines)
+{
+    talus_assert(lines.size() == parts_.size(), "expected ", parts_.size(),
+                 " targets, got ", lines.size());
+    const uint64_t total = std::accumulate(lines.begin(), lines.end(),
+                                           uint64_t{0});
+    talus_assert(total <= capacity_, "targets (", total,
+                 " lines) exceed capacity (", capacity_, ")");
+    for (size_t p = 0; p < parts_.size(); ++p)
+        parts_[p].setCapacity(lines[p]);
+}
+
+uint32_t
+IdealPartitionedCache::numPartitions() const
+{
+    return static_cast<uint32_t>(parts_.size());
+}
+
+uint64_t
+IdealPartitionedCache::occupancy(PartId part) const
+{
+    talus_assert(part < parts_.size(), "bad partition id ", part);
+    return parts_[part].size();
+}
+
+uint64_t
+IdealPartitionedCache::targetOf(PartId part) const
+{
+    talus_assert(part < parts_.size(), "bad partition id ", part);
+    return parts_[part].capacity();
+}
+
+} // namespace talus

@@ -1,0 +1,131 @@
+#include "partition/partitioned_cache.h"
+
+#include "partition/futility_scaling.h"
+#include "partition/set_partition.h"
+#include "partition/unpartitioned.h"
+#include "partition/vantage.h"
+#include "partition/way_partition.h"
+#include "policy/policy_factory.h"
+#include "util/log.h"
+
+namespace talus {
+
+SchemePartitionedCache::SchemePartitionedCache(
+    const SetAssocCache::Config& config, std::unique_ptr<ReplPolicy> policy,
+    std::unique_ptr<PartitionScheme> scheme)
+    : cache_(config, std::move(policy), std::move(scheme))
+{
+    talus_assert(cache_.scheme() != nullptr,
+                 "SchemePartitionedCache requires a scheme");
+}
+
+bool
+SchemePartitionedCache::access(Addr addr, PartId part)
+{
+    return cache_.access(addr, part);
+}
+
+void
+SchemePartitionedCache::setTargets(const std::vector<uint64_t>& lines)
+{
+    cache_.setTargets(lines);
+}
+
+uint32_t
+SchemePartitionedCache::numPartitions() const
+{
+    return cache_.scheme()->numPartitions();
+}
+
+uint64_t
+SchemePartitionedCache::capacityLines() const
+{
+    return cache_.numLines();
+}
+
+uint64_t
+SchemePartitionedCache::occupancy(PartId part) const
+{
+    return cache_.scheme()->occupancy(part);
+}
+
+uint64_t
+SchemePartitionedCache::targetOf(PartId part) const
+{
+    return cache_.scheme()->target(part);
+}
+
+const char*
+SchemePartitionedCache::schemeName() const
+{
+    return cache_.scheme()->name();
+}
+
+SchemeKind
+parseSchemeKind(const std::string& name)
+{
+    if (name == "Unpartitioned")
+        return SchemeKind::Unpartitioned;
+    if (name == "Way")
+        return SchemeKind::Way;
+    if (name == "Set")
+        return SchemeKind::Set;
+    if (name == "Vantage")
+        return SchemeKind::Vantage;
+    if (name == "Futility")
+        return SchemeKind::Futility;
+    if (name == "Ideal")
+        return SchemeKind::Ideal;
+    talus_fatal("unknown partitioning scheme: ", name);
+}
+
+double
+schemeUsableFraction(SchemeKind kind)
+{
+    return kind == SchemeKind::Vantage ? 0.9 : 1.0;
+}
+
+std::unique_ptr<PartitionedCacheBase>
+makePartitionedCache(SchemeKind kind, uint64_t capacity_lines,
+                     uint32_t num_ways, const std::string& policy_name,
+                     uint32_t num_parts, uint64_t seed)
+{
+    if (kind == SchemeKind::Ideal) {
+        talus_assert(policy_name == "LRU",
+                     "idealized partitioning models exact LRU only");
+        return std::make_unique<IdealPartitionedCache>(capacity_lines,
+                                                       num_parts);
+    }
+
+    talus_assert(num_ways > 0 && capacity_lines >= num_ways,
+                 "capacity must be at least one set");
+    SetAssocCache::Config config;
+    config.numWays = num_ways;
+    config.numSets = static_cast<uint32_t>(capacity_lines / num_ways);
+    config.hashSeed = seed ^ 0x5E7;
+
+    std::unique_ptr<PartitionScheme> scheme;
+    switch (kind) {
+      case SchemeKind::Unpartitioned:
+        scheme = std::make_unique<UnpartitionedScheme>(num_parts);
+        break;
+      case SchemeKind::Way:
+        scheme = std::make_unique<WayPartition>(num_parts);
+        break;
+      case SchemeKind::Set:
+        scheme = std::make_unique<SetPartition>(num_parts, seed ^ 0xA11);
+        break;
+      case SchemeKind::Vantage:
+        scheme = std::make_unique<VantageScheme>(num_parts);
+        break;
+      case SchemeKind::Futility:
+        scheme = std::make_unique<FutilityScheme>(num_parts);
+        break;
+      case SchemeKind::Ideal:
+        break; // Handled above.
+    }
+    return std::make_unique<SchemePartitionedCache>(
+        config, makePolicy(policy_name, seed), std::move(scheme));
+}
+
+} // namespace talus

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Uniform interface over partitioned caches.
+ *
+ * The Talus controller, the partitioning algorithms, and the
+ * simulation engines all talk to a PartitionedCacheBase: a cache with
+ * N software-visible partitions whose sizes can be re-targeted at
+ * runtime. Two implementations exist:
+ *
+ *  - SchemePartitionedCache: a SetAssocCache plus a PartitionScheme
+ *    (way / set / Vantage / unpartitioned).
+ *  - IdealPartitionedCache: one exact fully-associative LRU per
+ *    partition ("idealized partitioning", Talus+I in Fig. 8).
+ */
+
+#ifndef TALUS_PARTITION_PARTITIONED_CACHE_H
+#define TALUS_PARTITION_PARTITIONED_CACHE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "cache/fully_assoc_lru.h"
+#include "cache/set_assoc_cache.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** Abstract partitioned cache with runtime-resizable partitions. */
+class PartitionedCacheBase
+{
+  public:
+    virtual ~PartitionedCacheBase() = default;
+
+    /** One access by partition @p part; returns true on hit. */
+    virtual bool access(Addr addr, PartId part) = 0;
+
+    /** Re-targets partition sizes (lines, one entry per partition). */
+    virtual void setTargets(const std::vector<uint64_t>& lines) = 0;
+
+    /** Number of software-visible partitions. */
+    virtual uint32_t numPartitions() const = 0;
+
+    /** Total capacity in lines. */
+    virtual uint64_t capacityLines() const = 0;
+
+    /** Actual lines held by @p part. */
+    virtual uint64_t occupancy(PartId part) const = 0;
+
+    /**
+     * Effective (post-coarsening) target of @p part in lines. For way
+     * partitioning this is the way-granular size, which Talus uses to
+     * recompute its sampling rate (Sec. VI-B).
+     */
+    virtual uint64_t targetOf(PartId part) const = 0;
+
+    /** Shared statistics (per-PartId). */
+    virtual CacheStats& stats() = 0;
+    virtual const CacheStats& stats() const = 0;
+
+    /** Scheme name for reporting. */
+    virtual const char* schemeName() const = 0;
+
+    /** Periodic hook forwarded to policies that recompute state. */
+    virtual void nextInterval() {}
+};
+
+/** A SetAssocCache driven through a PartitionScheme. */
+class SchemePartitionedCache : public PartitionedCacheBase
+{
+  public:
+    /**
+     * @param config Cache geometry.
+     * @param policy Replacement policy (owned).
+     * @param scheme Partitioning scheme (owned, required).
+     */
+    SchemePartitionedCache(const SetAssocCache::Config& config,
+                           std::unique_ptr<ReplPolicy> policy,
+                           std::unique_ptr<PartitionScheme> scheme);
+
+    bool access(Addr addr, PartId part) override;
+    void setTargets(const std::vector<uint64_t>& lines) override;
+    uint32_t numPartitions() const override;
+    uint64_t capacityLines() const override;
+    uint64_t occupancy(PartId part) const override;
+    uint64_t targetOf(PartId part) const override;
+    CacheStats& stats() override { return cache_.stats(); }
+    const CacheStats& stats() const override { return cache_.stats(); }
+    const char* schemeName() const override;
+    void nextInterval() override { cache_.policy().nextInterval(); }
+
+    /** Underlying cache, for tests and monitors. */
+    SetAssocCache& cache() { return cache_; }
+
+  private:
+    SetAssocCache cache_;
+};
+
+/** Idealized partitioning: exact fully-associative LRU per partition. */
+class IdealPartitionedCache : public PartitionedCacheBase
+{
+  public:
+    /**
+     * @param capacity_lines Total capacity; initial targets are equal.
+     * @param num_parts Number of partitions.
+     */
+    IdealPartitionedCache(uint64_t capacity_lines, uint32_t num_parts);
+
+    bool access(Addr addr, PartId part) override;
+    void setTargets(const std::vector<uint64_t>& lines) override;
+    uint32_t numPartitions() const override;
+    uint64_t capacityLines() const override { return capacity_; }
+    uint64_t occupancy(PartId part) const override;
+    uint64_t targetOf(PartId part) const override;
+    CacheStats& stats() override { return stats_; }
+    const CacheStats& stats() const override { return stats_; }
+    const char* schemeName() const override { return "Ideal"; }
+
+  private:
+    uint64_t capacity_;
+    std::vector<FullyAssocLru> parts_;
+    CacheStats stats_;
+};
+
+/** Which partitioned-cache construction to use. */
+enum class SchemeKind
+{
+    Unpartitioned,
+    Way,
+    Set,
+    Vantage,
+    Futility,
+    Ideal,
+};
+
+/** Parses a scheme name ("Unpartitioned", "Way", "Set", "Vantage",
+ *  "Futility", "Ideal"); fatal on unknown names. */
+SchemeKind parseSchemeKind(const std::string& name);
+
+/**
+ * The fraction of a partition's allocation Talus can actually rely on
+ * under @p kind: 0.9 for Vantage (its unmanaged region gives no
+ * capacity guarantees, Sec. VI-B), 1.0 for everything else —
+ * including Futility Scaling, which is precisely why the paper
+ * suggests it.
+ */
+double schemeUsableFraction(SchemeKind kind);
+
+/**
+ * Builds a partitioned cache.
+ *
+ * @param kind Scheme kind; Ideal requires policy_name == "LRU".
+ * @param capacity_lines Total capacity in lines.
+ * @param num_ways Associativity for scheme-based caches.
+ * @param policy_name Replacement policy name (see policy_factory.h).
+ * @param num_parts Number of software partitions.
+ * @param seed Seed for stochastic policy/scheme components.
+ */
+std::unique_ptr<PartitionedCacheBase>
+makePartitionedCache(SchemeKind kind, uint64_t capacity_lines,
+                     uint32_t num_ways, const std::string& policy_name,
+                     uint32_t num_parts, uint64_t seed = 0xCACE);
+
+} // namespace talus
+
+#endif // TALUS_PARTITION_PARTITIONED_CACHE_H

@@ -1,0 +1,139 @@
+#include "partition/set_partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/set_assoc_cache.h"
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace talus {
+
+SetPartition::SetPartition(uint32_t num_parts, uint64_t hash_seed)
+    : numParts_(num_parts), hashSeed_(hash_seed), setStart_(num_parts, 0),
+      setCount_(num_parts, 0), occ_(num_parts, 0)
+{
+    talus_assert(num_parts >= 1, "need at least one partition");
+}
+
+void
+SetPartition::init(SetAssocCache* cache)
+{
+    cache_ = cache;
+    talus_assert(numParts_ <= cache->numSets(),
+                 "more partitions (", numParts_, ") than sets (",
+                 cache->numSets(), ")");
+    std::vector<uint64_t> equal(numParts_, cache->numLines() / numParts_);
+    setTargets(equal);
+}
+
+void
+SetPartition::setTargets(const std::vector<uint64_t>& lines)
+{
+    talus_assert(lines.size() == numParts_, "expected ", numParts_,
+                 " targets, got ", lines.size());
+    const uint32_t sets = cache_->numSets();
+    const uint32_t ways = cache_->numWays();
+    const uint64_t total = std::accumulate(lines.begin(), lines.end(),
+                                           uint64_t{0});
+    talus_assert(total <= static_cast<uint64_t>(sets) * ways,
+                 "targets (", total, " lines) exceed capacity");
+
+    // Largest-remainder apportionment of sets, bounded by the sets
+    // the targets actually cover (leftover sets stay unassigned; see
+    // way_partition.cc for the rationale).
+    const uint32_t set_budget = static_cast<uint32_t>(std::min<uint64_t>(
+        sets, (total + ways - 1) / ways));
+    std::vector<double> exact(numParts_);
+    std::vector<uint32_t> floor_sets(numParts_);
+    uint32_t assigned = 0;
+    for (uint32_t p = 0; p < numParts_; ++p) {
+        exact[p] = static_cast<double>(lines[p]) / ways;
+        floor_sets[p] = static_cast<uint32_t>(exact[p]);
+        assigned += floor_sets[p];
+    }
+    std::vector<uint32_t> order(numParts_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return (exact[a] - floor_sets[a]) > (exact[b] - floor_sets[b]);
+    });
+    uint32_t spare = set_budget > assigned ? set_budget - assigned : 0;
+    for (uint32_t i = 0; i < numParts_ && spare > 0; ++i) {
+        floor_sets[order[i]]++;
+        spare--;
+    }
+    while (spare > 0) {
+        const auto max_it = std::max_element(lines.begin(), lines.end());
+        floor_sets[static_cast<uint32_t>(max_it - lines.begin())]++;
+        spare--;
+    }
+
+    uint32_t start = 0;
+    for (uint32_t p = 0; p < numParts_; ++p) {
+        setStart_[p] = start;
+        setCount_[p] = floor_sets[p];
+        start += floor_sets[p];
+    }
+    talus_assert(start <= sets, "set apportionment overflow");
+}
+
+uint64_t
+SetPartition::target(PartId part) const
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    return static_cast<uint64_t>(setCount_[part]) * cache_->numWays();
+}
+
+uint64_t
+SetPartition::occupancy(PartId part) const
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    return occ_[part];
+}
+
+uint32_t
+SetPartition::setIndex(Addr addr, PartId part) const
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    if (setCount_[part] == 0)
+        return 0; // Never hits; selectVictim() will bypass.
+    const uint64_t h = mix64(addr ^ hashSeed_);
+    return setStart_[part] +
+           static_cast<uint32_t>(h % setCount_[part]);
+}
+
+uint32_t
+SetPartition::selectVictim(uint32_t set, PartId part, ReplPolicy& policy)
+{
+    if (setCount_[part] == 0)
+        return kBypassLine;
+
+    const uint32_t ways = cache_->numWays();
+    const uint32_t base = set * ways;
+    uint32_t cands[SetAssocCache::kMaxWays];
+    uint32_t n = 0;
+    for (uint32_t w = 0; w < ways; ++w) {
+        const uint32_t line = base + w;
+        if (!cache_->lineValid(line))
+            return line;
+        cands[n++] = line;
+    }
+    return policy.victim(cands, n);
+}
+
+void
+SetPartition::onInsert(uint32_t line, PartId part)
+{
+    (void)line;
+    occ_[part]++;
+}
+
+void
+SetPartition::onEvict(uint32_t line, PartId owner)
+{
+    (void)line;
+    if (owner < numParts_ && occ_[owner] > 0)
+        occ_[owner]--;
+}
+
+} // namespace talus

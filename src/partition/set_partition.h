@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Set partitioning (page coloring in software, or reconfigurable
+ * caches in hardware): each partition owns a contiguous range of sets,
+ * and a partition's accesses are hashed only across its own sets.
+ * This is the mechanism used in the paper's worked example (Fig. 2),
+ * where the 4MB Talus cache is split by sets at a 1:2 ratio.
+ *
+ * After re-targeting, lines stranded in sets now owned by another
+ * partition are reclaimed lazily: they are eviction candidates for the
+ * new owner and can no longer hit (their owner hashes elsewhere).
+ */
+
+#ifndef TALUS_PARTITION_SET_PARTITION_H
+#define TALUS_PARTITION_SET_PARTITION_H
+
+#include <vector>
+
+#include "cache/scheme.h"
+
+namespace talus {
+
+/** Set partitioning with largest-remainder coarsening to whole sets. */
+class SetPartition : public PartitionScheme
+{
+  public:
+    /**
+     * @param num_parts Number of partitions.
+     * @param hash_seed Seed for the per-partition set hash.
+     */
+    explicit SetPartition(uint32_t num_parts, uint64_t hash_seed = 0x5E75);
+
+    void init(SetAssocCache* cache) override;
+    uint32_t numPartitions() const override { return numParts_; }
+    void setTargets(const std::vector<uint64_t>& lines) override;
+
+    /** Coarsened target: sets(part) * numWays lines. */
+    uint64_t target(PartId part) const override;
+
+    uint64_t occupancy(PartId part) const override;
+    uint32_t setIndex(Addr addr, PartId part) const override;
+    uint32_t selectVictim(uint32_t set, PartId part,
+                          ReplPolicy& policy) override;
+    void onInsert(uint32_t line, PartId part) override;
+    void onEvict(uint32_t line, PartId owner) override;
+    const char* name() const override { return "Set"; }
+
+    /** Sets currently assigned to @p part. */
+    uint32_t sets(PartId part) const { return setCount_[part]; }
+
+  private:
+    uint32_t numParts_;
+    uint64_t hashSeed_;
+    std::vector<uint32_t> setStart_;
+    std::vector<uint32_t> setCount_;
+    std::vector<uint64_t> occ_;
+};
+
+} // namespace talus
+
+#endif // TALUS_PARTITION_SET_PARTITION_H

@@ -1,0 +1,75 @@
+#include "partition/unpartitioned.h"
+
+#include "cache/set_assoc_cache.h"
+#include "util/log.h"
+
+namespace talus {
+
+UnpartitionedScheme::UnpartitionedScheme(uint32_t num_parts)
+    : numParts_(num_parts), occ_(num_parts, 0)
+{
+    talus_assert(num_parts >= 1, "need at least one requester id");
+}
+
+void
+UnpartitionedScheme::init(SetAssocCache* cache)
+{
+    cache_ = cache;
+}
+
+void
+UnpartitionedScheme::setTargets(const std::vector<uint64_t>& lines)
+{
+    // Targets are meaningless without enforcement; accept silently so
+    // baselines can share driver code with partitioned configurations.
+    (void)lines;
+}
+
+uint64_t
+UnpartitionedScheme::target(PartId part) const
+{
+    (void)part;
+    return cache_ ? cache_->numLines() : 0;
+}
+
+uint64_t
+UnpartitionedScheme::occupancy(PartId part) const
+{
+    return part < occ_.size() ? occ_[part] : 0;
+}
+
+uint32_t
+UnpartitionedScheme::selectVictim(uint32_t set, PartId part,
+                                  ReplPolicy& policy)
+{
+    (void)part;
+    const uint32_t ways = cache_->numWays();
+    const uint32_t base = set * ways;
+    uint32_t cands[SetAssocCache::kMaxWays];
+    uint32_t n = 0;
+    for (uint32_t w = 0; w < ways; ++w) {
+        const uint32_t line = base + w;
+        if (!cache_->lineValid(line))
+            return line;
+        cands[n++] = line;
+    }
+    return policy.victim(cands, n);
+}
+
+void
+UnpartitionedScheme::onInsert(uint32_t line, PartId part)
+{
+    (void)line;
+    if (part < occ_.size())
+        occ_[part]++;
+}
+
+void
+UnpartitionedScheme::onEvict(uint32_t line, PartId owner)
+{
+    (void)line;
+    if (owner < occ_.size() && occ_[owner] > 0)
+        occ_[owner]--;
+}
+
+} // namespace talus

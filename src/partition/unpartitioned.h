@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The no-op partitioning scheme: a shared cache where PartIds are
+ * tracked for statistics but place no constraints on placement or
+ * eviction. This is the paper's "unpartitioned LRU" baseline and the
+ * substrate for thread-aware policies like TA-DRRIP (which partition
+ * implicitly through their insertion policy, not through the scheme).
+ */
+
+#ifndef TALUS_PARTITION_UNPARTITIONED_H
+#define TALUS_PARTITION_UNPARTITIONED_H
+
+#include <vector>
+
+#include "cache/scheme.h"
+
+namespace talus {
+
+/** Scheme that enforces nothing; all partitions share all lines. */
+class UnpartitionedScheme : public PartitionScheme
+{
+  public:
+    /** @param num_parts Number of requester ids (stats only). */
+    explicit UnpartitionedScheme(uint32_t num_parts = 1);
+
+    void init(SetAssocCache* cache) override;
+    uint32_t numPartitions() const override { return numParts_; }
+    void setTargets(const std::vector<uint64_t>& lines) override;
+    uint64_t target(PartId part) const override;
+    uint64_t occupancy(PartId part) const override;
+    uint32_t selectVictim(uint32_t set, PartId part,
+                          ReplPolicy& policy) override;
+    void onInsert(uint32_t line, PartId part) override;
+    void onEvict(uint32_t line, PartId owner) override;
+    const char* name() const override { return "Unpartitioned"; }
+
+  private:
+    uint32_t numParts_;
+    std::vector<uint64_t> occ_;
+};
+
+} // namespace talus
+
+#endif // TALUS_PARTITION_UNPARTITIONED_H

@@ -1,0 +1,135 @@
+#include "partition/way_partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/set_assoc_cache.h"
+#include "util/log.h"
+
+namespace talus {
+
+WayPartition::WayPartition(uint32_t num_parts)
+    : numParts_(num_parts), wayStart_(num_parts, 0), wayCount_(num_parts, 0),
+      occ_(num_parts, 0)
+{
+    talus_assert(num_parts >= 1, "need at least one partition");
+}
+
+void
+WayPartition::init(SetAssocCache* cache)
+{
+    cache_ = cache;
+    talus_assert(numParts_ <= cache->numWays(),
+                 "more partitions (", numParts_, ") than ways (",
+                 cache->numWays(), ")");
+    // Default: equal split.
+    std::vector<uint64_t> equal(numParts_,
+                                cache->numLines() / numParts_);
+    setTargets(equal);
+}
+
+void
+WayPartition::setTargets(const std::vector<uint64_t>& lines)
+{
+    talus_assert(lines.size() == numParts_, "expected ", numParts_,
+                 " targets, got ", lines.size());
+    const uint32_t ways = cache_->numWays();
+    const uint32_t sets = cache_->numSets();
+    const uint64_t total = std::accumulate(lines.begin(), lines.end(),
+                                           uint64_t{0});
+    talus_assert(total <= static_cast<uint64_t>(ways) * sets,
+                 "targets (", total, " lines) exceed capacity");
+
+    // Largest-remainder apportionment of ways. Only round(total/sets)
+    // ways are handed out: if the targets cover less than the cache,
+    // the leftover ways stay unassigned rather than silently inflating
+    // partitions beyond what the allocator asked for.
+    const uint32_t way_budget = static_cast<uint32_t>(std::min<uint64_t>(
+        ways, (total + sets - 1) / sets));
+    std::vector<double> exact(numParts_);
+    std::vector<uint32_t> floor_ways(numParts_);
+    uint32_t assigned = 0;
+    for (uint32_t p = 0; p < numParts_; ++p) {
+        exact[p] = static_cast<double>(lines[p]) / sets;
+        floor_ways[p] = static_cast<uint32_t>(exact[p]);
+        assigned += floor_ways[p];
+    }
+    // Hand remaining budgeted ways to the largest fractional
+    // remainders.
+    std::vector<uint32_t> order(numParts_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return (exact[a] - floor_ways[a]) > (exact[b] - floor_ways[b]);
+    });
+    uint32_t spare = way_budget > assigned ? way_budget - assigned : 0;
+    for (uint32_t i = 0; i < numParts_ && spare > 0; ++i) {
+        floor_ways[order[i]]++;
+        spare--;
+    }
+    // If still spare (all remainders zero), give to the largest target.
+    while (spare > 0) {
+        const auto max_it = std::max_element(lines.begin(), lines.end());
+        floor_ways[static_cast<uint32_t>(max_it - lines.begin())]++;
+        spare--;
+    }
+
+    uint32_t start = 0;
+    for (uint32_t p = 0; p < numParts_; ++p) {
+        wayStart_[p] = start;
+        wayCount_[p] = floor_ways[p];
+        start += floor_ways[p];
+    }
+    talus_assert(start <= ways, "way apportionment overflow");
+}
+
+uint64_t
+WayPartition::target(PartId part) const
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    return static_cast<uint64_t>(wayCount_[part]) * cache_->numSets();
+}
+
+uint64_t
+WayPartition::occupancy(PartId part) const
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    return occ_[part];
+}
+
+uint32_t
+WayPartition::selectVictim(uint32_t set, PartId part, ReplPolicy& policy)
+{
+    talus_assert(part < numParts_, "bad partition id ", part);
+    if (wayCount_[part] == 0)
+        return kBypassLine; // No ways: cannot insert.
+
+    const uint32_t ways = cache_->numWays();
+    const uint32_t base = set * ways;
+    uint32_t cands[SetAssocCache::kMaxWays];
+    uint32_t n = 0;
+    for (uint32_t w = wayStart_[part];
+         w < wayStart_[part] + wayCount_[part]; ++w) {
+        const uint32_t line = base + w;
+        if (!cache_->lineValid(line))
+            return line;
+        cands[n++] = line;
+    }
+    return policy.victim(cands, n);
+}
+
+void
+WayPartition::onInsert(uint32_t line, PartId part)
+{
+    (void)line;
+    occ_[part]++;
+}
+
+void
+WayPartition::onEvict(uint32_t line, PartId owner)
+{
+    (void)line;
+    if (owner < numParts_ && occ_[owner] > 0)
+        occ_[owner]--;
+}
+
+} // namespace talus

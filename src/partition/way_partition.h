@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Way partitioning (Albonesi, MICRO'99; Chiou et al., DAC'00): each
+ * partition owns a contiguous range of ways in every set. Simple and
+ * common in real hardware, but coarse-grained: allocations are
+ * multiples of numSets lines, and small way counts hurt associativity
+ * — exactly the Assumption 2 violation the paper works around by
+ * recomputing Talus's sampling rate from the coarsened sizes
+ * (Sec. VI-B, "Talus on way partitioning").
+ */
+
+#ifndef TALUS_PARTITION_WAY_PARTITION_H
+#define TALUS_PARTITION_WAY_PARTITION_H
+
+#include <vector>
+
+#include "cache/scheme.h"
+
+namespace talus {
+
+/** Way partitioning with largest-remainder coarsening of targets. */
+class WayPartition : public PartitionScheme
+{
+  public:
+    /** @param num_parts Number of partitions. */
+    explicit WayPartition(uint32_t num_parts);
+
+    void init(SetAssocCache* cache) override;
+    uint32_t numPartitions() const override { return numParts_; }
+
+    /**
+     * Converts per-partition line targets to way counts using the
+     * largest-remainder method so counts sum exactly to numWays.
+     * Partitions with a nonzero target receive at least one way when
+     * possible.
+     */
+    void setTargets(const std::vector<uint64_t>& lines) override;
+
+    /** Coarsened target: ways(part) * numSets lines. */
+    uint64_t target(PartId part) const override;
+
+    uint64_t occupancy(PartId part) const override;
+    uint32_t selectVictim(uint32_t set, PartId part,
+                          ReplPolicy& policy) override;
+    void onInsert(uint32_t line, PartId part) override;
+    void onEvict(uint32_t line, PartId owner) override;
+    const char* name() const override { return "Way"; }
+
+    /** Ways currently assigned to @p part. */
+    uint32_t ways(PartId part) const { return wayCount_[part]; }
+
+  private:
+    uint32_t numParts_;
+    std::vector<uint32_t> wayStart_;
+    std::vector<uint32_t> wayCount_;
+    std::vector<uint64_t> occ_;
+};
+
+} // namespace talus
+
+#endif // TALUS_PARTITION_WAY_PARTITION_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DIP — Dynamic Insertion Policy (Qureshi et al., ISCA'07).
+ *
+ * DIP set-duels LRU insertion against BIP (Bimodal Insertion Policy:
+ * insert at the LRU position, except a fraction epsilon = 1/32 of
+ * insertions go to MRU). BIP protects the working set against
+ * thrashing; dueling picks whichever wins on the current phase.
+ * The paper discusses DIP as the canonical protection-by-insertion
+ * policy (Sec. II-A, V-C).
+ */
+
+#ifndef TALUS_POLICY_DIP_H
+#define TALUS_POLICY_DIP_H
+
+#include <vector>
+
+#include "cache/repl_policy.h"
+#include "policy/set_dueling.h"
+#include "util/rng.h"
+
+namespace talus {
+
+/** DIP: set-dueled LRU vs BIP insertion over an LRU-ordered cache. */
+class DipPolicy : public ReplPolicy
+{
+  public:
+    /**
+     * @param epsilon BIP's MRU-insertion probability (1/32).
+     * @param thread_aware Use per-thread PSELs (TA-DIP).
+     * @param max_threads Distinct thread ids when thread-aware.
+     * @param seed RNG/dueling seed.
+     */
+    explicit DipPolicy(double epsilon = 1.0 / 32.0,
+                       bool thread_aware = false, uint32_t max_threads = 16,
+                       uint64_t seed = 0xD1B);
+
+    void init(uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(uint32_t line, Addr addr, PartId part) override;
+    void onMiss(Addr addr, uint32_t set, PartId part) override;
+    void onInsert(uint32_t line, Addr addr, PartId part) override;
+    uint32_t victim(const uint32_t* cands, uint32_t n) override;
+    const char* name() const override
+    {
+        return threadAware_ ? "TA-DIP" : "DIP";
+    }
+
+  private:
+    double epsilon_;
+    bool threadAware_;
+    uint32_t maxThreads_;
+    uint64_t seed_;
+    uint32_t numWays_ = 0;
+    std::vector<uint64_t> stamps_;
+    uint64_t clock_ = 0;
+    SetDueling dueling_;
+    Rng rng_;
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_DIP_H

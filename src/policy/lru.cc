@@ -1,0 +1,42 @@
+#include "policy/lru.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+void
+LruPolicy::init(uint32_t num_sets, uint32_t num_ways)
+{
+    stamps_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+    clock_ = 0;
+}
+
+void
+LruPolicy::onHit(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    (void)part;
+    stamps_[line] = ++clock_;
+}
+
+void
+LruPolicy::onInsert(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    (void)part;
+    stamps_[line] = ++clock_;
+}
+
+uint32_t
+LruPolicy::victim(const uint32_t* cands, uint32_t n)
+{
+    talus_assert(n > 0, "LRU victim() with no candidates");
+    uint32_t best = cands[0];
+    for (uint32_t i = 1; i < n; ++i) {
+        if (stamps_[cands[i]] < stamps_[best])
+            best = cands[i];
+    }
+    return best;
+}
+
+} // namespace talus

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Exact LRU replacement.
+ *
+ * LRU is the baseline policy in the paper: it obeys the stack property
+ * (Mattson et al.), which is what makes its miss curve cheaply
+ * monitorable with UMONs and hence what makes Talus practical.
+ */
+
+#ifndef TALUS_POLICY_LRU_H
+#define TALUS_POLICY_LRU_H
+
+#include <vector>
+
+#include "cache/repl_policy.h"
+
+namespace talus {
+
+/** Exact LRU via per-line 64-bit timestamps. */
+class LruPolicy : public ReplPolicy
+{
+  public:
+    void init(uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(uint32_t line, Addr addr, PartId part) override;
+    void onInsert(uint32_t line, Addr addr, PartId part) override;
+    uint32_t victim(const uint32_t* cands, uint32_t n) override;
+    const char* name() const override { return "LRU"; }
+
+    /** Timestamp of @p line; exposed for tests and derived policies. */
+    uint64_t stamp(uint32_t line) const { return stamps_[line]; }
+
+  private:
+    std::vector<uint64_t> stamps_;
+    uint64_t clock_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_LRU_H

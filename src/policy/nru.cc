@@ -1,0 +1,43 @@
+#include "policy/nru.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+void
+NruPolicy::init(uint32_t num_sets, uint32_t num_ways)
+{
+    referenced_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+}
+
+void
+NruPolicy::onHit(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    (void)part;
+    referenced_[line] = 1;
+}
+
+void
+NruPolicy::onInsert(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    (void)part;
+    referenced_[line] = 1;
+}
+
+uint32_t
+NruPolicy::victim(const uint32_t* cands, uint32_t n)
+{
+    talus_assert(n > 0, "NRU victim() with no candidates");
+    for (uint32_t i = 0; i < n; ++i) {
+        if (!referenced_[cands[i]])
+            return cands[i];
+    }
+    // All referenced: clear and take the first (round-robin-ish).
+    for (uint32_t i = 0; i < n; ++i)
+        referenced_[cands[i]] = 0;
+    return cands[0];
+}
+
+} // namespace talus

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Not-Recently-Used replacement: a 1-bit approximation of LRU, the
+ * classic low-cost baseline (equivalent to RRIP with M = 1).
+ */
+
+#ifndef TALUS_POLICY_NRU_H
+#define TALUS_POLICY_NRU_H
+
+#include <vector>
+
+#include "cache/repl_policy.h"
+
+namespace talus {
+
+/** NRU: one reference bit per line. */
+class NruPolicy : public ReplPolicy
+{
+  public:
+    void init(uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(uint32_t line, Addr addr, PartId part) override;
+    void onInsert(uint32_t line, Addr addr, PartId part) override;
+    uint32_t victim(const uint32_t* cands, uint32_t n) override;
+    const char* name() const override { return "NRU"; }
+
+  private:
+    std::vector<uint8_t> referenced_;
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_NRU_H

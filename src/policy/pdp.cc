@@ -1,0 +1,153 @@
+#include "policy/pdp.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+PdpPolicy::PdpPolicy() : PdpPolicy(Config{}) {}
+
+PdpPolicy::PdpPolicy(const Config& config)
+    : cfg_(config), sampler_(16, config.seed)
+{
+    talus_assert(cfg_.maxDp >= 2, "PDP maxDp must be >= 2");
+    talus_assert(cfg_.sampleMod >= 1, "PDP sampleMod must be >= 1");
+}
+
+void
+PdpPolicy::init(uint32_t num_sets, uint32_t num_ways)
+{
+    numSets_ = num_sets;
+    numWays_ = num_ways;
+    // Until the first recompute: protect ~one set's worth by default.
+    dp_ = cfg_.initialDp > 0 ? cfg_.initialDp : num_ways;
+    setClock_.assign(num_sets, 0);
+    stamps_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+    rdHist_.assign(cfg_.maxDp + 1, 0);
+    rdColdOrLong_ = 0;
+    lastSeen_.clear();
+    accessCount_ = 0;
+}
+
+void
+PdpPolicy::tick(uint32_t set)
+{
+    setClock_[set]++;
+    // Recompute on a wall-clock of *all* accesses, not just sampled
+    // ones, so the period does not stretch with the sampling rate.
+    if (++accessCount_ % cfg_.recomputeEvery == 0)
+        recompute();
+}
+
+void
+PdpPolicy::observe(Addr addr, uint32_t set)
+{
+    // Reuse-distance sampling in set-local access counts. Because each
+    // address maps to a fixed set, the per-set clock measures exactly
+    // the distances the protection check uses.
+    if (cfg_.sampleMod > 1 &&
+        (sampler_.hash(addr) % cfg_.sampleMod) != 0) {
+        return;
+    }
+    const uint64_t now = setClock_[set];
+    auto it = lastSeen_.find(addr);
+    if (it != lastSeen_.end()) {
+        const uint64_t d = now - it->second;
+        if (d >= 1 && d <= cfg_.maxDp)
+            rdHist_[d]++;
+        else
+            rdColdOrLong_++;
+        it->second = now;
+    } else {
+        rdColdOrLong_++;
+        lastSeen_.emplace(addr, now);
+    }
+}
+
+void
+PdpPolicy::recompute()
+{
+    // Maximize E(dp) = hits(dp) / cost(dp), where cost charges each
+    // reuse its distance in line-time and each non-reuse dp line-time
+    // (the PDP paper's expected hits per line per unit time).
+    uint64_t total = rdColdOrLong_;
+    for (uint32_t d = 1; d <= cfg_.maxDp; ++d)
+        total += rdHist_[d];
+    if (total < 1000)
+        return; // Not enough samples to trust.
+
+    double best_score = -1.0;
+    uint32_t best_dp = numWays_;
+    uint64_t hits = 0;
+    uint64_t reuse_cost = 0;
+    for (uint32_t dp = 1; dp <= cfg_.maxDp; ++dp) {
+        hits += rdHist_[dp];
+        reuse_cost += static_cast<uint64_t>(dp) * rdHist_[dp];
+        const double cost = static_cast<double>(reuse_cost) +
+                            static_cast<double>(dp) *
+                                static_cast<double>(total - hits);
+        const double score =
+            cost > 0 ? static_cast<double>(hits) / cost : 0.0;
+        if (score > best_score) {
+            best_score = score;
+            best_dp = dp;
+        }
+    }
+    dp_ = best_dp;
+
+    // Decay history so dp tracks phase changes.
+    for (auto& h : rdHist_)
+        h /= 2;
+    rdColdOrLong_ /= 2;
+    if (lastSeen_.size() > 1u << 20)
+        lastSeen_.clear();
+}
+
+void
+PdpPolicy::onHit(uint32_t line, Addr addr, PartId part)
+{
+    (void)part;
+    const uint32_t set = line / numWays_;
+    tick(set);
+    observe(addr, set);
+    // Promotion: re-protect the line for another dp set-accesses.
+    stamps_[line] = setClock_[set];
+}
+
+void
+PdpPolicy::onMiss(Addr addr, uint32_t set, PartId part)
+{
+    (void)part;
+    tick(set);
+    observe(addr, set);
+}
+
+void
+PdpPolicy::onInsert(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    (void)part;
+    const uint32_t set = line / numWays_;
+    stamps_[line] = setClock_[set];
+}
+
+uint32_t
+PdpPolicy::victim(const uint32_t* cands, uint32_t n)
+{
+    talus_assert(n > 0, "PDP victim() with no candidates");
+    const uint32_t set = cands[0] / numWays_;
+    const uint64_t now = setClock_[set];
+
+    uint32_t best = kBypassLine;
+    uint64_t best_age = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t age = now - stamps_[cands[i]];
+        if (age >= dp_ && age >= best_age) {
+            best = cands[i];
+            best_age = age;
+        }
+    }
+    // All candidates protected: bypass the incoming line.
+    return best;
+}
+
+} // namespace talus

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PDP — Protecting Distance Policy (Duong et al., MICRO'12).
+ *
+ * PDP protects each inserted or promoted line for a "protecting
+ * distance" dp, measured in accesses to the line's set. A line whose
+ * age exceeds dp becomes evictable; when every candidate is still
+ * protected, the incoming line is bypassed instead. dp is recomputed
+ * periodically from a sampled reuse-distance histogram by maximizing
+ * expected hits per unit of line-time occupancy (the PDP paper's
+ * E(dp) metric).
+ *
+ * The paper uses PDP as a high-performance baseline (Fig. 10-11) and
+ * discusses its bypass-based design in Sec. V-C: because PDP
+ * approximates optimal bypassing, Talus on LRU can outperform it on
+ * applications with cliffs after convex regions (perlbench,
+ * cactusADM).
+ */
+
+#ifndef TALUS_POLICY_PDP_H
+#define TALUS_POLICY_PDP_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/repl_policy.h"
+#include "util/h3_hash.h"
+
+namespace talus {
+
+/** PDP replacement with periodic protecting-distance recomputation. */
+class PdpPolicy : public ReplPolicy
+{
+  public:
+    /** Tuning knobs; defaults follow the PDP paper scaled to our sim. */
+    struct Config
+    {
+        uint32_t maxDp = 256;           //!< Largest protecting distance.
+        uint32_t sampleMod = 8;         //!< Sample 1/sampleMod addresses.
+        uint64_t recomputeEvery = 1u << 16; //!< Accesses between recomputes.
+        uint32_t initialDp = 0;         //!< Starting dp; 0 = numWays.
+        uint64_t seed = 0x9D9;          //!< Sampling hash seed.
+    };
+
+    /** Constructs PDP with default tuning. */
+    PdpPolicy();
+
+    /** Constructs PDP with explicit tuning. */
+    explicit PdpPolicy(const Config& config);
+
+    void init(uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(uint32_t line, Addr addr, PartId part) override;
+    void onMiss(Addr addr, uint32_t set, PartId part) override;
+    void onInsert(uint32_t line, Addr addr, PartId part) override;
+    uint32_t victim(const uint32_t* cands, uint32_t n) override;
+    void nextInterval() override { recompute(); }
+    const char* name() const override { return "PDP"; }
+
+    /** Current protecting distance, for tests and benches. */
+    uint32_t protectingDistance() const { return dp_; }
+
+  private:
+    void tick(uint32_t set);
+    void observe(Addr addr, uint32_t set);
+    void recompute();
+
+    Config cfg_;
+    uint32_t numSets_ = 0;
+    uint32_t numWays_ = 0;
+    uint32_t dp_ = 0;
+
+    std::vector<uint64_t> setClock_;  //!< Per-set access counter.
+    std::vector<uint64_t> stamps_;    //!< Per-line protection stamp.
+
+    H3Hash sampler_;
+    uint64_t accessCount_ = 0;
+    std::vector<uint64_t> rdHist_;    //!< Sampled reuse distances.
+    uint64_t rdColdOrLong_ = 0;       //!< Sampled non-reuses (d > maxDp).
+    std::unordered_map<Addr, uint64_t> lastSeen_; //!< Sampled addr times.
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_PDP_H

@@ -1,0 +1,56 @@
+#include "policy/policy_factory.h"
+
+#include "policy/dip.h"
+#include "policy/lru.h"
+#include "policy/nru.h"
+#include "policy/pdp.h"
+#include "policy/random_repl.h"
+#include "policy/rrip.h"
+#include "policy/ship.h"
+#include "util/log.h"
+
+namespace talus {
+
+std::unique_ptr<ReplPolicy>
+makePolicy(const std::string& name, uint64_t seed)
+{
+    if (name == "LRU")
+        return std::make_unique<LruPolicy>();
+    if (name == "NRU")
+        return std::make_unique<NruPolicy>();
+    if (name == "Random")
+        return std::make_unique<RandomPolicy>(seed);
+    if (name == "SRRIP")
+        return std::make_unique<RripPolicy>(RripVariant::Srrip, 2,
+                                            1.0 / 32.0, 16, seed);
+    if (name == "BRRIP")
+        return std::make_unique<RripPolicy>(RripVariant::Brrip, 2,
+                                            1.0 / 32.0, 16, seed);
+    if (name == "DRRIP")
+        return std::make_unique<RripPolicy>(RripVariant::Drrip, 2,
+                                            1.0 / 32.0, 16, seed);
+    if (name == "TA-DRRIP")
+        return std::make_unique<RripPolicy>(RripVariant::TaDrrip, 2,
+                                            1.0 / 32.0, 16, seed);
+    if (name == "DIP")
+        return std::make_unique<DipPolicy>(1.0 / 32.0, false, 16, seed);
+    if (name == "TA-DIP")
+        return std::make_unique<DipPolicy>(1.0 / 32.0, true, 16, seed);
+    if (name == "PDP") {
+        PdpPolicy::Config cfg;
+        cfg.seed = seed;
+        return std::make_unique<PdpPolicy>(cfg);
+    }
+    if (name == "SHiP")
+        return std::make_unique<ShipPolicy>();
+    talus_fatal("unknown replacement policy: ", name);
+}
+
+std::vector<std::string>
+knownPolicies()
+{
+    return {"LRU",  "NRU", "Random", "SRRIP",  "BRRIP", "DRRIP",
+            "TA-DRRIP", "DIP", "TA-DIP", "PDP", "SHiP"};
+}
+
+} // namespace talus

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Creates replacement policies by name. Used by benches, examples,
+ * and parameterized tests so a policy choice is a plain string
+ * ("LRU", "SRRIP", "BRRIP", "DRRIP", "TA-DRRIP", "DIP", "TA-DIP",
+ * "PDP", "NRU", "Random").
+ */
+
+#ifndef TALUS_POLICY_POLICY_FACTORY_H
+#define TALUS_POLICY_POLICY_FACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/repl_policy.h"
+
+namespace talus {
+
+/**
+ * Instantiates the policy named @p name; fatal on unknown names.
+ *
+ * @param name Policy name (see file comment for the list).
+ * @param seed Seed for stochastic policies (BRRIP, DIP, Random, PDP).
+ */
+std::unique_ptr<ReplPolicy> makePolicy(const std::string& name,
+                                       uint64_t seed = 0xFAC7);
+
+/** Names accepted by makePolicy(), for enumeration in tests/benches. */
+std::vector<std::string> knownPolicies();
+
+} // namespace talus
+
+#endif // TALUS_POLICY_POLICY_FACTORY_H

@@ -1,0 +1,39 @@
+#include "policy/random_repl.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+RandomPolicy::RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+void
+RandomPolicy::init(uint32_t num_sets, uint32_t num_ways)
+{
+    (void)num_sets;
+    (void)num_ways;
+}
+
+void
+RandomPolicy::onHit(uint32_t line, Addr addr, PartId part)
+{
+    (void)line;
+    (void)addr;
+    (void)part;
+}
+
+void
+RandomPolicy::onInsert(uint32_t line, Addr addr, PartId part)
+{
+    (void)line;
+    (void)addr;
+    (void)part;
+}
+
+uint32_t
+RandomPolicy::victim(const uint32_t* cands, uint32_t n)
+{
+    talus_assert(n > 0, "Random victim() with no candidates");
+    return cands[rng_.below(n)];
+}
+
+} // namespace talus

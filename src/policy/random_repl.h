@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Random replacement: evicts a uniformly random candidate. Useful as a
+ * strawman baseline and for associativity-insensitivity tests.
+ */
+
+#ifndef TALUS_POLICY_RANDOM_REPL_H
+#define TALUS_POLICY_RANDOM_REPL_H
+
+#include "cache/repl_policy.h"
+#include "util/rng.h"
+
+namespace talus {
+
+/** Uniform-random replacement. */
+class RandomPolicy : public ReplPolicy
+{
+  public:
+    /** @param seed RNG seed, for reproducible experiments. */
+    explicit RandomPolicy(uint64_t seed = 0x5EED);
+
+    void init(uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(uint32_t line, Addr addr, PartId part) override;
+    void onInsert(uint32_t line, Addr addr, PartId part) override;
+    uint32_t victim(const uint32_t* cands, uint32_t n) override;
+    const char* name() const override { return "Random"; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_RANDOM_REPL_H

@@ -1,0 +1,109 @@
+#include "policy/rrip.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+RripPolicy::RripPolicy(RripVariant variant, uint32_t m_bits, double epsilon,
+                       uint32_t max_threads, uint64_t seed)
+    : variant_(variant), maxRrpv_(static_cast<uint8_t>((1u << m_bits) - 1)),
+      epsilon_(epsilon), maxThreads_(max_threads), seed_(seed), rng_(seed)
+{
+    talus_assert(m_bits >= 1 && m_bits <= 7, "RRIP M bits in [1,7]");
+}
+
+void
+RripPolicy::init(uint32_t num_sets, uint32_t num_ways)
+{
+    numWays_ = num_ways;
+    rrpv_.assign(static_cast<size_t>(num_sets) * num_ways, maxRrpv_);
+    if (variant_ == RripVariant::Drrip) {
+        dueling_.init(num_sets, 1, 1.0 / 32.0, 10, seed_);
+    } else if (variant_ == RripVariant::TaDrrip) {
+        dueling_.init(num_sets, maxThreads_, 1.0 / 32.0, 10, seed_);
+    }
+    rng_.seed(seed_);
+}
+
+void
+RripPolicy::onHit(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    (void)part;
+    // Hit promotion (HP policy): promote to near-immediate re-reference.
+    rrpv_[line] = 0;
+}
+
+void
+RripPolicy::onMiss(Addr addr, uint32_t set, PartId part)
+{
+    (void)addr;
+    if (variant_ == RripVariant::Drrip || variant_ == RripVariant::TaDrrip)
+        dueling_.onMiss(set, part);
+}
+
+bool
+RripPolicy::usesBrripInsertion(uint32_t set, PartId part) const
+{
+    switch (variant_) {
+      case RripVariant::Srrip:
+        return false;
+      case RripVariant::Brrip:
+        return true;
+      case RripVariant::Drrip:
+        return dueling_.useB(set, 0);
+      case RripVariant::TaDrrip:
+      default:
+        return dueling_.useB(set, part);
+    }
+}
+
+void
+RripPolicy::onInsert(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    const uint32_t set = line / numWays_;
+    if (usesBrripInsertion(set, part)) {
+        // BRRIP: distant re-reference, occasionally long.
+        rrpv_[line] = rng_.chance(epsilon_)
+                          ? static_cast<uint8_t>(maxRrpv_ - 1)
+                          : maxRrpv_;
+    } else {
+        // SRRIP: long re-reference interval.
+        rrpv_[line] = static_cast<uint8_t>(maxRrpv_ - 1);
+    }
+}
+
+uint32_t
+RripPolicy::victim(const uint32_t* cands, uint32_t n)
+{
+    talus_assert(n > 0, "RRIP victim() with no candidates");
+    // Find an RRPV = max line, aging candidates until one appears.
+    // Aging is bounded by maxRrpv_ iterations.
+    while (true) {
+        for (uint32_t i = 0; i < n; ++i) {
+            if (rrpv_[cands[i]] == maxRrpv_)
+                return cands[i];
+        }
+        for (uint32_t i = 0; i < n; ++i)
+            rrpv_[cands[i]]++;
+    }
+}
+
+const char*
+RripPolicy::name() const
+{
+    switch (variant_) {
+      case RripVariant::Srrip:
+        return "SRRIP";
+      case RripVariant::Brrip:
+        return "BRRIP";
+      case RripVariant::Drrip:
+        return "DRRIP";
+      case RripVariant::TaDrrip:
+      default:
+        return "TA-DRRIP";
+    }
+}
+
+} // namespace talus

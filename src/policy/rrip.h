@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The RRIP replacement family (Jaleel et al., ISCA'10):
+ *
+ *  - SRRIP: insert at "long re-reference interval" (RRPV = max-1),
+ *    promote to RRPV = 0 on hit, evict lines with RRPV = max,
+ *    aging all lines in the set when no such line exists.
+ *  - BRRIP: like SRRIP but inserts at RRPV = max except for a small
+ *    fraction (epsilon = 1/32) inserted at max-1; thrash-resistant.
+ *  - DRRIP: set-dueling between SRRIP and BRRIP insertion.
+ *  - TA-DRRIP: DRRIP with per-thread PSELs and leader sets.
+ *
+ * The paper evaluates SRRIP and DRRIP as high-performance baselines
+ * (Fig. 9-11) and TA-DRRIP as the shared-cache baseline (Fig. 12-13).
+ */
+
+#ifndef TALUS_POLICY_RRIP_H
+#define TALUS_POLICY_RRIP_H
+
+#include <vector>
+
+#include "cache/repl_policy.h"
+#include "policy/set_dueling.h"
+#include "util/rng.h"
+
+namespace talus {
+
+/** Which member of the RRIP family to run. */
+enum class RripVariant
+{
+    Srrip,
+    Brrip,
+    Drrip,
+    TaDrrip,
+};
+
+/** RRIP family policy; see file comment for the variants. */
+class RripPolicy : public ReplPolicy
+{
+  public:
+    /**
+     * @param variant Family member.
+     * @param m_bits RRPV width (paper uses M = 2).
+     * @param epsilon BRRIP's long-insertion probability (1/32).
+     * @param max_threads Distinct thread ids for TA-DRRIP.
+     * @param seed RNG/dueling seed.
+     */
+    explicit RripPolicy(RripVariant variant, uint32_t m_bits = 2,
+                        double epsilon = 1.0 / 32.0,
+                        uint32_t max_threads = 16, uint64_t seed = 0x881F);
+
+    void init(uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(uint32_t line, Addr addr, PartId part) override;
+    void onMiss(Addr addr, uint32_t set, PartId part) override;
+    void onInsert(uint32_t line, Addr addr, PartId part) override;
+    uint32_t victim(const uint32_t* cands, uint32_t n) override;
+    const char* name() const override;
+
+    /** RRPV of @p line, for tests. */
+    uint8_t rrpv(uint32_t line) const { return rrpv_[line]; }
+
+  private:
+    bool usesBrripInsertion(uint32_t set, PartId part) const;
+
+    RripVariant variant_;
+    uint8_t maxRrpv_;
+    double epsilon_;
+    uint32_t maxThreads_;
+    uint64_t seed_;
+    uint32_t numWays_ = 0;
+    std::vector<uint8_t> rrpv_;
+    SetDueling dueling_;
+    Rng rng_;
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_RRIP_H

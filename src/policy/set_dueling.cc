@@ -1,0 +1,96 @@
+#include "policy/set_dueling.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace talus {
+
+void
+SetDueling::init(uint32_t num_sets, uint32_t max_threads, double leader_frac,
+                 uint32_t psel_bits, uint64_t seed)
+{
+    talus_assert(num_sets > 0, "set dueling needs sets");
+    talus_assert(max_threads >= 1, "set dueling needs >= 1 thread");
+    talus_assert(leader_frac > 0 && leader_frac < 0.5,
+                 "leader fraction must be in (0, 0.5), got ", leader_frac);
+    numSets_ = num_sets;
+    maxThreads_ = max_threads;
+    seed_ = seed;
+    pselMax_ = (1u << psel_bits) - 1;
+    pselMid_ = 1u << (psel_bits - 1);
+    psel_.assign(maxThreads_, pselMid_);
+    // Each thread owns two leader constituencies of ~leader_frac sets.
+    // Capping the modulus at numSets guarantees at least one leader
+    // of each kind even in very small caches, where a probabilistic
+    // assignment could leave the duel with no constituents at all.
+    leaderMod_ = std::max<uint32_t>(
+        2, std::min<uint32_t>(num_sets,
+                              static_cast<uint32_t>(1.0 / leader_frac)));
+}
+
+uint32_t
+SetDueling::clampTid(PartId tid) const
+{
+    return static_cast<uint32_t>(tid) % maxThreads_;
+}
+
+SetDueling::Role
+SetDueling::role(uint32_t set, PartId tid) const
+{
+    // Deterministic striding: every leaderMod_-th set (with a per-
+    // thread pseudo-random rotation) leads for A, the next one for B.
+    // This gives exact leader counts per thread — important for small
+    // caches — while different threads duel on different sets (the
+    // TA-DIP "feedback" construction).
+    const uint64_t offset =
+        mix64(seed_ ^ (0x9E3779B97F4A7C15ull * (clampTid(tid) + 1)));
+    const uint64_t bucket = (set + offset) % leaderMod_;
+    if (bucket == 0)
+        return Role::LeaderA;
+    if (bucket == 1)
+        return Role::LeaderB;
+    return Role::Follower;
+}
+
+void
+SetDueling::onMiss(uint32_t set, PartId tid)
+{
+    const uint32_t t = clampTid(tid);
+    switch (role(set, tid)) {
+      case Role::LeaderA:
+        if (psel_[t] < pselMax_)
+            psel_[t]++;
+        break;
+      case Role::LeaderB:
+        if (psel_[t] > 0)
+            psel_[t]--;
+        break;
+      case Role::Follower:
+        break;
+    }
+}
+
+bool
+SetDueling::preferB(PartId tid) const
+{
+    // High PSEL = A-leaders miss more = use B.
+    return psel_[clampTid(tid)] > pselMid_;
+}
+
+bool
+SetDueling::useB(uint32_t set, PartId tid) const
+{
+    switch (role(set, tid)) {
+      case Role::LeaderA:
+        return false;
+      case Role::LeaderB:
+        return true;
+      case Role::Follower:
+      default:
+        return preferB(tid);
+    }
+}
+
+} // namespace talus

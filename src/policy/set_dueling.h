@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Set dueling (Qureshi et al., ISCA'07), the mechanism DIP and DRRIP
+ * use to pick between two insertion policies at runtime.
+ *
+ * A few "leader" sets are permanently dedicated to each insertion
+ * policy; a saturating counter (PSEL) tracks which leader group
+ * misses more, and all "follower" sets use the winner. Thread-aware
+ * variants (TA-DIP / TA-DRRIP) keep one PSEL and one pair of leader
+ * constituencies per thread.
+ */
+
+#ifndef TALUS_POLICY_SET_DUELING_H
+#define TALUS_POLICY_SET_DUELING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace talus {
+
+/** Set-dueling monitor with per-thread PSEL counters. */
+class SetDueling
+{
+  public:
+    /** Role of a set for a given thread. */
+    enum class Role
+    {
+        LeaderA,  //!< Always uses policy A.
+        LeaderB,  //!< Always uses policy B.
+        Follower, //!< Uses the PSEL winner.
+    };
+
+    /**
+     * Configures the monitor.
+     *
+     * @param num_sets Sets in the cache.
+     * @param max_threads Number of thread ids with distinct PSELs.
+     * @param leader_frac Approximate fraction of sets dedicated to
+     *        each policy per thread (e.g., 1/32).
+     * @param psel_bits Width of the saturating PSEL counters.
+     * @param seed Hash seed for leader assignment.
+     */
+    void init(uint32_t num_sets, uint32_t max_threads = 1,
+              double leader_frac = 1.0 / 32.0, uint32_t psel_bits = 10,
+              uint64_t seed = 0xD0E1);
+
+    /** Role of @p set for thread @p tid. */
+    Role role(uint32_t set, PartId tid) const;
+
+    /**
+     * Updates PSEL on a miss in @p set by thread @p tid. Misses in
+     * A-leaders increment (evidence against A); misses in B-leaders
+     * decrement.
+     */
+    void onMiss(uint32_t set, PartId tid);
+
+    /** True if followers of @p tid should use policy B. */
+    bool preferB(PartId tid) const;
+
+    /**
+     * True if the insertion into @p set by @p tid should use policy B
+     * (combines leader roles and the PSEL winner).
+     */
+    bool useB(uint32_t set, PartId tid) const;
+
+  private:
+    uint32_t clampTid(PartId tid) const;
+
+    uint32_t numSets_ = 0;
+    uint32_t maxThreads_ = 1;
+    uint32_t pselMax_ = 0;
+    uint32_t pselMid_ = 0;
+    uint64_t seed_ = 0;
+    uint32_t leaderMod_ = 64;
+    std::vector<uint32_t> psel_;
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_SET_DUELING_H

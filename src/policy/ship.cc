@@ -1,0 +1,95 @@
+#include "policy/ship.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace talus {
+
+ShipPolicy::ShipPolicy() : ShipPolicy(Config{}) {}
+
+ShipPolicy::ShipPolicy(const Config& config) : cfg_(config)
+{
+    talus_assert(cfg_.mBits >= 1 && cfg_.mBits <= 7, "SHiP M in [1,7]");
+    talus_assert(cfg_.shctBits >= 1 && cfg_.shctBits <= 8,
+                 "SHCT width in [1,8]");
+    talus_assert(cfg_.shctEntries >= 2, "SHCT needs entries");
+    maxRrpv_ = static_cast<uint8_t>((1u << cfg_.mBits) - 1);
+    shctMax_ = (1u << cfg_.shctBits) - 1;
+}
+
+void
+ShipPolicy::init(uint32_t num_sets, uint32_t num_ways)
+{
+    const size_t lines = static_cast<size_t>(num_sets) * num_ways;
+    rrpv_.assign(lines, maxRrpv_);
+    reused_.assign(lines, 0);
+    lineSig_.assign(lines, 0);
+    // Start counters weakly positive so cold signatures are not all
+    // treated as never-reused before any evidence accumulates.
+    shct_.assign(cfg_.shctEntries, 1);
+}
+
+uint32_t
+ShipPolicy::signature(Addr addr) const
+{
+    return static_cast<uint32_t>(mix64(addr >> cfg_.regionLineBits) %
+                                 cfg_.shctEntries);
+}
+
+uint32_t
+ShipPolicy::shctOf(Addr addr) const
+{
+    return shct_[signature(addr)];
+}
+
+void
+ShipPolicy::onHit(uint32_t line, Addr addr, PartId part)
+{
+    (void)addr;
+    (void)part;
+    rrpv_[line] = 0;
+    if (!reused_[line]) {
+        reused_[line] = 1;
+        uint32_t& ctr = shct_[lineSig_[line]];
+        if (ctr < shctMax_)
+            ctr++;
+    }
+}
+
+void
+ShipPolicy::onInsert(uint32_t line, Addr addr, PartId part)
+{
+    (void)part;
+    // The previous occupant's outcome was already trained in
+    // victim(); this line starts a fresh prediction.
+    const uint32_t sig = signature(addr);
+    lineSig_[line] = sig;
+    reused_[line] = 0;
+    // Never-reused signature: insert at distant re-reference.
+    rrpv_[line] = shct_[sig] == 0 ? maxRrpv_
+                                  : static_cast<uint8_t>(maxRrpv_ - 1);
+}
+
+uint32_t
+ShipPolicy::victim(const uint32_t* cands, uint32_t n)
+{
+    talus_assert(n > 0, "SHiP victim() with no candidates");
+    while (true) {
+        for (uint32_t i = 0; i < n; ++i) {
+            const uint32_t line = cands[i];
+            if (rrpv_[line] == maxRrpv_) {
+                // Train the SHCT on the outgoing line's outcome.
+                if (!reused_[line]) {
+                    uint32_t& ctr = shct_[lineSig_[line]];
+                    if (ctr > 0)
+                        ctr--;
+                }
+                return line;
+            }
+        }
+        for (uint32_t i = 0; i < n; ++i)
+            rrpv_[cands[i]]++;
+    }
+}
+
+} // namespace talus

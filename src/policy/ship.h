@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SHiP — Signature-based Hit Predictor (Wu et al., MICRO'44).
+ *
+ * SHiP extends RRIP with learned insertion: each access carries a
+ * signature (here the memory-region variant, SHiP-Mem: high address
+ * bits), and a table of saturating counters (SHCT) records whether
+ * lines with that signature tend to be reused. Insertions whose
+ * signature never sees reuse go straight to distant re-reference
+ * (RRPV max); others insert like SRRIP.
+ *
+ * The Talus paper lists SHiP among the high-performance policies
+ * whose empirical design defeats cheap miss-curve monitoring
+ * (Sec. II-A) — it is included here both as an extra baseline and as
+ * another demonstration that Talus can wrap any policy given a
+ * monitored curve (via monitor/policy_monitor.h).
+ */
+
+#ifndef TALUS_POLICY_SHIP_H
+#define TALUS_POLICY_SHIP_H
+
+#include <vector>
+
+#include "cache/repl_policy.h"
+
+namespace talus {
+
+/** SHiP-Mem: RRIP with signature-trained insertion. */
+class ShipPolicy : public ReplPolicy
+{
+  public:
+    /** Tuning knobs (defaults follow the SHiP paper, scaled). */
+    struct Config
+    {
+        uint32_t mBits = 2;          //!< RRPV width.
+        uint32_t shctBits = 3;       //!< SHCT counter width.
+        uint32_t shctEntries = 16384; //!< SHCT size.
+        uint32_t regionLineBits = 8; //!< Lines per signature region
+                                     //!< (log2): 8 -> 16KB regions.
+    };
+
+    ShipPolicy();
+    explicit ShipPolicy(const Config& config);
+
+    void init(uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(uint32_t line, Addr addr, PartId part) override;
+    void onInsert(uint32_t line, Addr addr, PartId part) override;
+    uint32_t victim(const uint32_t* cands, uint32_t n) override;
+    const char* name() const override { return "SHiP"; }
+
+    /** SHCT counter for @p addr's signature, for tests. */
+    uint32_t shctOf(Addr addr) const;
+
+  private:
+    uint32_t signature(Addr addr) const;
+
+    Config cfg_;
+    uint8_t maxRrpv_ = 3;
+    uint32_t shctMax_ = 7;
+    std::vector<uint8_t> rrpv_;
+    std::vector<uint8_t> reused_;   //!< Per-line outcome bit.
+    std::vector<uint32_t> lineSig_; //!< Per-line signature.
+    std::vector<uint32_t> shct_;
+};
+
+} // namespace talus
+
+#endif // TALUS_POLICY_SHIP_H

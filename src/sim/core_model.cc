@@ -1,0 +1,36 @@
+#include "sim/core_model.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+CoreModel::CoreModel(const AppSpec& app, const CoreModelParams& params)
+    : apki_(app.apki), cpiBase_(app.cpiBase),
+      instrPerAccess_(app.instrPerAccess()),
+      gapCycles_(app.instrPerAccess() * app.cpiBase),
+      hitCost_(params.l3HitCycles / app.mlp),
+      missCost_(params.memCycles / app.mlp)
+{
+    talus_assert(app.apki > 0, "APKI must be > 0 for ", app.name);
+    talus_assert(app.cpiBase > 0, "base CPI must be > 0 for ", app.name);
+    talus_assert(app.mlp > 0, "MLP must be > 0 for ", app.name);
+}
+
+double
+CoreModel::ipcAt(double miss_ratio) const
+{
+    talus_assert(miss_ratio >= 0.0 && miss_ratio <= 1.0,
+                 "miss ratio out of [0,1]: ", miss_ratio);
+    const double access_cost =
+        (1.0 - miss_ratio) * hitCost_ + miss_ratio * missCost_;
+    const double cpi = cpiBase_ + access_cost * apki_ / 1000.0;
+    return 1.0 / cpi;
+}
+
+double
+CoreModel::ipcAtMpki(double mpki) const
+{
+    return ipcAt(mpki / apki_);
+}
+
+} // namespace talus

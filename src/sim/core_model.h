@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytic core model — the substitution for the paper's zsim OOO
+ * cores (Table I; see DESIGN.md §1).
+ *
+ * Each app retires instructions at its base CPI and pays, per LLC
+ * access, the L3 hit latency (20 cycles) or memory latency (200
+ * cycles) divided by its memory-level-parallelism factor. This
+ * preserves the property the paper's IPC results rest on: IPC is a
+ * decreasing, affine function of miss ratio, with app-specific
+ * sensitivity. It also reproduces the co-run "vicious cycle" of
+ * Sec. VII-D (an app that misses more advances more slowly, touching
+ * the cache less per unit time).
+ */
+
+#ifndef TALUS_SIM_CORE_MODEL_H
+#define TALUS_SIM_CORE_MODEL_H
+
+#include "workload/app_spec.h"
+
+namespace talus {
+
+/** Latency parameters shared by all cores (Table I). */
+struct CoreModelParams
+{
+    double l3HitCycles = 20.0;  //!< LLC hit latency.
+    double memCycles = 200.0;   //!< Main memory latency.
+};
+
+/** Per-app analytic timing model. */
+class CoreModel
+{
+  public:
+    CoreModel(const AppSpec& app, const CoreModelParams& params = {});
+
+    /**
+     * Cycles consumed by one LLC access plus the instructions leading
+     * up to it (1000/APKI instructions at the base CPI, plus the
+     * MLP-discounted access latency).
+     */
+    double cyclesPerAccess(bool hit) const
+    {
+        return gapCycles_ + (hit ? hitCost_ : missCost_);
+    }
+
+    /** Instructions represented by one LLC access. */
+    double instrPerAccess() const { return instrPerAccess_; }
+
+    /** Steady-state analytic IPC at a given LLC miss ratio. */
+    double ipcAt(double miss_ratio) const;
+
+    /** Steady-state analytic IPC at a given MPKI. */
+    double ipcAtMpki(double mpki) const;
+
+  private:
+    double apki_;
+    double cpiBase_;
+    double instrPerAccess_;
+    double gapCycles_;  //!< instrPerAccess * cpiBase.
+    double hitCost_;    //!< l3HitCycles / mlp.
+    double missCost_;   //!< memCycles / mlp.
+};
+
+} // namespace talus
+
+#endif // TALUS_SIM_CORE_MODEL_H

@@ -1,0 +1,83 @@
+#include "sim/experiment_util.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/env.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "workload/spec_suite.h"
+
+namespace talus {
+
+BenchEnv
+BenchEnv::init(int argc, char** argv)
+{
+    BenchEnv env;
+    env.scale = Scale::fromEnv();
+    const bool full = envFlag("TALUS_FULL");
+    env.instrPerApp = static_cast<uint64_t>(
+        envInt("TALUS_INSTR", full ? 50'000'000 : 4'000'000));
+    env.mixes =
+        static_cast<uint32_t>(envInt("TALUS_MIXES", full ? 100 : 24));
+    env.measureAccesses = static_cast<uint64_t>(
+        envInt("TALUS_ACCESSES", full ? 4'000'000 : 400'000));
+    env.seed = static_cast<uint64_t>(envInt("TALUS_SEED", 20150207));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            env.csv = true;
+    }
+    return env;
+}
+
+std::vector<uint64_t>
+sizeGridLines(const Scale& scale, double max_mb, double step_mb)
+{
+    talus_assert(max_mb > 0 && step_mb > 0, "bad size grid");
+    std::vector<uint64_t> sizes;
+    for (double mb = step_mb; mb <= max_mb * (1 + 1e-9); mb += step_mb)
+        sizes.push_back(scale.lines(mb));
+    // Guard against rounding-induced duplicates at coarse scales.
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+    return sizes;
+}
+
+MissCurve
+toMpki(const MissCurve& ratio_curve, double apki)
+{
+    talus_assert(apki > 0, "APKI must be > 0");
+    return ratio_curve.scaled(1.0, apki);
+}
+
+std::vector<std::vector<std::string>>
+sampleMixes(uint32_t num_mixes, uint32_t apps_per_mix, uint64_t seed)
+{
+    const std::vector<std::string> pool = memIntensiveAppNames();
+    talus_assert(apps_per_mix >= 1, "mixes need at least one app");
+
+    Rng rng(seed);
+    std::vector<std::vector<std::string>> mixes;
+    mixes.reserve(num_mixes);
+    for (uint32_t m = 0; m < num_mixes; ++m) {
+        // Sample without replacement when possible (Fisher-Yates
+        // prefix); fall back to replacement if the mix is larger than
+        // the pool.
+        std::vector<std::string> mix;
+        if (apps_per_mix <= pool.size()) {
+            std::vector<std::string> shuffled = pool;
+            for (size_t i = 0; i < apps_per_mix; ++i) {
+                const size_t j =
+                    i + rng.below(shuffled.size() - i);
+                std::swap(shuffled[i], shuffled[j]);
+                mix.push_back(shuffled[i]);
+            }
+        } else {
+            for (uint32_t i = 0; i < apps_per_mix; ++i)
+                mix.push_back(pool[rng.below(pool.size())]);
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+} // namespace talus

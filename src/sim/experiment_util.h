@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harness: environment knobs, size
+ * grids in paper-MB, miss-ratio-to-MPKI conversion, and random mix
+ * sampling for the Fig. 12 methodology.
+ */
+
+#ifndef TALUS_SIM_EXPERIMENT_UTIL_H
+#define TALUS_SIM_EXPERIMENT_UTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/miss_curve.h"
+#include "sim/scale.h"
+
+namespace talus {
+
+/** Environment/CLI configuration common to all bench binaries. */
+struct BenchEnv
+{
+    Scale scale{Scale::kDefaultLinesPerMb};
+    bool csv = false;            //!< --csv flag: emit CSV not tables.
+    uint64_t instrPerApp = 0;    //!< Fixed work (TALUS_INSTR).
+    uint32_t mixes = 0;          //!< Fig. 12 mix count (TALUS_MIXES).
+    uint64_t measureAccesses = 0; //!< Sweep measurement (TALUS_ACCESSES).
+    uint64_t seed = 0;           //!< Global seed (TALUS_SEED).
+
+    /**
+     * Reads TALUS_SCALE / TALUS_FULL / TALUS_INSTR / TALUS_MIXES /
+     * TALUS_ACCESSES / TALUS_SEED and scans argv for --csv.
+     */
+    static BenchEnv init(int argc, char** argv);
+};
+
+/**
+ * An evenly spaced size grid from @p step_mb to @p max_mb inclusive
+ * (paper-MB), converted to lines. Never includes size 0.
+ */
+std::vector<uint64_t> sizeGridLines(const Scale& scale, double max_mb,
+                                    double step_mb);
+
+/** Converts a miss-ratio curve to MPKI given the app's APKI. */
+MissCurve toMpki(const MissCurve& ratio_curve, double apki);
+
+/**
+ * Samples @p num_mixes random app mixes of @p apps_per_mix names from
+ * the memory-intensive pool (with repetition across mixes, without
+ * repetition within a mix when the pool allows).
+ */
+std::vector<std::vector<std::string>>
+sampleMixes(uint32_t num_mixes, uint32_t apps_per_mix, uint64_t seed);
+
+} // namespace talus
+
+#endif // TALUS_SIM_EXPERIMENT_UTIL_H

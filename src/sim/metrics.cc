@@ -1,0 +1,42 @@
+#include "sim/metrics.h"
+
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace talus {
+
+double
+weightedSpeedup(const std::vector<double>& ipc,
+                const std::vector<double>& ipc_base)
+{
+    talus_assert(!ipc.empty() && ipc.size() == ipc_base.size(),
+                 "speedup input size mismatch");
+    double sum = 0;
+    for (size_t i = 0; i < ipc.size(); ++i) {
+        talus_assert(ipc_base[i] > 0, "baseline IPC must be > 0");
+        sum += ipc[i] / ipc_base[i];
+    }
+    return sum / static_cast<double>(ipc.size());
+}
+
+double
+harmonicSpeedup(const std::vector<double>& ipc,
+                const std::vector<double>& ipc_base)
+{
+    talus_assert(!ipc.empty() && ipc.size() == ipc_base.size(),
+                 "speedup input size mismatch");
+    double denom = 0;
+    for (size_t i = 0; i < ipc.size(); ++i) {
+        talus_assert(ipc[i] > 0, "IPC must be > 0");
+        denom += ipc_base[i] / ipc[i];
+    }
+    return static_cast<double>(ipc.size()) / denom;
+}
+
+double
+ipcCoV(const std::vector<double>& ipc)
+{
+    return coeffOfVariation(ipc);
+}
+
+} // namespace talus

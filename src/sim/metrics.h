@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Multiprogram performance metrics from the paper's methodology
+ * (Sec. VII-A): weighted speedup (throughput + fairness), harmonic
+ * speedup (fairness-emphasizing), and the coefficient of variation of
+ * per-core IPC (Fig. 13's unfairness measure).
+ */
+
+#ifndef TALUS_SIM_METRICS_H
+#define TALUS_SIM_METRICS_H
+
+#include <vector>
+
+namespace talus {
+
+/**
+ * Weighted speedup: (sum_i IPC_i / IPC_base_i) / N. Equals 1.0 when
+ * performance matches the baseline.
+ */
+double weightedSpeedup(const std::vector<double>& ipc,
+                       const std::vector<double>& ipc_base);
+
+/**
+ * Harmonic speedup: N / sum_i (IPC_base_i / IPC_i) — the harmonic
+ * mean of per-app speedups, which punishes slowing any app down.
+ */
+double harmonicSpeedup(const std::vector<double>& ipc,
+                       const std::vector<double>& ipc_base);
+
+/** Coefficient of variation of per-core IPCs (0 = perfectly fair). */
+double ipcCoV(const std::vector<double>& ipc);
+
+} // namespace talus
+
+#endif // TALUS_SIM_METRICS_H

@@ -1,0 +1,203 @@
+#include "sim/multi_prog_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "alloc/allocator_factory.h"
+#include "alloc/fair_alloc.h"
+#include "core/talus_controller.h"
+#include "monitor/combined_umon.h"
+#include "util/log.h"
+
+namespace talus {
+
+std::vector<double>
+MultiProgResult::ipcVector() const
+{
+    std::vector<double> v;
+    v.reserve(apps.size());
+    for (const AppRunResult& a : apps)
+        v.push_back(a.ipc);
+    return v;
+}
+
+namespace {
+
+/** Per-app dynamic state during a run. */
+struct AppState
+{
+    std::unique_ptr<AccessStream> stream;
+    CoreModel model;
+    double cycles = 0;
+    double instr = 0;
+    uint64_t intervalAccesses = 0;
+    uint64_t measuredAccesses = 0;
+    uint64_t measuredMisses = 0;
+    bool done = false;
+    double doneCycles = 0;
+};
+
+} // namespace
+
+MultiProgResult
+runMultiProg(const std::vector<const AppSpec*>& apps,
+             const MultiProgConfig& cfg, const Scale& scale)
+{
+    const uint32_t n = static_cast<uint32_t>(apps.size());
+    talus_assert(n >= 1, "need at least one app");
+    talus_assert(cfg.instrPerApp > 0, "fixed work must be > 0");
+
+    // --- Build per-app state (streams, core models, monitors). ---
+    std::vector<AppState> state;
+    state.reserve(n);
+    std::vector<CombinedUMon> monitors;
+    monitors.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        state.push_back(AppState{
+            apps[i]->buildStream(scale.linesPerMb(), i + 1,
+                                 cfg.seed + 131 * i),
+            CoreModel(*apps[i], cfg.coreParams)});
+
+        CombinedUMon::Config mc;
+        mc.llcLines = cfg.llcLines;
+        mc.coverage = cfg.umonCoverage;
+        mc.seed = cfg.seed ^ (0x1111ull * (i + 1));
+        monitors.emplace_back(mc);
+    }
+
+    // --- Build the cache stack. ---
+    std::unique_ptr<TalusController> talus_ctl;
+    std::unique_ptr<PartitionedCacheBase> plain;
+    if (cfg.useTalus) {
+        auto phys = makePartitionedCache(cfg.scheme, cfg.llcLines, cfg.ways,
+                                         cfg.policyName, 2 * n, cfg.seed);
+        TalusController::Config tc;
+        tc.numLogicalParts = n;
+        tc.margin = cfg.margin;
+        tc.routerBits = cfg.routerBits;
+        tc.usableFraction = schemeUsableFraction(cfg.scheme);
+        tc.recomputeFromCoarsened = cfg.scheme == SchemeKind::Way ||
+                                    cfg.scheme == SchemeKind::Set;
+        tc.seed = cfg.seed ^ 0xC11;
+        talus_ctl =
+            std::make_unique<TalusController>(std::move(phys), tc);
+
+        // Start from a fair split; single-point curves make every
+        // logical partition degenerate (rho = 1) until monitors warm.
+        std::vector<MissCurve> flat(n, MissCurve({{0.0, 1.0}}));
+        FairAllocator fair;
+        talus_ctl->configure(
+            flat, fair.allocate(flat, cfg.llcLines, 1));
+    } else {
+        plain = makePartitionedCache(cfg.scheme, cfg.llcLines, cfg.ways,
+                                     cfg.policyName, n, cfg.seed);
+    }
+
+    std::unique_ptr<Allocator> allocator;
+    if (!cfg.allocatorName.empty())
+        allocator = makeAllocator(cfg.allocatorName);
+
+    const uint64_t granule = std::max<uint64_t>(1, cfg.llcLines / 64);
+    const double instr_target = static_cast<double>(cfg.instrPerApp);
+
+    MultiProgResult result;
+    result.apps.resize(n);
+    uint32_t remaining = n;
+    double next_reconfig = cfg.reconfigCycles;
+
+    // --- Main interleaved loop: always advance the app that is ---
+    // --- earliest in (modeled) time.                            ---
+    while (remaining > 0) {
+        uint32_t a = 0;
+        double min_cycles = std::numeric_limits<double>::infinity();
+        for (uint32_t i = 0; i < n; ++i) {
+            if (state[i].cycles < min_cycles) {
+                min_cycles = state[i].cycles;
+                a = i;
+            }
+        }
+
+        AppState& s = state[a];
+        const Addr addr = s.stream->next();
+        monitors[a].access(addr);
+        const bool hit = cfg.useTalus ? talus_ctl->access(addr, a)
+                                      : plain->access(addr, a);
+        s.cycles += s.model.cyclesPerAccess(hit);
+        s.instr += s.model.instrPerAccess();
+        s.intervalAccesses++;
+
+        if (!s.done) {
+            s.measuredAccesses++;
+            if (!hit)
+                s.measuredMisses++;
+            if (s.instr >= instr_target) {
+                s.done = true;
+                s.doneCycles = s.cycles;
+                remaining--;
+            }
+        }
+
+        // --- Periodic reconfiguration (Fig. 7 software flow). ---
+        if (allocator != nullptr && min_cycles >= next_reconfig) {
+            next_reconfig += cfg.reconfigCycles;
+            result.reconfigurations++;
+
+            std::vector<MissCurve> curves;
+            std::vector<MissCurve> alloc_curves;
+            curves.reserve(n);
+            alloc_curves.reserve(n);
+            for (uint32_t i = 0; i < n; ++i) {
+                MissCurve c = monitors[i].curve();
+                // Weight each app's curve by its interval access
+                // volume so the allocator compares misses, not ratios.
+                alloc_curves.push_back(c.scaled(
+                    1.0,
+                    static_cast<double>(state[i].intervalAccesses) + 1.0));
+                curves.push_back(std::move(c));
+                state[i].intervalAccesses = 0;
+            }
+
+            // Pre-processing: Talus promises the convex hulls.
+            if (cfg.allocateOnHulls)
+                alloc_curves = TalusController::convexHulls(alloc_curves);
+
+            const uint64_t usable =
+                (!cfg.useTalus && cfg.scheme == SchemeKind::Vantage)
+                    ? cfg.llcLines * 9 / 10
+                    : cfg.llcLines;
+            const std::vector<uint64_t> alloc =
+                allocator->allocate(alloc_curves, usable, granule);
+
+            if (cfg.useTalus) {
+                talus_ctl->configure(curves, alloc);
+            } else if (cfg.scheme != SchemeKind::Unpartitioned) {
+                plain->setTargets(alloc);
+            }
+
+            for (auto& mon : monitors)
+                mon.decay();
+            if (cfg.useTalus)
+                talus_ctl->nextInterval();
+            else
+                plain->nextInterval();
+        }
+    }
+
+    // --- Collect per-app results over their fixed work. ---
+    for (uint32_t i = 0; i < n; ++i) {
+        AppRunResult& r = result.apps[i];
+        const AppState& s = state[i];
+        r.name = apps[i]->name;
+        r.cycles = s.doneCycles;
+        r.ipc = instr_target / s.doneCycles;
+        r.missRatio = s.measuredAccesses > 0
+                          ? static_cast<double>(s.measuredMisses) /
+                                static_cast<double>(s.measuredAccesses)
+                          : 0.0;
+        r.mpki = static_cast<double>(s.measuredMisses) /
+                 (instr_target / 1000.0);
+    }
+    return result;
+}
+
+} // namespace talus

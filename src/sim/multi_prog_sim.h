@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Multiprogrammed simulation with the paper's fixed-work methodology
+ * (Sec. VII-A) and runtime reconfiguration loop (Fig. 7).
+ *
+ * N apps share one LLC. Apps advance access-by-access in cycle order
+ * under the analytic core model, so faster apps touch the cache more
+ * often — capturing contention and the "vicious cycle" unfairness of
+ * Sec. VII-D. Every reconfiguration interval the engine reads each
+ * app's UMON curve, (for Talus) computes convex hulls, runs the
+ * configured allocator, and applies the result — through the
+ * TalusController (shadow partitions + sampling rates) or directly to
+ * the partitioning scheme.
+ *
+ * Fixed work: every app runs until all have retired `instrPerApp`
+ * instructions; per-app IPC/MPKI count only each app's first
+ * `instrPerApp` instructions, but finished apps keep running so
+ * contention persists.
+ */
+
+#ifndef TALUS_SIM_MULTI_PROG_SIM_H
+#define TALUS_SIM_MULTI_PROG_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "partition/partitioned_cache.h"
+#include "sim/core_model.h"
+#include "sim/scale.h"
+#include "workload/app_spec.h"
+
+namespace talus {
+
+/** Configuration of one multiprogrammed run. */
+struct MultiProgConfig
+{
+    uint64_t llcLines = 8192;       //!< Shared LLC capacity.
+    uint32_t ways = 32;             //!< LLC associativity (Table I).
+    std::string policyName = "LRU"; //!< Replacement policy.
+    SchemeKind scheme = SchemeKind::Vantage; //!< Partitioning scheme.
+    bool useTalus = false;          //!< Wrap with TalusController.
+    std::string allocatorName = "HillClimb"; //!< "" = no reconfiguration.
+    bool allocateOnHulls = false;   //!< Pre-process curves to hulls.
+    uint64_t instrPerApp = 4'000'000; //!< Fixed work per app.
+    double reconfigCycles = 2'000'000; //!< Reconfiguration interval.
+    double margin = 0.05;           //!< Talus safety margin.
+    uint32_t routerBits = 8;        //!< Talus sampling width.
+    uint32_t umonCoverage = 4;      //!< Monitor coverage multiple.
+    uint64_t seed = 42;
+    CoreModelParams coreParams;
+};
+
+/** Per-app outcome of a run. */
+struct AppRunResult
+{
+    std::string name;   //!< App name.
+    double ipc;         //!< Over the app's fixed work.
+    double cycles;      //!< Cycles to finish the fixed work.
+    double mpki;        //!< Misses per kilo-instruction (fixed work).
+    double missRatio;   //!< Misses / accesses (fixed work).
+};
+
+/** Outcome of one multiprogrammed run. */
+struct MultiProgResult
+{
+    std::vector<AppRunResult> apps;
+    uint64_t reconfigurations = 0;
+
+    /** Per-app IPC vector, for the metrics helpers. */
+    std::vector<double> ipcVector() const;
+};
+
+/**
+ * Runs one multiprogrammed experiment.
+ *
+ * @param apps The co-scheduled applications (size = core count).
+ * @param cfg Run configuration.
+ * @param scale Paper-MB scaling for the apps' working sets.
+ */
+MultiProgResult runMultiProg(const std::vector<const AppSpec*>& apps,
+                             const MultiProgConfig& cfg, const Scale& scale);
+
+} // namespace talus
+
+#endif // TALUS_SIM_MULTI_PROG_SIM_H

@@ -1,0 +1,41 @@
+#include "sim/scale.h"
+
+#include <cmath>
+
+#include "util/env.h"
+#include "util/log.h"
+
+namespace talus {
+
+Scale::Scale(uint64_t lines_per_mb) : linesPerMb_(lines_per_mb)
+{
+    talus_assert(lines_per_mb >= 1, "scale must be >= 1 line per MB");
+}
+
+Scale
+Scale::fromEnv()
+{
+    if (envFlag("TALUS_FULL"))
+        return Scale(kFullLinesPerMb);
+    const int64_t lines =
+        envInt("TALUS_SCALE", static_cast<int64_t>(kDefaultLinesPerMb));
+    talus_assert(lines >= 1, "TALUS_SCALE must be >= 1");
+    return Scale(static_cast<uint64_t>(lines));
+}
+
+uint64_t
+Scale::lines(double mb) const
+{
+    const double exact = mb * static_cast<double>(linesPerMb_);
+    const uint64_t rounded = static_cast<uint64_t>(std::llround(exact));
+    return rounded >= 1 ? rounded : 1;
+}
+
+double
+Scale::mb(uint64_t lines_count) const
+{
+    return static_cast<double>(lines_count) /
+           static_cast<double>(linesPerMb_);
+}
+
+} // namespace talus

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Size scaling between "paper MB" and simulated cache lines.
+ *
+ * The paper's experiments run caches from 128KB to 72MB. Simulating
+ * those sizes cycle-by-cycle for every figure would make the bench
+ * suite take hours, so by default 1 paper-MB maps to 1024 lines (64KB
+ * real) — a 16x downscale of both cache sizes and working sets, which
+ * preserves every working-set:cache-size ratio and hence the miss
+ * curve shapes (see DESIGN.md §1). `TALUS_SCALE` overrides the
+ * lines-per-MB factor; `TALUS_FULL=1` selects the paper's true scale
+ * (16384 lines per MB).
+ */
+
+#ifndef TALUS_SIM_SCALE_H
+#define TALUS_SIM_SCALE_H
+
+#include <cstdint>
+
+namespace talus {
+
+/** Converts paper-MB labels to simulated lines and back. */
+class Scale
+{
+  public:
+    /** Paper-true scale: 1MB of 64B lines. */
+    static constexpr uint64_t kFullLinesPerMb = 16384;
+
+    /** Default downscale used by benches and examples. */
+    static constexpr uint64_t kDefaultLinesPerMb = 1024;
+
+    explicit Scale(uint64_t lines_per_mb = kDefaultLinesPerMb);
+
+    /** Builds from TALUS_SCALE / TALUS_FULL environment knobs. */
+    static Scale fromEnv();
+
+    /** Lines for @p mb paper-MB (at least 1). */
+    uint64_t lines(double mb) const;
+
+    /** Paper-MB label for @p lines lines. */
+    double mb(uint64_t lines) const;
+
+    /** The scale factor itself. */
+    uint64_t linesPerMb() const { return linesPerMb_; }
+
+  private:
+    uint64_t linesPerMb_;
+};
+
+} // namespace talus
+
+#endif // TALUS_SIM_SCALE_H

@@ -1,0 +1,124 @@
+#include "sim/single_app_sim.h"
+
+#include <algorithm>
+
+#include "core/talus_controller.h"
+#include "monitor/mattson_curve.h"
+#include "policy/policy_factory.h"
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+uint64_t
+autoWarmup(uint64_t size_lines, uint64_t configured)
+{
+    if (configured > 0)
+        return configured;
+    return 2 * size_lines + 65536;
+}
+
+/** Runs warmup + measurement through any access functor. */
+template <typename AccessFn>
+double
+measureMissRatio(AccessStream& stream, uint64_t warmup, uint64_t measure,
+                 AccessFn&& do_access, CacheStats& stats)
+{
+    stream.reset();
+    for (uint64_t i = 0; i < warmup; ++i)
+        do_access(stream.next());
+    stats.reset();
+    for (uint64_t i = 0; i < measure; ++i)
+        do_access(stream.next());
+    const uint64_t accesses = stats.totalAccesses();
+    talus_assert(accesses > 0, "no accesses measured");
+    return static_cast<double>(stats.totalMisses()) /
+           static_cast<double>(accesses);
+}
+
+} // namespace
+
+MissCurve
+sweepPolicyCurve(AccessStream& stream, const std::vector<uint64_t>& sizes,
+                 const SweepOptions& opts)
+{
+    talus_assert(!sizes.empty(), "sweep needs sizes");
+    std::vector<CurvePoint> pts;
+    pts.push_back({0.0, 1.0});
+
+    for (uint64_t size : sizes) {
+        talus_assert(size >= 1, "sweep size must be >= 1 line");
+        const uint32_t ways =
+            static_cast<uint32_t>(std::min<uint64_t>(opts.ways, size));
+        SetAssocCache::Config cfg;
+        cfg.numWays = ways;
+        cfg.numSets = static_cast<uint32_t>(std::max<uint64_t>(
+            1, size / ways));
+        cfg.hashSeed = opts.seed ^ 0x11;
+        SetAssocCache cache(cfg, makePolicy(opts.policyName, opts.seed));
+
+        const double ratio = measureMissRatio(
+            stream, autoWarmup(size, opts.warmupAccesses),
+            opts.measureAccesses,
+            [&](Addr addr) { cache.access(addr, 0); }, cache.stats());
+        pts.push_back({static_cast<double>(cfg.numSets) * ways, ratio});
+    }
+    return MissCurve(std::move(pts));
+}
+
+MissCurve
+sweepTalusCurve(AccessStream& stream, const MissCurve& input_curve,
+                const std::vector<uint64_t>& sizes,
+                const TalusSweepOptions& opts)
+{
+    talus_assert(!sizes.empty(), "sweep needs sizes");
+    std::vector<CurvePoint> pts;
+    pts.push_back({0.0, input_curve.at(0.0)});
+
+    for (uint64_t size : sizes) {
+        talus_assert(size >= 1, "sweep size must be >= 1 line");
+        const uint32_t ways =
+            static_cast<uint32_t>(std::min<uint64_t>(opts.ways, size));
+
+        auto phys = makePartitionedCache(opts.scheme, size, ways,
+                                         opts.policyName, 2, opts.seed);
+
+        TalusController::Config tc;
+        tc.numLogicalParts = 1;
+        tc.margin = opts.margin;
+        tc.routerBits = opts.routerBits;
+        tc.usableFraction = schemeUsableFraction(opts.scheme);
+        tc.recomputeFromCoarsened = opts.scheme == SchemeKind::Way ||
+                                    opts.scheme == SchemeKind::Set;
+        tc.seed = opts.seed ^ 0x7;
+        TalusController talus_cache(std::move(phys), tc);
+
+        // The cache rounds capacity down to whole sets; allocate what
+        // actually exists.
+        const uint64_t capacity = talus_cache.cache().capacityLines();
+        talus_cache.configure({input_curve}, {capacity});
+
+        const double ratio = measureMissRatio(
+            stream, autoWarmup(size, opts.warmupAccesses),
+            opts.measureAccesses,
+            [&](Addr addr) { talus_cache.access(addr, 0); },
+            talus_cache.cache().stats());
+        pts.push_back({static_cast<double>(size), ratio});
+    }
+    return MissCurve(std::move(pts));
+}
+
+MissCurve
+measureLruCurve(AccessStream& stream, uint64_t accesses, uint64_t max_lines,
+                uint64_t step)
+{
+    talus_assert(accesses > 0, "need accesses to measure");
+    MattsonCurve mattson(max_lines);
+    stream.reset();
+    for (uint64_t i = 0; i < accesses; ++i)
+        mattson.access(stream.next());
+    return mattson.curve(step);
+}
+
+} // namespace talus

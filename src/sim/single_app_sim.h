@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Single-application simulation: miss-ratio curves over cache-size
+ * sweeps, with or without Talus, for the MPKI-vs-size figures
+ * (Figs. 1, 3, 8, 9, 10).
+ *
+ * All curves here are in miss-ratio units (misses / LLC accesses);
+ * multiply by the app's APKI to get MPKI (experiment_util.h).
+ */
+
+#ifndef TALUS_SIM_SINGLE_APP_SIM_H
+#define TALUS_SIM_SINGLE_APP_SIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/miss_curve.h"
+#include "partition/partitioned_cache.h"
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Common knobs for size sweeps. */
+struct SweepOptions
+{
+    uint32_t ways = 32;              //!< LLC associativity (Table I).
+    uint64_t warmupAccesses = 0;     //!< 0 = auto (2x size + 64K).
+    uint64_t measureAccesses = 500'000;
+    std::string policyName = "LRU";
+    uint64_t seed = 0xBEEF;
+};
+
+/**
+ * Trace-driven sweep of a replacement policy over @p sizes (lines):
+ * one fresh unpartitioned cache per size, warmup then measure.
+ * Returns miss-ratio points at each size plus (0, 1).
+ */
+MissCurve sweepPolicyCurve(AccessStream& stream,
+                           const std::vector<uint64_t>& sizes,
+                           const SweepOptions& opts);
+
+/** Talus sweep knobs. */
+struct TalusSweepOptions : SweepOptions
+{
+    SchemeKind scheme = SchemeKind::Vantage;
+    double margin = 0.05;       //!< Safety margin on rho.
+    uint32_t routerBits = 8;    //!< Sampling function width.
+};
+
+/**
+ * Trace-driven sweep of Talus wrapped around scheme/policy: for each
+ * size, a fresh 2-shadow-partition cache is configured from
+ * @p input_curve (the underlying policy's monitored miss curve) and
+ * driven through warmup + measurement.
+ */
+MissCurve sweepTalusCurve(AccessStream& stream, const MissCurve& input_curve,
+                          const std::vector<uint64_t>& sizes,
+                          const TalusSweepOptions& opts);
+
+/**
+ * Exact LRU miss-ratio curve via Mattson's stack algorithm: one pass
+ * of @p accesses accesses, curve sampled every @p step lines up to
+ * @p max_lines.
+ */
+MissCurve measureLruCurve(AccessStream& stream, uint64_t accesses,
+                          uint64_t max_lines, uint64_t step);
+
+} // namespace talus
+
+#endif // TALUS_SIM_SINGLE_APP_SIM_H

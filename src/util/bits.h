@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small bit-mixing helpers shared across the library.
+ */
+
+#ifndef TALUS_UTIL_BITS_H
+#define TALUS_UTIL_BITS_H
+
+#include <cstdint>
+
+namespace talus {
+
+/**
+ * splitmix64-style 64-bit finalizer. Used wherever a cheap, high-
+ * quality, stateless hash of an address is needed (set indexing,
+ * leader-set selection, workload scrambling). Not used for Talus's
+ * sampling function itself — that is H3Hash, as in the paper.
+ */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace talus
+
+#endif // TALUS_UTIL_BITS_H

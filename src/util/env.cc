@@ -1,0 +1,40 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace talus {
+
+int64_t
+envInt(const std::string& name, int64_t def)
+{
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0')
+        return def;
+    char* end = nullptr;
+    const long long v = std::strtoll(raw, &end, 10);
+    if (end == raw)
+        return def;
+    return static_cast<int64_t>(v);
+}
+
+double
+envDouble(const std::string& name, double def)
+{
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0')
+        return def;
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw)
+        return def;
+    return v;
+}
+
+bool
+envFlag(const std::string& name)
+{
+    const char* raw = std::getenv(name.c_str());
+    return raw != nullptr && *raw != '\0' && std::string(raw) != "0";
+}
+
+} // namespace talus

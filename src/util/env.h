@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Environment-variable configuration knobs shared by benches and
+ * examples. These let one command line (running every binary under
+ * build/bench in sequence) run the whole evaluation at a fast default
+ * scale, while `TALUS_FULL=1` or explicit knobs reproduce paper-scale
+ * runs.
+ */
+
+#ifndef TALUS_UTIL_ENV_H
+#define TALUS_UTIL_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace talus {
+
+/** Reads an integer env var, returning @p def if unset or malformed. */
+int64_t envInt(const std::string& name, int64_t def);
+
+/** Reads a double env var, returning @p def if unset or malformed. */
+double envDouble(const std::string& name, double def);
+
+/** True if the env var is set to a non-empty, non-"0" value. */
+bool envFlag(const std::string& name);
+
+} // namespace talus
+
+#endif // TALUS_UTIL_ENV_H

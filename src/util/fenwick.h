@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fenwick (binary indexed) tree over 64-bit counts.
+ *
+ * Used by the stack-distance counter (monitor/stack_distance.h) to
+ * compute LRU stack distances in O(log n) per access, which makes
+ * exact Mattson miss curves cheap enough to use in tests and benches.
+ */
+
+#ifndef TALUS_UTIL_FENWICK_H
+#define TALUS_UTIL_FENWICK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/log.h"
+
+namespace talus {
+
+/** A Fenwick tree supporting point update and prefix sum. */
+class Fenwick
+{
+  public:
+    /** Creates a tree over positions [0, n). */
+    explicit Fenwick(size_t n = 0) : tree_(n + 1, 0) {}
+
+    /** Number of positions. */
+    size_t size() const { return tree_.size() - 1; }
+
+    /** Grows the tree to cover [0, n), preserving contents. */
+    void
+    resize(size_t n)
+    {
+        if (n + 1 > tree_.size()) {
+            // Rebuild: Fenwick internal nodes depend on size, so we
+            // re-add the old point values into a fresh tree.
+            std::vector<int64_t> vals(size());
+            for (size_t i = 0; i < vals.size(); ++i)
+                vals[i] = rangeSum(i, i + 1);
+            tree_.assign(n + 1, 0);
+            for (size_t i = 0; i < vals.size(); ++i) {
+                if (vals[i] != 0)
+                    add(i, vals[i]);
+            }
+        }
+    }
+
+    /** Adds @p delta at position @p i. */
+    void
+    add(size_t i, int64_t delta)
+    {
+        talus_assert(i < size(), "Fenwick::add out of range: ", i);
+        for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1))
+            tree_[j] += delta;
+    }
+
+    /** Returns the sum over [0, i). */
+    int64_t
+    prefixSum(size_t i) const
+    {
+        talus_assert(i <= size(), "Fenwick::prefixSum out of range: ", i);
+        int64_t sum = 0;
+        for (size_t j = i; j > 0; j -= j & (~j + 1))
+            sum += tree_[j];
+        return sum;
+    }
+
+    /** Returns the sum over [lo, hi). */
+    int64_t
+    rangeSum(size_t lo, size_t hi) const
+    {
+        return prefixSum(hi) - prefixSum(lo);
+    }
+
+  private:
+    std::vector<int64_t> tree_;
+};
+
+} // namespace talus
+
+#endif // TALUS_UTIL_FENWICK_H

@@ -1,0 +1,41 @@
+#include "util/h3_hash.h"
+
+#include <bit>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace talus {
+
+H3Hash::H3Hash(uint32_t out_bits, uint64_t seed)
+    : outBits_(out_bits)
+{
+    talus_assert(out_bits >= 1 && out_bits <= 32,
+                 "H3Hash out_bits must be in [1, 32], got ", out_bits);
+    Rng rng(seed);
+    for (auto& mask : masks_) {
+        // Draw until non-zero so every output bit depends on the input.
+        do {
+            mask = rng.next64();
+        } while (mask == 0);
+    }
+}
+
+uint32_t
+H3Hash::hash(Addr addr) const
+{
+    uint32_t out = 0;
+    for (uint32_t bit = 0; bit < outBits_; ++bit) {
+        out |= static_cast<uint32_t>(std::popcount(addr & masks_[bit]) & 1)
+               << bit;
+    }
+    return out;
+}
+
+double
+H3Hash::hashUnit(Addr addr) const
+{
+    return static_cast<double>(hash(addr)) / static_cast<double>(range());
+}
+
+} // namespace talus

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * H3 universal hashing (Carter & Wegman, STOC'77).
+ *
+ * H3 is the hash family Talus specifies for its hardware sampling
+ * function (Sec. VI-B of the paper): each output bit is the parity of
+ * the input ANDed with a random mask. It is cheap in hardware (one XOR
+ * tree per output bit) and gives pairwise-independent outputs, which is
+ * what Assumption 3 (statistically self-similar sampled streams) needs.
+ */
+
+#ifndef TALUS_UTIL_H3_HASH_H
+#define TALUS_UTIL_H3_HASH_H
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace talus {
+
+/**
+ * An H3 hash function from 64-bit inputs to up to 32 output bits.
+ *
+ * The function is fully determined by its seed, so reconfigurations
+ * and repeated runs are reproducible.
+ */
+class H3Hash
+{
+  public:
+    /**
+     * Builds an H3 function.
+     *
+     * @param out_bits Number of output bits (1..32).
+     * @param seed Seed for the random bit masks.
+     */
+    explicit H3Hash(uint32_t out_bits = 8, uint64_t seed = 0x1905'CAFE);
+
+    /** Hashes a line address to out_bits bits. */
+    uint32_t hash(Addr addr) const;
+
+    /** Hashes to a real number in [0, 1). */
+    double hashUnit(Addr addr) const;
+
+    /** Number of output bits. */
+    uint32_t outBits() const { return outBits_; }
+
+    /** Largest hash value + 1 (i.e., 2^outBits). 64-bit so that
+     *  outBits == 32 does not overflow. */
+    uint64_t range() const { return 1ull << outBits_; }
+
+  private:
+    uint32_t outBits_;
+    std::array<uint64_t, 32> masks_;
+};
+
+} // namespace talus
+
+#endif // TALUS_UTIL_H3_HASH_H

@@ -1,0 +1,82 @@
+#include "util/rng.h"
+
+namespace talus {
+
+namespace {
+
+/** splitmix64 step, used to expand the seed into generator state. */
+uint64_t
+splitmix64(uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(uint64_t seed_value)
+{
+    uint64_t x = seed_value;
+    for (auto& word : s_)
+        word = splitmix64(x);
+    // All-zero state is invalid for xoshiro; splitmix64 makes this
+    // astronomically unlikely, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    // Lemire's multiply-shift range reduction; bias is negligible for
+    // the bounds used here (all far below 2^64).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next64()) * bound) >> 64);
+}
+
+double
+Rng::unit()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return unit() < p;
+}
+
+} // namespace talus

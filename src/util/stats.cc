@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace talus {
+
+double
+sum(const std::vector<double>& xs)
+{
+    double total = 0;
+    for (double x : xs)
+        total += x;
+    return total;
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return sum(xs) / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : xs) {
+        talus_assert(x > 0, "geomean requires positive inputs, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double sq = 0;
+    for (double x : xs)
+        sq += (x - m) * (x - m);
+    return std::sqrt(sq / static_cast<double>(xs.size()));
+}
+
+double
+coeffOfVariation(const std::vector<double>& xs)
+{
+    const double m = mean(xs);
+    if (m == 0.0)
+        return 0.0;
+    return stddev(xs) / m;
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    talus_assert(!xs.empty(), "quantile of empty vector");
+    talus_assert(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: ", q);
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace talus

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small statistics helpers shared by the simulation engines and the
+ * benchmark harness: means, geometric means, coefficient of variation,
+ * and quantiles. All functions take plain vectors so they are easy to
+ * test and reuse.
+ */
+
+#ifndef TALUS_UTIL_STATS_H
+#define TALUS_UTIL_STATS_H
+
+#include <vector>
+
+namespace talus {
+
+/** Arithmetic mean; returns 0 for an empty vector. */
+double mean(const std::vector<double>& xs);
+
+/** Geometric mean; all inputs must be > 0. Returns 0 for empty input. */
+double geomean(const std::vector<double>& xs);
+
+/** Population standard deviation; returns 0 for fewer than 2 values. */
+double stddev(const std::vector<double>& xs);
+
+/**
+ * Coefficient of variation: stddev / mean. Used by the paper's fairness
+ * metric (CoV of per-core IPC; Fig. 13). Returns 0 if mean is 0.
+ */
+double coeffOfVariation(const std::vector<double>& xs);
+
+/**
+ * The q-quantile (q in [0,1]) with linear interpolation between order
+ * statistics. Fatal on empty input.
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Sum of all values; 0 for empty input. */
+double sum(const std::vector<double>& xs);
+
+} // namespace talus
+
+#endif // TALUS_UTIL_STATS_H

@@ -1,0 +1,94 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace talus {
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    talus_assert(!columns_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    talus_assert(cells.size() == columns_.size(),
+                 "row has ", cells.size(), " cells, table has ",
+                 columns_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::vector<double>& cells, int precision)
+{
+    std::vector<std::string> str_cells;
+    str_cells.reserve(cells.size());
+    for (double c : cells)
+        str_cells.push_back(fmtDouble(c, precision));
+    addRow(std::move(str_cells));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    oss << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            oss << (c == 0 ? "" : "  ");
+            // Right-align for numeric-looking alignment.
+            oss.width(static_cast<std::streamsize>(widths[c]));
+            oss << cells[c];
+        }
+        oss << "\n";
+    };
+    emit_row(columns_);
+    for (const auto& row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            oss << (c == 0 ? "" : ",") << cells[c];
+        oss << "\n";
+    };
+    emit_row(columns_);
+    for (const auto& row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+void
+Table::print(bool as_csv) const
+{
+    std::fputs((as_csv ? toCsv() : toString()).c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace talus

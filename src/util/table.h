@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Console table and CSV output for the benchmark harness.
+ *
+ * Every bench binary prints the rows/series the paper's figures and
+ * tables report; Table gives aligned, human-readable output and an
+ * optional CSV dump so results can be plotted directly.
+ */
+
+#ifndef TALUS_UTIL_TABLE_H
+#define TALUS_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace talus {
+
+/** A simple column-aligned table with a title and a header row. */
+class Table
+{
+  public:
+    /** Creates a table titled @p title with the given column names. */
+    Table(std::string title, std::vector<std::string> columns);
+
+    /** Appends a row; must have exactly as many cells as columns. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with @p precision decimals. */
+    void addRow(const std::vector<double>& cells, int precision = 3);
+
+    /** Renders as an aligned text table. */
+    std::string toString() const;
+
+    /** Renders as CSV (header + rows, comma separated). */
+    std::string toCsv() const;
+
+    /** Prints to stdout; CSV if @p as_csv, aligned text otherwise. */
+    void print(bool as_csv = false) const;
+
+    /** Number of data rows so far. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with @p precision decimal places. */
+std::string fmtDouble(double v, int precision = 3);
+
+} // namespace talus
+
+#endif // TALUS_UTIL_TABLE_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Common scalar types used throughout the Talus library.
+ *
+ * All caches operate at cache-line granularity: an Addr is a 64-bit
+ * *line* address (i.e., the byte address divided by the line size).
+ * Sizes and capacities are expressed in lines unless a function says
+ * otherwise; sim/scale.h converts paper-equivalent MB to lines.
+ */
+
+#ifndef TALUS_UTIL_TYPES_H
+#define TALUS_UTIL_TYPES_H
+
+#include <cstdint>
+
+namespace talus {
+
+/** A 64-bit cache-line address. */
+using Addr = uint64_t;
+
+/** Cycle counts from the analytic core model. */
+using Cycles = uint64_t;
+
+/** Partition identifiers within a partitioned cache. */
+using PartId = uint32_t;
+
+/** Sentinel partition id meaning "no partition / unmanaged". */
+constexpr PartId kNoPart = ~0u;
+
+/** Cache line size in bytes; used only for reporting real sizes. */
+constexpr uint64_t kLineBytes = 64;
+
+} // namespace talus
+
+#endif // TALUS_UTIL_TYPES_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Access-stream generators: the synthetic substitute for SPEC traces.
+ *
+ * A stream produces an infinite sequence of line addresses. Streams
+ * are deterministic given their seed, so every experiment is
+ * reproducible and a stream can be replayed (reset) to drive the same
+ * "program" through different cache configurations — the synthetic
+ * analogue of re-running a SPEC benchmark.
+ *
+ * Each stream embeds an address-space base in the upper address bits
+ * so co-scheduled apps never alias.
+ */
+
+#ifndef TALUS_WORKLOAD_ACCESS_STREAM_H
+#define TALUS_WORKLOAD_ACCESS_STREAM_H
+
+#include <memory>
+
+#include "util/types.h"
+
+namespace talus {
+
+/** Bit position where per-app address spaces start. */
+constexpr uint32_t kAddrSpaceShift = 40;
+
+/** An infinite, deterministic stream of line addresses. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /** Produces the next line address. */
+    virtual Addr next() = 0;
+
+    /** Restarts the stream from its initial state. */
+    virtual void reset() = 0;
+
+    /** A fresh, independent copy in its initial state. */
+    virtual std::unique_ptr<AccessStream> clone() const = 0;
+
+    /** Generator kind, for diagnostics. */
+    virtual const char* kind() const = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_ACCESS_STREAM_H

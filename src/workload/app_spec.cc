@@ -1,0 +1,66 @@
+#include "workload/app_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/log.h"
+#include "workload/cyclic_scan.h"
+#include "workload/mix_stream.h"
+#include "workload/uniform_random.h"
+#include "workload/zipf_stream.h"
+
+namespace talus {
+
+std::unique_ptr<AccessStream>
+AppSpec::buildStream(uint64_t lines_per_mb, uint32_t addr_space,
+                     uint64_t seed) const
+{
+    talus_assert(!components.empty(), "app ", name, " has no components");
+    talus_assert(lines_per_mb >= 1, "lines_per_mb must be >= 1");
+
+    std::vector<MixStream::Component> mix;
+    mix.reserve(components.size());
+    uint64_t salt = 1;
+    for (const Component& c : components) {
+        const uint64_t lines = std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::llround(c.mb * lines_per_mb)));
+        const uint64_t comp_seed = mix64(seed ^ (salt * 0x1234567));
+        // Components get disjoint sub-spaces of the app's address
+        // space so a scan never aliases a random/zipf working set.
+        const uint32_t comp_space =
+            addr_space * 64 + static_cast<uint32_t>(salt);
+        std::unique_ptr<AccessStream> stream;
+        switch (c.kind) {
+          case Component::Kind::Scan:
+            stream = std::make_unique<CyclicScan>(lines, comp_space);
+            break;
+          case Component::Kind::Random:
+            stream = std::make_unique<UniformRandom>(lines, comp_space,
+                                                     comp_seed);
+            break;
+          case Component::Kind::Zipf:
+            stream = std::make_unique<ZipfStream>(lines, c.zipfAlpha,
+                                                  comp_space, comp_seed);
+            break;
+        }
+        mix.push_back({std::move(stream), c.weight});
+        salt++;
+    }
+
+    if (mix.size() == 1)
+        return std::move(mix.front().stream);
+    return std::make_unique<MixStream>(std::move(mix),
+                                       mix64(seed ^ 0xFEED));
+}
+
+double
+AppSpec::footprintMb() const
+{
+    double mb = 0;
+    for (const Component& c : components)
+        mb = std::max(mb, c.mb);
+    return mb;
+}
+
+} // namespace talus

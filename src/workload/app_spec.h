@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Application specifications: named synthetic stand-ins for the SPEC
+ * CPU2006 benchmarks the paper evaluates.
+ *
+ * An AppSpec bundles (i) an access-pattern recipe whose LRU miss
+ * curve reproduces the benchmark's documented shape (cliff positions
+ * in paper-MB, MPKI scale), and (ii) the core-model parameters (APKI,
+ * base CPI, memory-level parallelism) used to turn miss rates into
+ * IPC. DESIGN.md §5 records the mapping for every benchmark.
+ */
+
+#ifndef TALUS_WORKLOAD_APP_SPEC_H
+#define TALUS_WORKLOAD_APP_SPEC_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Recipe + core parameters for one synthetic application. */
+struct AppSpec
+{
+    /** One access-pattern component. */
+    struct Component
+    {
+        enum class Kind
+        {
+            Scan,   //!< Cyclic sequential scan (cliff under LRU).
+            Random, //!< Uniform random working set (linear ramp).
+            Zipf,   //!< Zipf working set (convex tail).
+        };
+        Kind kind;
+        double mb;      //!< Working-set size in paper-MB.
+        double weight;  //!< Share of this app's accesses.
+        double zipfAlpha = 0.8; //!< Skew, for Kind::Zipf.
+    };
+
+    std::string name;   //!< Benchmark name (e.g. "libquantum").
+    double apki;        //!< LLC accesses per kilo-instruction.
+    double cpiBase;     //!< CPI excluding LLC/memory stalls.
+    double mlp;         //!< Overlap factor dividing memory latency.
+    std::vector<Component> components;
+
+    /**
+     * Builds the app's access stream.
+     *
+     * @param lines_per_mb Scale: lines per paper-MB (sim::Scale).
+     * @param addr_space Per-app address-space id for co-runs.
+     * @param seed RNG seed.
+     */
+    std::unique_ptr<AccessStream>
+    buildStream(uint64_t lines_per_mb, uint32_t addr_space = 0,
+                uint64_t seed = 0xA55) const;
+
+    /** Largest component working set, in paper-MB. */
+    double footprintMb() const;
+
+    /** Instructions represented by one LLC access (1000 / APKI). */
+    double instrPerAccess() const { return 1000.0 / apki; }
+};
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_APP_SPEC_H

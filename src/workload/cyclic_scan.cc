@@ -1,0 +1,32 @@
+#include "workload/cyclic_scan.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+CyclicScan::CyclicScan(uint64_t num_lines, uint32_t addr_space,
+                       uint64_t stride)
+    : numLines_(num_lines), stride_(stride),
+      base_(static_cast<Addr>(addr_space) << kAddrSpaceShift)
+{
+    talus_assert(num_lines >= 1, "scan needs a working set");
+    talus_assert(stride >= 1, "stride must be >= 1");
+}
+
+Addr
+CyclicScan::next()
+{
+    const Addr addr = base_ + (pos_ * stride_) % numLines_;
+    pos_++;
+    return addr;
+}
+
+std::unique_ptr<AccessStream>
+CyclicScan::clone() const
+{
+    return std::make_unique<CyclicScan>(
+        numLines_, static_cast<uint32_t>(base_ >> kAddrSpaceShift),
+        stride_);
+}
+
+} // namespace talus

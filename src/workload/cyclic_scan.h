@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Cyclic sequential scan: the canonical cliff generator.
+ *
+ * Repeatedly sweeping W lines gives LRU a 0% hit rate below W lines
+ * of cache and ~100% at W — the libquantum behaviour of Fig. 1. Under
+ * MIN or with Talus, the same stream yields a smooth diagonal.
+ */
+
+#ifndef TALUS_WORKLOAD_CYCLIC_SCAN_H
+#define TALUS_WORKLOAD_CYCLIC_SCAN_H
+
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Cyclic scan over a fixed working set. */
+class CyclicScan : public AccessStream
+{
+  public:
+    /**
+     * @param num_lines Working-set size in lines.
+     * @param addr_space Per-app address-space id (upper bits).
+     * @param stride Line stride between consecutive accesses.
+     */
+    CyclicScan(uint64_t num_lines, uint32_t addr_space = 0,
+               uint64_t stride = 1);
+
+    Addr next() override;
+    void reset() override { pos_ = 0; }
+    std::unique_ptr<AccessStream> clone() const override;
+    const char* kind() const override { return "scan"; }
+
+  private:
+    uint64_t numLines_;
+    uint64_t stride_;
+    Addr base_;
+    uint64_t pos_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_CYCLIC_SCAN_H

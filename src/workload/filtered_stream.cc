@@ -1,0 +1,74 @@
+#include "workload/filtered_stream.h"
+
+#include <algorithm>
+
+#include "policy/lru.h"
+#include "util/log.h"
+
+namespace talus {
+
+SetAssocCache::Config
+FilteredStream::filterConfig(uint64_t lines, uint32_t ways)
+{
+    talus_assert(lines >= ways, "filter smaller than one set");
+    SetAssocCache::Config cfg;
+    cfg.numWays = ways;
+    cfg.numSets = static_cast<uint32_t>(std::max<uint64_t>(
+        1, lines / ways));
+    return cfg;
+}
+
+FilteredStream::FilteredStream(std::unique_ptr<AccessStream> inner,
+                               uint64_t filter_lines,
+                               uint32_t filter_ways)
+    : inner_(std::move(inner)), filterLines_(filter_lines),
+      filterWays_(filter_ways),
+      filter_(filterConfig(filter_lines, filter_ways),
+              std::make_unique<LruPolicy>())
+{
+    talus_assert(inner_ != nullptr, "filter needs a demand stream");
+}
+
+Addr
+FilteredStream::next()
+{
+    // Pull inner accesses until one misses the private cache; that
+    // miss is the LLC access. Hot lines hit here and never reach the
+    // consumer, exactly like a private L2.
+    while (true) {
+        const Addr addr = inner_->next();
+        innerAccesses_++;
+        if (!filter_.access(addr)) {
+            passed_++;
+            return addr;
+        }
+    }
+}
+
+void
+FilteredStream::reset()
+{
+    inner_->reset();
+    filter_.invalidateAll();
+    filter_.stats().reset();
+    innerAccesses_ = 0;
+    passed_ = 0;
+}
+
+std::unique_ptr<AccessStream>
+FilteredStream::clone() const
+{
+    return std::make_unique<FilteredStream>(inner_->clone(),
+                                            filterLines_, filterWays_);
+}
+
+double
+FilteredStream::passRatio() const
+{
+    return innerAccesses_ > 0
+               ? static_cast<double>(passed_) /
+                     static_cast<double>(innerAccesses_)
+               : 1.0;
+}
+
+} // namespace talus

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Private-cache filtering, as a stream transformer.
+ *
+ * The paper's LLC access streams are what remains after the private
+ * L1/L2 absorb the temporal locality (Table I: 128KB private L2) —
+ * that filtering is what makes Assumption 3 (sampled streams are
+ * self-similar) hold: no single line dominates LLC accesses because
+ * hot lines live in the L2.
+ *
+ * FilteredStream models exactly that: it owns a small private LRU
+ * cache and forwards only the inner stream's misses. The synthetic
+ * suite already bakes filtering into its APKI numbers, so this class
+ * is used for validation (tests and the ablation_l2_filter bench)
+ * rather than by default.
+ */
+
+#ifndef TALUS_WORKLOAD_FILTERED_STREAM_H
+#define TALUS_WORKLOAD_FILTERED_STREAM_H
+
+#include "cache/set_assoc_cache.h"
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Forwards only the accesses that miss in a private cache. */
+class FilteredStream : public AccessStream
+{
+  public:
+    /**
+     * @param inner Demand stream (owned).
+     * @param filter_lines Private cache capacity in lines.
+     * @param filter_ways Private cache associativity.
+     */
+    FilteredStream(std::unique_ptr<AccessStream> inner,
+                   uint64_t filter_lines, uint32_t filter_ways = 8);
+
+    Addr next() override;
+    void reset() override;
+    std::unique_ptr<AccessStream> clone() const override;
+    const char* kind() const override { return "filtered"; }
+
+    /** Fraction of inner accesses that passed the filter so far. */
+    double passRatio() const;
+
+  private:
+    static SetAssocCache::Config filterConfig(uint64_t lines,
+                                              uint32_t ways);
+
+    std::unique_ptr<AccessStream> inner_;
+    uint64_t filterLines_;
+    uint32_t filterWays_;
+    SetAssocCache filter_;
+    uint64_t innerAccesses_ = 0;
+    uint64_t passed_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_FILTERED_STREAM_H

@@ -1,0 +1,55 @@
+#include "workload/mix_stream.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace talus {
+
+MixStream::MixStream(std::vector<Component> components, uint64_t seed)
+    : components_(std::move(components)), seed_(seed), rng_(seed)
+{
+    talus_assert(!components_.empty(), "mixture needs components");
+    double sum = 0;
+    for (const Component& c : components_) {
+        talus_assert(c.stream != nullptr, "null component stream");
+        talus_assert(c.weight > 0, "component weights must be > 0");
+        sum += c.weight;
+    }
+    cdf_.reserve(components_.size());
+    double acc = 0;
+    for (const Component& c : components_) {
+        acc += c.weight / sum;
+        cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0; // Guard against rounding.
+}
+
+Addr
+MixStream::next()
+{
+    const double u = rng_.unit();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const size_t idx = static_cast<size_t>(it - cdf_.begin());
+    return components_[idx].stream->next();
+}
+
+void
+MixStream::reset()
+{
+    rng_.seed(seed_);
+    for (Component& c : components_)
+        c.stream->reset();
+}
+
+std::unique_ptr<AccessStream>
+MixStream::clone() const
+{
+    std::vector<Component> copies;
+    copies.reserve(components_.size());
+    for (const Component& c : components_)
+        copies.push_back({c.stream->clone(), c.weight});
+    return std::make_unique<MixStream>(std::move(copies), seed_);
+}
+
+} // namespace talus

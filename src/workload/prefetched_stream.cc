@@ -1,0 +1,77 @@
+#include "workload/prefetched_stream.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+PrefetchedStream::PrefetchedStream(std::unique_ptr<AccessStream> inner)
+    : PrefetchedStream(std::move(inner), Config{})
+{
+}
+
+PrefetchedStream::PrefetchedStream(std::unique_ptr<AccessStream> inner,
+                                   const Config& config)
+    : inner_(std::move(inner)), cfg_(config),
+      table_(config.streamTableSize)
+{
+    talus_assert(inner_ != nullptr, "prefetcher needs a demand stream");
+    talus_assert(cfg_.streamTableSize >= 1, "stream table size >= 1");
+    talus_assert(cfg_.degree >= 1, "prefetch degree >= 1");
+}
+
+void
+PrefetchedStream::observe(Addr addr)
+{
+    // Find a stream this access continues (previous address one line
+    // behind), or allocate a table entry round-robin by address.
+    for (StreamEntry& e : table_) {
+        if (e.valid && addr == e.lastAddr + 1) {
+            e.lastAddr = addr;
+            if (e.hits < cfg_.trainThreshold) {
+                e.hits++;
+            }
+            if (e.hits >= cfg_.trainThreshold) {
+                for (uint32_t d = 1; d <= cfg_.degree; ++d)
+                    pending_.push_back(addr + d);
+                issued_ += cfg_.degree;
+                e.lastAddr = addr + cfg_.degree;
+            }
+            return;
+        }
+    }
+    StreamEntry& slot =
+        table_[static_cast<size_t>(addr) % table_.size()];
+    slot.valid = true;
+    slot.lastAddr = addr;
+    slot.hits = 0;
+}
+
+Addr
+PrefetchedStream::next()
+{
+    if (!pending_.empty()) {
+        const Addr addr = pending_.front();
+        pending_.pop_front();
+        return addr;
+    }
+    const Addr addr = inner_->next();
+    observe(addr);
+    return addr;
+}
+
+void
+PrefetchedStream::reset()
+{
+    inner_->reset();
+    table_.assign(cfg_.streamTableSize, StreamEntry{});
+    pending_.clear();
+    issued_ = 0;
+}
+
+std::unique_ptr<AccessStream>
+PrefetchedStream::clone() const
+{
+    return std::make_unique<PrefetchedStream>(inner_->clone(), cfg_);
+}
+
+} // namespace talus

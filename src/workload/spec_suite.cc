@@ -1,0 +1,156 @@
+#include "workload/spec_suite.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+using Kind = AppSpec::Component::Kind;
+
+/** Builds the suite once; see DESIGN.md §5 for the shape rationale. */
+std::vector<AppSpec>
+buildSuite()
+{
+    std::vector<AppSpec> apps;
+
+    // libquantum: pure 32MB stream, the paper's flagship cliff (Fig. 1).
+    apps.push_back({"libquantum", 33, 0.7, 4.0,
+                    {{Kind::Scan, 32.0, 1.0, 0.0}}});
+
+    // omnetpp: cliff at 2MB (Fig. 13b) with a convex tail.
+    apps.push_back({"omnetpp", 30, 0.8, 1.5,
+                    {{Kind::Scan, 2.0, 0.6, 0.0},
+                     {Kind::Zipf, 8.0, 0.4, 0.7}}});
+
+    // xalancbmk: convex start, cliff at 6MB (Fig. 10f, 13c).
+    apps.push_back({"xalancbmk", 30, 0.8, 2.0,
+                    {{Kind::Zipf, 1.0, 0.35, 1.0},
+                     {Kind::Scan, 6.0, 0.65, 0.0}}});
+
+    // mcf: high MPKI, broad mostly-convex curve with a step ~10MB.
+    apps.push_back({"mcf", 40, 1.0, 2.0,
+                    {{Kind::Zipf, 8.0, 0.5, 0.6},
+                     {Kind::Random, 4.0, 0.2, 0.0},
+                     {Kind::Scan, 10.0, 0.3, 0.0}}});
+
+    // perlbench: low MPKI, convex region then a small cliff (Fig. 10a).
+    apps.push_back({"perlbench", 8, 0.6, 1.5,
+                    {{Kind::Zipf, 0.5, 0.5, 1.1},
+                     {Kind::Scan, 1.5, 0.5, 0.0}}});
+
+    // cactusADM: convex region then cliff (Fig. 10c).
+    apps.push_back({"cactusADM", 12, 0.9, 2.0,
+                    {{Kind::Zipf, 2.0, 0.45, 0.9},
+                     {Kind::Scan, 9.0, 0.55, 0.0}}});
+
+    // lbm: streaming, high MPKI, cliff ~5MB (Fig. 10e).
+    apps.push_back({"lbm", 35, 0.8, 3.0,
+                    {{Kind::Scan, 5.0, 0.85, 0.0},
+                     {Kind::Random, 1.0, 0.15, 0.0}}});
+
+    // GemsFDTD: lbm-like (Sec. VII-C).
+    apps.push_back({"GemsFDTD", 25, 0.9, 2.5,
+                    {{Kind::Scan, 8.0, 0.8, 0.0},
+                     {Kind::Random, 1.0, 0.2, 0.0}}});
+
+    // gobmk: low MPKI, smooth (Fig. 8b).
+    apps.push_back({"gobmk", 5, 0.6, 1.2,
+                    {{Kind::Zipf, 4.0, 0.9, 1.2},
+                     {Kind::Scan, 1.0, 0.1, 0.0}}});
+
+    // sphinx3: convex, mid MPKI.
+    apps.push_back({"sphinx3", 20, 0.7, 2.0,
+                    {{Kind::Zipf, 8.0, 0.8, 0.8},
+                     {Kind::Scan, 2.0, 0.2, 0.0}}});
+
+    // soplex: convex.
+    apps.push_back({"soplex", 25, 0.9, 2.0,
+                    {{Kind::Zipf, 8.0, 1.0, 0.75}}});
+
+    // milc: thrash-y, nearly size-insensitive below 16MB.
+    apps.push_back({"milc", 25, 0.8, 2.5,
+                    {{Kind::Random, 16.0, 1.0, 0.0}}});
+
+    // bwaves: long stream.
+    apps.push_back({"bwaves", 20, 0.7, 3.0,
+                    {{Kind::Scan, 24.0, 1.0, 0.0}}});
+
+    // astar: small working set.
+    apps.push_back({"astar", 15, 0.8, 1.3,
+                    {{Kind::Zipf, 2.0, 1.0, 0.9}}});
+
+    // h264ref: small working set, low MPKI.
+    apps.push_back({"h264ref", 10, 0.5, 1.5,
+                    {{Kind::Zipf, 0.5, 1.0, 1.0}}});
+
+    // gcc: small cliff at 3MB.
+    apps.push_back({"gcc", 18, 0.7, 1.8,
+                    {{Kind::Zipf, 1.0, 0.5, 0.9},
+                     {Kind::Scan, 3.0, 0.5, 0.0}}});
+
+    // zeusmp: moderate random set.
+    apps.push_back({"zeusmp", 12, 0.8, 2.0,
+                    {{Kind::Random, 4.0, 1.0, 0.0}}});
+
+    // hmmer: tiny working set.
+    apps.push_back({"hmmer", 8, 0.5, 1.5,
+                    {{Kind::Zipf, 0.25, 1.0, 1.0}}});
+
+    // calculix: tiny working set, low intensity.
+    apps.push_back({"calculix", 5, 0.6, 1.5,
+                    {{Kind::Zipf, 1.0, 1.0, 1.0}}});
+
+    // dealII: small convex.
+    apps.push_back({"dealII", 10, 0.7, 1.5,
+                    {{Kind::Zipf, 2.0, 1.0, 0.9}}});
+
+    // povray / tonto: the paper's low-memory-intensity caveat apps
+    // (<0.1 L2 APKI; Sec. VII-B) — too few LLC accesses for the
+    // statistical assumptions, but also too few for it to matter.
+    apps.push_back({"povray", 0.1, 0.5, 1.0,
+                    {{Kind::Zipf, 0.5, 1.0, 1.0}}});
+    apps.push_back({"tonto", 0.1, 0.5, 1.0,
+                    {{Kind::Zipf, 0.5, 1.0, 0.9}}});
+
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppSpec>&
+specSuite()
+{
+    static const std::vector<AppSpec> suite = buildSuite();
+    return suite;
+}
+
+const AppSpec&
+findApp(const std::string& name)
+{
+    for (const AppSpec& app : specSuite()) {
+        if (app.name == name)
+            return app;
+    }
+    talus_fatal("unknown app: ", name);
+}
+
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names;
+    for (const AppSpec& app : specSuite())
+        names.push_back(app.name);
+    return names;
+}
+
+std::vector<std::string>
+memIntensiveAppNames()
+{
+    return {"libquantum", "mcf",     "omnetpp",  "xalancbmk", "lbm",
+            "GemsFDTD",   "sphinx3", "soplex",   "milc",      "bwaves",
+            "cactusADM",  "astar",   "gcc",      "zeusmp",    "dealII",
+            "perlbench",  "h264ref", "hmmer"};
+}
+
+} // namespace talus

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The synthetic SPEC CPU2006 suite (see DESIGN.md §5).
+ *
+ * Each AppSpec reproduces the qualitative LRU miss curve the paper
+ * reports for that benchmark — cliff positions in paper-MB and MPKI
+ * scale — using mixtures of scans, random sets, and Zipf sets. These
+ * are the workloads every figure bench draws from; the 18
+ * memory-intensive apps form the Fig. 12 mix pool.
+ */
+
+#ifndef TALUS_WORKLOAD_SPEC_SUITE_H
+#define TALUS_WORKLOAD_SPEC_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "workload/app_spec.h"
+
+namespace talus {
+
+/** All synthetic apps, in a stable order. */
+const std::vector<AppSpec>& specSuite();
+
+/** Looks up an app by name; fatal if unknown. */
+const AppSpec& findApp(const std::string& name);
+
+/** Names of all apps. */
+std::vector<std::string> allAppNames();
+
+/**
+ * The 18 most memory-intensive apps (the paper's Fig. 12 pool for
+ * random multiprogrammed mixes).
+ */
+std::vector<std::string> memIntensiveAppNames();
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_SPEC_SUITE_H

@@ -1,0 +1,80 @@
+#include "workload/stack_dist_stream.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace talus {
+
+StackDistStream::StackDistStream(std::vector<Bucket> profile,
+                                 double cold_weight, uint32_t addr_space,
+                                 uint64_t seed)
+    : profile_(std::move(profile)), coldWeight_(cold_weight),
+      base_(static_cast<Addr>(addr_space) << kAddrSpaceShift), seed_(seed),
+      rng_(seed)
+{
+    talus_assert(coldWeight_ >= 0, "cold weight must be >= 0");
+    double sum = coldWeight_;
+    for (const Bucket& b : profile_) {
+        talus_assert(b.weight >= 0, "bucket weight must be >= 0");
+        sum += b.weight;
+    }
+    talus_assert(sum > 0, "profile has no mass");
+
+    // CDF over profile buckets; the tail (u >= last) is cold.
+    cdf_.reserve(profile_.size());
+    double acc = 0;
+    for (const Bucket& b : profile_) {
+        acc += b.weight / sum;
+        cdf_.push_back(acc);
+    }
+}
+
+Addr
+StackDistStream::next()
+{
+    const double u = rng_.unit();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+
+    uint64_t target = ~0ull; // Cold by default.
+    if (it != cdf_.end())
+        target = profile_[static_cast<size_t>(it - cdf_.begin())].distance;
+
+    Addr addr;
+    if (target != ~0ull && target < stack_.size()) {
+        // Reuse the line at the requested stack depth.
+        addr = stack_[target];
+        stack_.erase(stack_.begin() +
+                     static_cast<std::ptrdiff_t>(target));
+    } else {
+        // Cold access (or deeper than the current stack): new address.
+        addr = base_ + nextCold_++;
+    }
+    stack_.insert(stack_.begin(), addr);
+    // Cap stack growth: beyond the deepest profiled distance nothing
+    // is ever reused, so the tail can be dropped.
+    uint64_t max_depth = 0;
+    for (const Bucket& b : profile_)
+        max_depth = std::max(max_depth, b.distance + 1);
+    if (stack_.size() > max_depth + 1)
+        stack_.pop_back();
+    return addr;
+}
+
+void
+StackDistStream::reset()
+{
+    rng_.seed(seed_);
+    stack_.clear();
+    nextCold_ = 0;
+}
+
+std::unique_ptr<AccessStream>
+StackDistStream::clone() const
+{
+    return std::make_unique<StackDistStream>(
+        profile_, coldWeight_,
+        static_cast<uint32_t>(base_ >> kAddrSpaceShift), seed_);
+}
+
+} // namespace talus

@@ -1,0 +1,29 @@
+#include "workload/uniform_random.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+UniformRandom::UniformRandom(uint64_t num_lines, uint32_t addr_space,
+                             uint64_t seed)
+    : numLines_(num_lines),
+      base_(static_cast<Addr>(addr_space) << kAddrSpaceShift), seed_(seed),
+      rng_(seed)
+{
+    talus_assert(num_lines >= 1, "random stream needs a working set");
+}
+
+Addr
+UniformRandom::next()
+{
+    return base_ + rng_.below(numLines_);
+}
+
+std::unique_ptr<AccessStream>
+UniformRandom::clone() const
+{
+    return std::make_unique<UniformRandom>(
+        numLines_, static_cast<uint32_t>(base_ >> kAddrSpaceShift), seed_);
+}
+
+} // namespace talus

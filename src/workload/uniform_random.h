@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Uniform random accesses over a fixed working set. Under LRU this
+ * yields a nearly linear miss curve (hit rate ~ s/W below the working
+ * set size) — the "milc-like", partitioning-insensitive shape.
+ */
+
+#ifndef TALUS_WORKLOAD_UNIFORM_RANDOM_H
+#define TALUS_WORKLOAD_UNIFORM_RANDOM_H
+
+#include "util/rng.h"
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Uniform random accesses over @p num_lines lines. */
+class UniformRandom : public AccessStream
+{
+  public:
+    /**
+     * @param num_lines Working-set size in lines.
+     * @param addr_space Per-app address-space id.
+     * @param seed RNG seed.
+     */
+    UniformRandom(uint64_t num_lines, uint32_t addr_space = 0,
+                  uint64_t seed = 0x11A2);
+
+    Addr next() override;
+    void reset() override { rng_.seed(seed_); }
+    std::unique_ptr<AccessStream> clone() const override;
+    const char* kind() const override { return "random"; }
+
+  private:
+    uint64_t numLines_;
+    Addr base_;
+    uint64_t seed_;
+    Rng rng_;
+};
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_UNIFORM_RANDOM_H

@@ -1,0 +1,53 @@
+#include "workload/zipf_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace talus {
+
+ZipfStream::ZipfStream(uint64_t num_lines, double alpha, uint32_t addr_space,
+                       uint64_t seed)
+    : numLines_(num_lines), alpha_(alpha),
+      base_(static_cast<Addr>(addr_space) << kAddrSpaceShift), seed_(seed),
+      rng_(seed)
+{
+    talus_assert(num_lines >= 1, "zipf stream needs a working set");
+    talus_assert(alpha >= 0, "zipf alpha must be >= 0");
+    cdf_.resize(numLines_);
+    double sum = 0;
+    for (uint64_t r = 0; r < numLines_; ++r) {
+        sum += 1.0 / std::pow(static_cast<double>(r + 1), alpha_);
+        cdf_[r] = sum;
+    }
+    for (auto& c : cdf_)
+        c /= sum;
+}
+
+Addr
+ZipfStream::next()
+{
+    const double u = rng_.unit();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const uint64_t rank = static_cast<uint64_t>(it - cdf_.begin());
+    // Scramble ranks so popularity is not correlated with adjacency
+    // (hot lines spread across sets). XOR with a per-stream constant
+    // is an exact bijection for power-of-two working sets; otherwise
+    // the identity is used — the cache's hashed set indexing already
+    // decorrelates placement.
+    if ((numLines_ & (numLines_ - 1)) == 0)
+        return base_ + (rank ^ (mix64(seed_) & (numLines_ - 1)));
+    return base_ + rank;
+}
+
+std::unique_ptr<AccessStream>
+ZipfStream::clone() const
+{
+    return std::make_unique<ZipfStream>(
+        numLines_, alpha_, static_cast<uint32_t>(base_ >> kAddrSpaceShift),
+        seed_);
+}
+
+} // namespace talus

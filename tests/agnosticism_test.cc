@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the paper's Sec. VII-B agnosticism claims and
+ * Assumption 3 robustness: Talus keeps working under L2 filtering,
+ * prefetching, multi-threaded data sharing, and across all
+ * partitioning schemes (a test-suite twin of Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/convex_hull.h"
+#include "sim/single_app_sim.h"
+#include "tests/test_util.h"
+#include "workload/cyclic_scan.h"
+#include "workload/filtered_stream.h"
+#include "workload/mix_stream.h"
+#include "workload/uniform_random.h"
+#include "workload/zipf_stream.h"
+
+namespace talus {
+namespace {
+
+// ----------------------------------------------------- FilteredStream
+
+TEST(Filtered, PassesOnlyMisses)
+{
+    // A working set that fits in the filter: after warmup nothing
+    // escapes to the LLC.
+    FilteredStream stream(std::make_unique<UniformRandom>(64, 0, 3),
+                          256, 8);
+    for (int i = 0; i < 64; ++i)
+        stream.next(); // Cold misses pass while the filter warms.
+    // From here on, inner accesses all hit the filter; next() would
+    // block forever — so check the pass ratio trend instead using a
+    // working set slightly larger than the filter.
+    FilteredStream big(std::make_unique<UniformRandom>(512, 0, 3), 256,
+                       8);
+    for (int i = 0; i < 20000; ++i)
+        big.next();
+    // Roughly half the working set fits: pass ratio near 1 - 256/512.
+    EXPECT_LT(big.passRatio(), 0.75);
+    EXPECT_GT(big.passRatio(), 0.25);
+}
+
+TEST(Filtered, FilterPreservesScanCliff)
+{
+    // A scan bigger than the filter passes through entirely, so the
+    // LLC still sees the cliff-generating pattern.
+    FilteredStream stream(std::make_unique<CyclicScan>(2048), 256, 8);
+    const MissCurve lru = measureLruCurve(stream, 60000, 4096, 128);
+    EXPECT_GT(lru.at(1024), 0.9);
+    EXPECT_LT(lru.at(3072), 0.1);
+}
+
+TEST(Filtered, TalusWorksOnFilteredStream)
+{
+    // End-to-end with L2 filtering in front of the LLC: the filtered
+    // stream's hull is still traced by Talus (Assumption 3 holds on
+    // the post-filter stream; that is the stream Talus samples).
+    FilteredStream curve_stream(
+        std::make_unique<CyclicScan>(2048), 256, 8);
+    const MissCurve lru =
+        measureLruCurve(curve_stream, 80000, 4096, 128);
+    const ConvexHull hull(lru);
+
+    FilteredStream run_stream(std::make_unique<CyclicScan>(2048), 256,
+                              8);
+    TalusSweepOptions opts;
+    opts.scheme = SchemeKind::Ideal;
+    opts.measureAccesses = 80000;
+    const MissCurve talus =
+        sweepTalusCurve(run_stream, lru, {1024}, opts);
+    EXPECT_NEAR(talus.at(1024), hull.at(1024), 0.1);
+}
+
+TEST(Filtered, DeterministicResetClone)
+{
+    FilteredStream stream(std::make_unique<CyclicScan>(512), 64, 8);
+    auto first = test::collect(stream, 500);
+    stream.reset();
+    auto second = test::collect(stream, 500);
+    EXPECT_EQ(first, second);
+    auto cloned = stream.clone();
+    auto third = test::collect(*cloned, 500);
+    EXPECT_EQ(first, third);
+}
+
+// ----------------------------------------------- Multi-threaded sharing
+
+/** k "threads" touching one shared working set plus private data. */
+std::unique_ptr<AccessStream>
+threadedApp(uint32_t threads, uint64_t shared_lines,
+            uint64_t private_lines, uint64_t seed)
+{
+    std::vector<MixStream::Component> comps;
+    for (uint32_t t = 0; t < threads; ++t) {
+        // Shared component: SAME address space for every thread.
+        comps.push_back({std::make_unique<ZipfStream>(
+                             shared_lines, 0.7, /*addr_space=*/1,
+                             seed + t),
+                         1.0});
+        // Private component per thread.
+        comps.push_back({std::make_unique<CyclicScan>(
+                             private_lines, /*addr_space=*/10 + t),
+                         1.0});
+    }
+    return std::make_unique<MixStream>(std::move(comps), seed ^ 0xF00);
+}
+
+TEST(MultiThreaded, SharedDataStillYieldsConvexTalusCurve)
+{
+    // Sec. VII-B: with shared data served through one logical
+    // partition, Talus's assumptions still hold — its curve stays
+    // convex and traces the hull.
+    auto curve_stream = threadedApp(4, 1024, 512, 11);
+    const MissCurve lru =
+        measureLruCurve(*curve_stream, 300000, 8192, 256);
+    const ConvexHull hull(lru);
+
+    auto run_stream = threadedApp(4, 1024, 512, 11);
+    TalusSweepOptions opts;
+    opts.scheme = SchemeKind::Ideal;
+    opts.measureAccesses = 150000;
+    const std::vector<uint64_t> sizes{2048, 3072, 4096};
+    const MissCurve talus =
+        sweepTalusCurve(*run_stream, lru, sizes, opts);
+    for (uint64_t s : sizes) {
+        EXPECT_NEAR(talus.at(static_cast<double>(s)),
+                    hull.at(static_cast<double>(s)), 0.1)
+            << "s=" << s;
+    }
+}
+
+// -------------------------------------- Scheme-parameterized hull test
+
+class SchemeHullTest : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(SchemeHullTest, TalusLandsNearHullMidCliff)
+{
+    const uint64_t w = 2048;
+    CyclicScan curve_stream(w);
+    const MissCurve lru =
+        measureLruCurve(curve_stream, w * 40, 2 * w, w / 32);
+    const ConvexHull hull(lru);
+
+    const uint64_t size = w / 2;
+    CyclicScan run_stream(w);
+    TalusSweepOptions opts;
+    opts.scheme = GetParam();
+    opts.ways = 64; // Tame per-set Poisson overflow of sampled scans.
+    opts.measureAccesses = 150000;
+    const MissCurve talus =
+        sweepTalusCurve(run_stream, lru, {size}, opts);
+
+    // Vantage pays its 10% unmanaged discount. Set partitioning is
+    // the weakest at this (deliberately small) scale: the sampled
+    // scan spreads over few sets and a cyclic set either fits or
+    // thrashes entirely, amplifying Poisson spread — one reason the
+    // paper evaluates Vantage/way/ideal and uses set partitioning
+    // only for the conceptual example. The rest must be close to the
+    // hull; all must massively beat raw LRU (~1.0).
+    double budget = 0.1;
+    if (GetParam() == SchemeKind::Vantage)
+        budget = 0.15;
+    if (GetParam() == SchemeKind::Set)
+        budget = 0.25;
+    EXPECT_NEAR(talus.at(static_cast<double>(size)),
+                hull.at(static_cast<double>(size) *
+                        schemeUsableFraction(GetParam())),
+                budget);
+    EXPECT_LT(talus.at(static_cast<double>(size)), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeHullTest,
+                         ::testing::Values(SchemeKind::Way,
+                                           SchemeKind::Set,
+                                           SchemeKind::Vantage,
+                                           SchemeKind::Futility,
+                                           SchemeKind::Ideal));
+
+} // namespace
+} // namespace talus

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the optimal-bypassing analysis (Sec. V-C, Corollary 8):
+ * bypassing can match but never beat the convex hull Talus traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bypass_analysis.h"
+#include "core/convex_hull.h"
+#include "util/rng.h"
+
+namespace talus {
+namespace {
+
+MissCurve
+exampleCurve()
+{
+    return MissCurve({{0, 24}, {1, 18}, {2, 12}, {3, 12}, {4, 12},
+                      {5, 3}, {6, 3}, {8, 3}, {10, 3}});
+}
+
+TEST(Bypass, FormulaMatchesHandComputation)
+{
+    // rho=0.8 at s=4: 0.8*m(5) + 0.2*m(0) = 0.8*3 + 0.2*24 = 7.2.
+    const MissCurve curve = exampleCurve();
+    EXPECT_NEAR(bypassMisses(curve, 4.0, 0.8), 7.2, 1e-9);
+    // rho=1: no bypassing.
+    EXPECT_NEAR(bypassMisses(curve, 4.0, 1.0), curve.at(4.0), 1e-9);
+}
+
+TEST(Bypass, OptimalAtFourMbMatchesPaperFigure5)
+{
+    // Fig. 5: optimal bypassing at 4MB gives roughly 8 MPKI (exactly
+    // 7.2 on the idealized curve: keep 80% at 5MB) — better than
+    // LRU's 12 but worse than Talus's 6.
+    const MissCurve curve = exampleCurve();
+    const BypassChoice choice = optimalBypass(curve, 4.0);
+    EXPECT_NEAR(choice.emulated, 5.0, 1e-9);
+    EXPECT_NEAR(choice.rho, 0.8, 1e-9);
+    EXPECT_NEAR(choice.misses, 7.2, 1e-9);
+    EXPECT_LT(choice.misses, curve.at(4.0));      // Beats LRU.
+    const ConvexHull hull(curve);
+    EXPECT_GT(choice.misses, hull.at(4.0));       // Loses to Talus.
+    EXPECT_NEAR(choice.keptPart + choice.bypassPart, choice.misses,
+                1e-12);
+}
+
+TEST(Bypass, NeverBeatsConvexHull)
+{
+    // Corollary 8, on the example curve at every size.
+    const MissCurve curve = exampleCurve();
+    const ConvexHull hull(curve);
+    for (double s = 0.0; s <= 10.0; s += 0.1) {
+        const BypassChoice choice = optimalBypass(curve, s);
+        EXPECT_GE(choice.misses, hull.at(s) - 1e-9) << "s=" << s;
+        EXPECT_LE(choice.misses, curve.at(s) + 1e-9) << "s=" << s;
+    }
+}
+
+TEST(Bypass, RandomCurvesNeverBeatHull)
+{
+    Rng rng(53);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<CurvePoint> pts;
+        double value = 40.0 + static_cast<double>(rng.below(40));
+        const int n = 4 + static_cast<int>(rng.below(16));
+        for (int i = 0; i < n; ++i) {
+            pts.push_back({static_cast<double>(i * 2), value});
+            if (rng.chance(0.6))
+                value -= static_cast<double>(rng.below(15));
+            if (value < 0)
+                value = 0;
+        }
+        const MissCurve curve(pts);
+        const ConvexHull hull(curve);
+        for (int k = 0; k < 8; ++k) {
+            const double s = rng.unit() * curve.maxSize();
+            EXPECT_GE(optimalBypass(curve, s).misses,
+                      hull.at(s) - 1e-9);
+        }
+    }
+}
+
+TEST(Bypass, CurveHelperMatchesPointQueries)
+{
+    const MissCurve curve = exampleCurve();
+    const MissCurve bypass_curve = optimalBypassCurve(curve);
+    for (const CurvePoint& p : curve.points()) {
+        EXPECT_NEAR(bypass_curve.at(p.size),
+                    optimalBypass(curve, p.size).misses, 1e-9);
+    }
+}
+
+TEST(Bypass, NoBenefitOnConvexCurves)
+{
+    // On an already-convex curve, bypassing cannot improve anything:
+    // the best choice is rho = 1.
+    const MissCurve convex({{0, 16}, {2, 8}, {4, 4}, {6, 2.5}, {8, 2}});
+    for (double s : {1.0, 3.0, 5.0, 7.0}) {
+        const BypassChoice choice = optimalBypass(convex, s);
+        EXPECT_NEAR(choice.misses, convex.at(s), 1e-9) << "s=" << s;
+    }
+}
+
+} // namespace
+} // namespace talus

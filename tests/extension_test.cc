@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Tests for the extension features beyond the paper's core
+ * evaluation: Futility Scaling partitioning (the paper's suggested
+ * alternative to Vantage), SHiP replacement, the stream prefetcher
+ * (Sec. VII-B agnosticism), plus regression tests for subtle
+ * behaviours added during development (flat-hull degeneracy, UMON
+ * geometry shrinking, way-budget apportionment, PDP initial dp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.h"
+#include "core/convex_hull.h"
+#include "core/talus_config.h"
+#include "monitor/umon.h"
+#include "partition/futility_scaling.h"
+#include "partition/way_partition.h"
+#include "policy/lru.h"
+#include "policy/pdp.h"
+#include "policy/policy_factory.h"
+#include "policy/ship.h"
+#include "sim/single_app_sim.h"
+#include "tests/test_util.h"
+#include "workload/cyclic_scan.h"
+#include "workload/prefetched_stream.h"
+#include "workload/uniform_random.h"
+
+namespace talus {
+namespace {
+
+// ------------------------------------------------------ FutilityScheme
+
+TEST(Futility, ConvergesToAsymmetricTargets)
+{
+    SetAssocCache::Config cfg;
+    cfg.numSets = 64;
+    cfg.numWays = 16; // 1024 lines.
+    auto scheme = std::make_unique<FutilityScheme>(2);
+    FutilityScheme* fs = scheme.get();
+    SetAssocCache cache(cfg, std::make_unique<LruPolicy>(),
+                        std::move(scheme));
+    cache.setTargets({768, 256});
+
+    Rng rng(3);
+    for (int i = 0; i < 400000; ++i) {
+        cache.access(rng.below(4096), 0);
+        cache.access((1ull << 30) + rng.below(4096), 1);
+    }
+    EXPECT_NEAR(static_cast<double>(fs->occupancy(0)), 768.0,
+                768 * 0.12);
+    EXPECT_NEAR(static_cast<double>(fs->occupancy(1)), 256.0,
+                256 * 0.2);
+}
+
+TEST(Futility, WholeCacheIsManaged)
+{
+    // Unlike Vantage, targets may sum to the full capacity and the
+    // partitions actually reach them.
+    SetAssocCache::Config cfg;
+    cfg.numSets = 32;
+    cfg.numWays = 16; // 512 lines.
+    auto scheme = std::make_unique<FutilityScheme>(2);
+    FutilityScheme* fs = scheme.get();
+    SetAssocCache cache(cfg, std::make_unique<LruPolicy>(),
+                        std::move(scheme));
+    cache.setTargets({256, 256});
+    Rng rng(5);
+    for (int i = 0; i < 300000; ++i) {
+        cache.access(rng.below(2048), 0);
+        cache.access((1ull << 30) + rng.below(2048), 1);
+    }
+    EXPECT_GT(fs->occupancy(0) + fs->occupancy(1), 490u);
+}
+
+TEST(Futility, ScaleRisesForOverTargetPartition)
+{
+    SetAssocCache::Config cfg;
+    cfg.numSets = 16;
+    cfg.numWays = 8;
+    auto scheme = std::make_unique<FutilityScheme>(2);
+    FutilityScheme* fs = scheme.get();
+    SetAssocCache cache(cfg, std::make_unique<LruPolicy>(),
+                        std::move(scheme));
+    cache.setTargets({32, 96});
+    Rng rng(7);
+    // Partition 0 wants far more than its 32-line target.
+    for (int i = 0; i < 100000; ++i)
+        cache.access(rng.below(512), 0);
+    EXPECT_GT(fs->scaleOf(0), fs->scaleOf(1));
+}
+
+TEST(Futility, ZeroTargetPartitionIsReclaimed)
+{
+    SetAssocCache::Config cfg;
+    cfg.numSets = 16;
+    cfg.numWays = 8;
+    auto scheme = std::make_unique<FutilityScheme>(2);
+    FutilityScheme* fs = scheme.get();
+    SetAssocCache cache(cfg, std::make_unique<LruPolicy>(),
+                        std::move(scheme));
+    // Fill as partition 0, then retarget everything to partition 1.
+    cache.setTargets({128, 0});
+    for (Addr a = 0; a < 128; ++a)
+        cache.access(a, 0);
+    cache.setTargets({0, 128});
+    Rng rng(9);
+    for (int i = 0; i < 50000; ++i)
+        cache.access((1ull << 30) + rng.below(256), 1);
+    EXPECT_LT(fs->occupancy(0), 8u);
+}
+
+TEST(Futility, TalusOnFutilityBeatsVantageMidCliff)
+{
+    // The paper's point: Futility Scaling has no unmanaged region, so
+    // Talus can use the full allocation (usableFraction 1.0) and land
+    // closer to the hull than Talus-on-Vantage.
+    const uint64_t w = 2048;
+    CyclicScan curve_stream(w);
+    const MissCurve lru = measureLruCurve(curve_stream, w * 40, 2 * w,
+                                          w / 32);
+    const ConvexHull hull(lru);
+    const uint64_t size = w / 2;
+
+    auto sweep = [&](SchemeKind scheme) {
+        CyclicScan stream(w);
+        TalusSweepOptions opts;
+        opts.scheme = scheme;
+        opts.measureAccesses = 200000;
+        return sweepTalusCurve(stream, lru, {size}, opts)
+            .at(static_cast<double>(size));
+    };
+    const double futility = sweep(SchemeKind::Futility);
+    const double vantage = sweep(SchemeKind::Vantage);
+    const double promised = hull.at(static_cast<double>(size));
+    EXPECT_LT(futility, vantage + 0.01);
+    EXPECT_NEAR(futility, promised, 0.1);
+}
+
+TEST(Futility, SchemeUsableFractions)
+{
+    EXPECT_DOUBLE_EQ(schemeUsableFraction(SchemeKind::Vantage), 0.9);
+    EXPECT_DOUBLE_EQ(schemeUsableFraction(SchemeKind::Futility), 1.0);
+    EXPECT_DOUBLE_EQ(schemeUsableFraction(SchemeKind::Way), 1.0);
+    EXPECT_DOUBLE_EQ(schemeUsableFraction(SchemeKind::Ideal), 1.0);
+}
+
+TEST(Futility, FactoryParsesAndBuilds)
+{
+    EXPECT_EQ(parseSchemeKind("Futility"), SchemeKind::Futility);
+    auto cache =
+        makePartitionedCache(SchemeKind::Futility, 512, 16, "LRU", 2, 3);
+    EXPECT_STREQ(cache->schemeName(), "Futility");
+    cache->setTargets({256, 128});
+    for (Addr a = 0; a < 5000; ++a)
+        cache->access(a % 300, a % 2);
+    EXPECT_GT(cache->stats().totalHits(), 0u);
+}
+
+// --------------------------------------------------------------- SHiP
+
+TEST(Ship, TrainsSignaturesDown)
+{
+    // A scanning region whose lines are never reused must drive its
+    // SHCT counter to zero.
+    ShipPolicy ship;
+    ship.init(4, 4);
+    SetAssocCache::Config cfg;
+    cfg.numSets = 4;
+    cfg.numWays = 4;
+    SetAssocCache cache(cfg, std::make_unique<ShipPolicy>());
+    for (Addr a = 0; a < 20000; ++a)
+        cache.access(a % 4096); // Pure scan: no reuse within 16 lines.
+    // Build a reference policy to inspect counters via the same config.
+    // (Counter inspection on the cache's policy instance:)
+    auto* policy = dynamic_cast<ShipPolicy*>(&cache.policy());
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->shctOf(100), 0u);
+}
+
+TEST(Ship, KeepsReusedSignaturesPositive)
+{
+    SetAssocCache::Config cfg;
+    cfg.numSets = 4;
+    cfg.numWays = 4;
+    SetAssocCache cache(cfg, std::make_unique<ShipPolicy>());
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        cache.access(rng.below(8)); // Tiny hot set: constant reuse.
+    auto* policy = dynamic_cast<ShipPolicy*>(&cache.policy());
+    ASSERT_NE(policy, nullptr);
+    EXPECT_GT(policy->shctOf(3), 0u);
+}
+
+TEST(Ship, ProtectsHotSetAgainstScan)
+{
+    // Mixed hot set + scan: SHiP should insert the scan's lines at
+    // distant RRPV once trained, protecting the hot set better than
+    // plain LRU.
+    auto run = [&](const std::string& policy) {
+        SetAssocCache::Config cfg;
+        cfg.numSets = 16;
+        cfg.numWays = 8;
+        SetAssocCache cache(cfg, makePolicy(policy, 3));
+        Rng rng(5);
+        uint64_t hot_hits = 0;
+        for (int i = 0; i < 200000; ++i) {
+            cache.access((1u << 20) + (i % 4096)); // Scan region.
+            hot_hits += cache.access(rng.below(64)); // Hot region.
+        }
+        return hot_hits;
+    };
+    EXPECT_GT(run("SHiP"), run("LRU") + 10000);
+}
+
+TEST(Ship, InFactoryList)
+{
+    const auto names = knownPolicies();
+    EXPECT_NE(std::find(names.begin(), names.end(), "SHiP"),
+              names.end());
+    EXPECT_STREQ(makePolicy("SHiP")->name(), "SHiP");
+}
+
+// ----------------------------------------------------- PrefetchedStream
+
+TEST(Prefetch, DetectsScansAndIssues)
+{
+    PrefetchedStream stream(std::make_unique<CyclicScan>(1000), {});
+    for (int i = 0; i < 10000; ++i)
+        stream.next();
+    EXPECT_GT(stream.prefetchesIssued(), 1000u);
+}
+
+TEST(Prefetch, MostlyIdleOnRandomAccesses)
+{
+    PrefetchedStream stream(
+        std::make_unique<UniformRandom>(4096, 0, 7), {});
+    for (int i = 0; i < 10000; ++i)
+        stream.next();
+    EXPECT_LT(stream.prefetchesIssued(), 2000u);
+}
+
+TEST(Prefetch, DeterministicResetClone)
+{
+    PrefetchedStream stream(std::make_unique<CyclicScan>(128), {});
+    auto first = test::collect(stream, 1000);
+    stream.reset();
+    auto second = test::collect(stream, 1000);
+    EXPECT_EQ(first, second);
+    auto cloned = stream.clone();
+    auto third = test::collect(*cloned, 1000);
+    EXPECT_EQ(first, third);
+}
+
+TEST(Prefetch, TalusStaysConvexWithPrefetching)
+{
+    // Sec. VII-B: prefetching changes the miss curve but none of
+    // Talus's assumptions. The hull of the prefetched curve must be
+    // convex and Talus (ideal) must land on it.
+    PrefetchedStream curve_stream(std::make_unique<CyclicScan>(1024),
+                                  {});
+    const MissCurve lru =
+        measureLruCurve(curve_stream, 80000, 2048, 64);
+    const ConvexHull hull(lru);
+    EXPECT_TRUE(hull.hull().isConvex(1e-9));
+
+    PrefetchedStream run_stream(std::make_unique<CyclicScan>(1024), {});
+    TalusSweepOptions opts;
+    opts.scheme = SchemeKind::Ideal;
+    opts.measureAccesses = 100000;
+    const MissCurve talus =
+        sweepTalusCurve(run_stream, lru, {512}, opts);
+    EXPECT_NEAR(talus.at(512), hull.at(512), 0.1);
+}
+
+// ------------------------------------------------- Regression coverage
+
+TEST(Regression, FlatHullSegmentIsDegenerate)
+{
+    // Past a cliff the hull is flat; splitting there would let the
+    // margin push alpha back below the cliff. Must be degenerate.
+    const MissCurve curve({{0, 1.0}, {100, 0.9}, {200, 0.05},
+                           {300, 0.05}, {400, 0.0498}});
+    const ConvexHull hull(curve);
+    // The 200-400 hull segment drops by only 0.4% of m(alpha): flat.
+    const TalusConfig cfg = computeTalusConfig(hull, 250, 0.05);
+    EXPECT_TRUE(cfg.degenerate);
+    EXPECT_DOUBLE_EQ(cfg.rho, 1.0);
+}
+
+TEST(Regression, SteepSegmentsStillSplit)
+{
+    const MissCurve curve({{0, 1.0}, {100, 0.9}, {200, 0.05},
+                           {300, 0.05}});
+    const ConvexHull hull(curve);
+    const TalusConfig cfg = computeTalusConfig(hull, 150, 0.0);
+    EXPECT_FALSE(cfg.degenerate);
+}
+
+TEST(Regression, UmonShrinksToModeledSize)
+{
+    // A monitor must never track more lines than it models.
+    UMon::Config cfg;
+    cfg.ways = 64;
+    cfg.sets = 16; // 1024 array lines...
+    cfg.modeledLines = 256; // ...modeling a 256-line cache.
+    UMon umon(cfg);
+    // Feed a 512-line scan: a 256-line LRU cache misses everything.
+    for (Addr i = 0; i < 200000; ++i)
+        umon.access(i % 512);
+    EXPECT_GT(umon.curve().at(256), 0.95);
+}
+
+TEST(Regression, UmonTinyModeledCache)
+{
+    UMon::Config cfg;
+    cfg.ways = 64;
+    cfg.sets = 16;
+    cfg.modeledLines = 8; // Smaller than the way count.
+    UMon umon(cfg);
+    for (Addr i = 0; i < 10000; ++i)
+        umon.access(i % 4);
+    EXPECT_LT(umon.curve().at(8), 0.1);
+}
+
+TEST(Regression, WayBudgetLeavesSpareWaysUnassigned)
+{
+    SetAssocCache::Config cfg;
+    cfg.numSets = 64;
+    cfg.numWays = 16; // 1024 lines.
+    auto scheme = std::make_unique<WayPartition>(2);
+    WayPartition* way = scheme.get();
+    SetAssocCache cache(cfg, std::make_unique<LruPolicy>(),
+                        std::move(scheme));
+    // Targets cover only half the cache: ways must not be inflated.
+    cache.setTargets({256, 256});
+    EXPECT_EQ(way->ways(0), 4u);
+    EXPECT_EQ(way->ways(1), 4u);
+}
+
+TEST(Regression, PdpInitialDpHonoured)
+{
+    PdpPolicy::Config cfg;
+    cfg.initialDp = 42;
+    PdpPolicy pdp(cfg);
+    pdp.init(4, 4);
+    EXPECT_EQ(pdp.protectingDistance(), 42u);
+}
+
+TEST(Regression, RouterRangeAt32Bits)
+{
+    // 1u << 32 was UB; the 64-bit range must make wide hashes usable.
+    H3Hash hash(32, 3);
+    EXPECT_EQ(hash.range(), 1ull << 32);
+    int below_half = 0;
+    for (Addr a = 0; a < 10000; ++a)
+        below_half += hash.hashUnit(a) < 0.5;
+    EXPECT_NEAR(below_half / 10000.0, 0.5, 0.05);
+}
+
+} // namespace
+} // namespace talus

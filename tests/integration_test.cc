@@ -1,0 +1,161 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's headline
+ * claims in miniature: Fig. 1 (Talus removes libquantum's cliff),
+ * Theorem 4 (sampled streams emulate larger caches), and the
+ * monitor->hull->configure->measure pipeline using hardware-model
+ * UMONs rather than exact curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/talus_controller.h"
+#include "monitor/combined_umon.h"
+#include "sim/experiment_util.h"
+#include "sim/single_app_sim.h"
+#include "tests/test_util.h"
+#include "workload/cyclic_scan.h"
+#include "workload/spec_suite.h"
+#include "workload/uniform_random.h"
+
+namespace talus {
+namespace {
+
+TEST(Integration, Theorem4SampledStreamEmulatesLargerCache)
+{
+    // Sample a fraction rho of a random stream into a cache of size
+    // s'; its miss ratio must match a full-stream cache of s'/rho.
+    const uint64_t w = 2048;
+    const double rho = 0.25;
+    const uint64_t s_small = 256;
+    const uint64_t s_large = static_cast<uint64_t>(s_small / rho);
+
+    H3Hash sampler(16, 77);
+    UniformRandom stream(w, 0, 3);
+    FullyAssocLru small(s_small), large(s_large);
+    uint64_t small_hits = 0, small_accs = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const Addr a = stream.next();
+        large.access(a);
+        if (sampler.hashUnit(a) < rho) {
+            small_accs++;
+            small_hits += small.access(a);
+        }
+    }
+    const double small_ratio =
+        1.0 - static_cast<double>(small_hits) / small_accs;
+    const double large_ratio =
+        1.0 -
+        static_cast<double>(large.hits()) / large.accesses();
+    EXPECT_NEAR(small_ratio, large_ratio, 0.03);
+}
+
+TEST(Integration, Fig1LibquantumCliffRemoved)
+{
+    // Miniature Fig. 1: LRU's miss curve on libquantum is flat until
+    // the working set fits; Talus+Ideal/LRU traces the diagonal hull.
+    const Scale scale(32); // 32MB -> 1024 lines.
+    const AppSpec& app = findApp("libquantum");
+
+    auto curve_stream = app.buildStream(scale.linesPerMb(), 0, 5);
+    const MissCurve lru =
+        measureLruCurve(*curve_stream, 200000, 2048, 64);
+
+    // LRU: cliff shape.
+    EXPECT_GT(lru.at(512), 0.9);
+    EXPECT_LT(lru.at(1536), 0.1);
+
+    // Talus at half the working set: halves the miss ratio.
+    auto run_stream = app.buildStream(scale.linesPerMb(), 0, 5);
+    TalusSweepOptions opts;
+    opts.scheme = SchemeKind::Ideal;
+    opts.measureAccesses = 120000;
+    const MissCurve talus =
+        sweepTalusCurve(*run_stream, lru, {512}, opts);
+    EXPECT_LT(talus.at(512), 0.62);
+    EXPECT_GT(talus.at(512), 0.3);
+}
+
+TEST(Integration, UmonDrivenPipelineMatchesPromise)
+{
+    // Full hardware-path pipeline: CombinedUMon measures the curve,
+    // the controller configures from it, and the measured miss ratio
+    // must come out near the hull promise (within monitor noise).
+    const uint64_t w = 1024; // Scan working set.
+    const uint64_t llc = 512;
+
+    CombinedUMon::Config mc;
+    mc.llcLines = llc;
+    mc.coverage = 4;
+    CombinedUMon monitor(mc);
+
+    CyclicScan warm_stream(w);
+    for (uint64_t i = 0; i < w * 100; ++i)
+        monitor.access(warm_stream.next());
+    const MissCurve measured = monitor.curve();
+
+    // The monitor must see the cliff beyond the LLC size.
+    EXPECT_GT(measured.at(llc), 0.85);
+    EXPECT_LT(measured.at(2 * w), 0.25);
+
+    auto phys =
+        makePartitionedCache(SchemeKind::Ideal, llc, 16, "LRU", 2, 19);
+    TalusController::Config tc;
+    tc.numLogicalParts = 1;
+    TalusController ctl(std::move(phys), tc);
+    ctl.configure({measured}, {llc});
+
+    CyclicScan run(w);
+    for (uint64_t i = 0; i < w * 20; ++i)
+        ctl.access(run.next(), 0);
+    ctl.cache().stats().reset();
+    for (uint64_t i = 0; i < w * 40; ++i)
+        ctl.access(run.next(), 0);
+
+    const double measured_ratio =
+        static_cast<double>(ctl.logicalMisses(0)) /
+        static_cast<double>(ctl.logicalAccesses(0));
+    const double promised = ConvexHull(measured).at(llc);
+    EXPECT_NEAR(measured_ratio, promised, 0.12);
+    EXPECT_LT(measured_ratio, 0.75); // Far better than LRU's ~1.0.
+}
+
+TEST(Integration, TalusNeverWorseThanLruAcrossSuite)
+{
+    // Talus's "never degrades over LRU" claim (Sec. VII-C), checked
+    // at one mid-range size for several apps. The scale must keep the
+    // caches at a few hundred lines: Talus's statistical assumptions
+    // (Assumption 3) need enough lines per shadow partition.
+    const Scale scale(128);
+    for (const char* name : {"omnetpp", "xalancbmk", "gcc", "lbm"}) {
+        const AppSpec& app = findApp(name);
+        const uint64_t footprint =
+            scale.lines(app.footprintMb());
+        const uint64_t size = footprint / 2;
+
+        auto curve_stream = app.buildStream(scale.linesPerMb(), 0, 7);
+        const MissCurve lru = measureLruCurve(
+            *curve_stream, 150000, footprint * 2,
+            std::max<uint64_t>(1, footprint / 32));
+
+        auto talus_stream = app.buildStream(scale.linesPerMb(), 0, 7);
+        TalusSweepOptions topts;
+        topts.scheme = SchemeKind::Ideal;
+        topts.measureAccesses = 80000;
+        const MissCurve talus =
+            sweepTalusCurve(*talus_stream, lru, {size}, topts);
+
+        auto lru_stream = app.buildStream(scale.linesPerMb(), 0, 7);
+        SweepOptions lopts;
+        lopts.measureAccesses = 80000;
+        const MissCurve lru_direct =
+            sweepPolicyCurve(*lru_stream, {size}, lopts);
+
+        EXPECT_LT(talus.at(static_cast<double>(size)),
+                  lru_direct.at(static_cast<double>(size)) + 0.05)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace talus

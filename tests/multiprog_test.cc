@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the multiprogrammed engine: fixed-work accounting, the
+ * reconfiguration loop, and the qualitative orderings the paper's
+ * shared-cache experiments rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/multi_prog_sim.h"
+#include "workload/spec_suite.h"
+
+namespace talus {
+namespace {
+
+std::vector<const AppSpec*>
+mix(const std::vector<std::string>& names)
+{
+    std::vector<const AppSpec*> apps;
+    for (const auto& name : names)
+        apps.push_back(&findApp(name));
+    return apps;
+}
+
+MultiProgConfig
+baseConfig(uint64_t llc_lines)
+{
+    MultiProgConfig cfg;
+    cfg.llcLines = llc_lines;
+    cfg.instrPerApp = 600'000;
+    cfg.reconfigCycles = 300'000;
+    return cfg;
+}
+
+TEST(MultiProg, CompletesAndAccountsFixedWork)
+{
+    const Scale scale(64);
+    MultiProgConfig cfg = baseConfig(1024);
+    cfg.scheme = SchemeKind::Unpartitioned;
+    cfg.allocatorName = "";
+    const auto result =
+        runMultiProg(mix({"astar", "hmmer"}), cfg, scale);
+    ASSERT_EQ(result.apps.size(), 2u);
+    for (const auto& app : result.apps) {
+        EXPECT_GT(app.ipc, 0.0);
+        EXPECT_GT(app.cycles, 0.0);
+        EXPECT_GE(app.mpki, 0.0);
+        // IPC must equal fixed work / completion cycles.
+        EXPECT_NEAR(app.ipc, 600000.0 / app.cycles, 1e-9);
+        // IPC bounded by the core model's perfect-cache IPC.
+        const CoreModel model(findApp(app.name));
+        EXPECT_LE(app.ipc, model.ipcAt(0.0) * 1.001);
+        EXPECT_GE(app.ipc, model.ipcAt(1.0) * 0.999);
+    }
+}
+
+TEST(MultiProg, ReconfigurationsHappen)
+{
+    const Scale scale(64);
+    MultiProgConfig cfg = baseConfig(1024);
+    cfg.reconfigCycles = 120'000;
+    cfg.useTalus = true;
+    cfg.allocateOnHulls = true;
+    cfg.allocatorName = "HillClimb";
+    const auto result =
+        runMultiProg(mix({"astar", "omnetpp"}), cfg, scale);
+    EXPECT_GT(result.reconfigurations, 3u);
+}
+
+TEST(MultiProg, DeterministicForSameSeed)
+{
+    const Scale scale(64);
+    MultiProgConfig cfg = baseConfig(512);
+    cfg.scheme = SchemeKind::Vantage;
+    cfg.allocatorName = "Lookahead";
+    const auto a = runMultiProg(mix({"astar", "gcc"}), cfg, scale);
+    const auto b = runMultiProg(mix({"astar", "gcc"}), cfg, scale);
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (size_t i = 0; i < a.apps.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.apps[i].ipc, b.apps[i].ipc);
+}
+
+TEST(MultiProg, PartitioningIsolatesVictimFromThrasher)
+{
+    // A small-working-set app (astar: 2MB zipf) next to a thrasher
+    // (milc: 16MB random). Unpartitioned LRU lets milc wreck astar;
+    // Vantage + Lookahead protects it.
+    const Scale scale(64);
+    const auto apps = mix({"astar", "milc"});
+
+    MultiProgConfig shared = baseConfig(256); // 4 paper-MB.
+    shared.scheme = SchemeKind::Unpartitioned;
+    shared.allocatorName = "";
+    const auto base = runMultiProg(apps, shared, scale);
+
+    MultiProgConfig part = baseConfig(256);
+    part.scheme = SchemeKind::Vantage;
+    part.allocatorName = "Lookahead";
+    const auto partitioned = runMultiProg(apps, part, scale);
+
+    // astar (index 0) must speed up under partitioning.
+    EXPECT_GT(partitioned.apps[0].ipc, base.apps[0].ipc * 1.02);
+}
+
+TEST(MultiProg, TalusHillMatchesOrBeatsLruHillOnCliffApps)
+{
+    // Two omnetpp copies (cliff at 2MB) on a 2MB cache: plain LRU +
+    // hill climbing is stuck on the plateau; Talus + hill climbing
+    // should match or beat it on weighted speedup vs the shared-LRU
+    // baseline.
+    const Scale scale(128); // 2MB -> 256 lines.
+    const auto apps = mix({"omnetpp", "omnetpp"});
+
+    MultiProgConfig shared = baseConfig(256);
+    shared.scheme = SchemeKind::Unpartitioned;
+    shared.allocatorName = "";
+    const auto base = runMultiProg(apps, shared, scale);
+
+    MultiProgConfig lru_hill = baseConfig(256);
+    lru_hill.scheme = SchemeKind::Vantage;
+    lru_hill.allocatorName = "HillClimb";
+    const auto lru = runMultiProg(apps, lru_hill, scale);
+
+    MultiProgConfig talus_hill = baseConfig(256);
+    talus_hill.scheme = SchemeKind::Vantage;
+    talus_hill.useTalus = true;
+    talus_hill.allocateOnHulls = true;
+    talus_hill.allocatorName = "HillClimb";
+    const auto talus = runMultiProg(apps, talus_hill, scale);
+
+    const double ws_lru =
+        weightedSpeedup(lru.ipcVector(), base.ipcVector());
+    const double ws_talus =
+        weightedSpeedup(talus.ipcVector(), base.ipcVector());
+    EXPECT_GT(ws_talus, ws_lru - 0.03);
+}
+
+TEST(MultiProg, FairTalusIsFairOnHomogeneousCopies)
+{
+    // Fig. 13's qualitative claim: with equal (fair) allocations and
+    // Talus, homogeneous copies run at nearly identical IPC.
+    const Scale scale(64);
+    const auto apps = mix({"omnetpp", "omnetpp", "omnetpp", "omnetpp"});
+    MultiProgConfig cfg = baseConfig(512);
+    cfg.useTalus = true;
+    cfg.allocateOnHulls = true;
+    cfg.allocatorName = "Fair";
+    const auto result = runMultiProg(apps, cfg, scale);
+    EXPECT_LT(ipcCoV(result.ipcVector()), 0.05);
+}
+
+TEST(MultiProg, TaDrripRunsEndToEnd)
+{
+    const Scale scale(64);
+    MultiProgConfig cfg = baseConfig(512);
+    cfg.scheme = SchemeKind::Unpartitioned;
+    cfg.policyName = "TA-DRRIP";
+    cfg.allocatorName = "";
+    const auto result =
+        runMultiProg(mix({"lbm", "astar"}), cfg, scale);
+    EXPECT_EQ(result.apps.size(), 2u);
+    for (const auto& app : result.apps)
+        EXPECT_GT(app.ipc, 0.0);
+}
+
+} // namespace
+} // namespace talus

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the Peekahead allocator: it must produce allocations of
+ * the same quality as quadratic Lookahead (the Jigsaw equivalence the
+ * Talus paper cites) at a fraction of the cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alloc/dp_optimal.h"
+#include "alloc/hill_climb.h"
+#include "alloc/lookahead.h"
+#include "alloc/peekahead.h"
+#include "util/rng.h"
+
+namespace talus {
+namespace {
+
+MissCurve
+randomCliffyCurve(Rng& rng, int points, double step)
+{
+    std::vector<CurvePoint> pts;
+    double value = 30 + static_cast<double>(rng.below(60));
+    for (int x = 0; x <= points; ++x) {
+        pts.push_back({x * step, value});
+        if (rng.chance(0.5))
+            value -= static_cast<double>(rng.below(12));
+        if (value < 0)
+            value = 0;
+    }
+    return MissCurve(pts);
+}
+
+TEST(Peekahead, MatchesLookaheadCostOnRandomCurves)
+{
+    Rng rng(73);
+    LookaheadAllocator lookahead;
+    PeekaheadAllocator peekahead;
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<MissCurve> curves;
+        const int n = 2 + static_cast<int>(rng.below(5));
+        for (int i = 0; i < n; ++i)
+            curves.push_back(randomCliffyCurve(rng, 12, 10));
+
+        const auto la = lookahead.allocate(curves, 120, 10);
+        const auto pa = peekahead.allocate(curves, 120, 10);
+        // Tie-breaking may differ; the achieved cost must not.
+        EXPECT_NEAR(allocationCost(curves, pa),
+                    allocationCost(curves, la), 1e-9)
+            << "trial " << trial;
+    }
+}
+
+TEST(Peekahead, CrossesPlateausLikeLookahead)
+{
+    // The all-or-nothing cliff case from the Lookahead tests.
+    const MissCurve cliff({{0, 10}, {99.999999, 10}, {100, 1},
+                           {200, 1}});
+    const std::vector<MissCurve> curves{cliff, cliff};
+    PeekaheadAllocator peekahead;
+    const auto alloc = peekahead.allocate(curves, 100, 10);
+    const uint64_t hi = std::max(alloc[0], alloc[1]);
+    const uint64_t lo = std::min(alloc[0], alloc[1]);
+    EXPECT_GE(hi, 100u);
+    EXPECT_EQ(lo, 0u);
+}
+
+TEST(Peekahead, SpreadsWhenNothingHelps)
+{
+    const MissCurve flat({{0, 5}, {200, 5}});
+    PeekaheadAllocator peekahead;
+    const auto alloc = peekahead.allocate({flat, flat}, 100, 10);
+    EXPECT_EQ(alloc[0] + alloc[1], 100u);
+}
+
+TEST(Peekahead, RespectsBudgetWindowAtEnd)
+{
+    // A curve whose next hull vertex lies beyond the budget: the
+    // windowed fallback must still allocate sensibly.
+    const MissCurve far_cliff({{0, 10}, {500, 10}, {501, 0},
+                               {600, 0}});
+    const MissCurve near_gain({{0, 10}, {50, 4}, {100, 3}, {600, 3}});
+    PeekaheadAllocator peekahead;
+    const auto alloc =
+        peekahead.allocate({far_cliff, near_gain}, 100, 10);
+    // The far cliff is unreachable; everything useful goes to the
+    // second partition.
+    EXPECT_GE(alloc[1], 50u);
+    EXPECT_EQ(alloc[0] + alloc[1], 100u);
+}
+
+TEST(Peekahead, MatchesDpOnConvexCurves)
+{
+    Rng rng(79);
+    PeekaheadAllocator peekahead;
+    DpOptimalAllocator dp;
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<MissCurve> curves;
+        const int n = 2 + static_cast<int>(rng.below(3));
+        for (int i = 0; i < n; ++i) {
+            std::vector<CurvePoint> pts;
+            double value = 60 + static_cast<double>(rng.below(40));
+            double slope = 8 + rng.unit() * 8;
+            for (int x = 0; x <= 14; ++x) {
+                pts.push_back({static_cast<double>(x * 10), value});
+                value = std::max(0.0, value - slope);
+                slope *= 0.65 + rng.unit() * 0.25;
+            }
+            curves.push_back(MissCurve(pts));
+        }
+        EXPECT_NEAR(
+            allocationCost(curves, peekahead.allocate(curves, 120, 10)),
+            allocationCost(curves, dp.allocate(curves, 120, 10)), 1e-6)
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace talus

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the ShadowRouter (H3 + limit register sampling function).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shadow_router.h"
+
+namespace talus {
+namespace {
+
+TEST(ShadowRouter, RhoOneRoutesEverythingToAlpha)
+{
+    ShadowRouter router(8, 1);
+    router.setRho(1.0);
+    for (Addr a = 0; a < 10000; ++a)
+        EXPECT_TRUE(router.toAlpha(a));
+}
+
+TEST(ShadowRouter, RhoZeroRoutesEverythingToBeta)
+{
+    ShadowRouter router(8, 2);
+    router.setRho(0.0);
+    for (Addr a = 0; a < 10000; ++a)
+        EXPECT_FALSE(router.toAlpha(a));
+}
+
+TEST(ShadowRouter, RoutedFractionTracksRho)
+{
+    for (double rho : {0.1, 0.25, 0.333, 0.5, 0.75, 0.9}) {
+        ShadowRouter router(8, 3);
+        router.setRho(rho);
+        uint64_t to_alpha = 0;
+        const uint64_t n = 100000;
+        for (Addr a = 0; a < n; ++a)
+            to_alpha += router.toAlpha(a);
+        EXPECT_NEAR(static_cast<double>(to_alpha) / n,
+                    router.effectiveRho(), 0.02)
+            << "rho=" << rho;
+    }
+}
+
+TEST(ShadowRouter, QuantizationBoundedByHalfStep)
+{
+    // 8-bit limit register: effective rho within 1/512 of requested.
+    ShadowRouter router(8, 4);
+    for (double rho = 0.0; rho <= 1.0; rho += 0.01)
+    {
+        router.setRho(rho);
+        EXPECT_NEAR(router.effectiveRho(), rho, 1.0 / 512.0 + 1e-12);
+    }
+}
+
+TEST(ShadowRouter, WiderLimitReducesQuantization)
+{
+    ShadowRouter narrow(4, 5), wide(16, 5);
+    narrow.setRho(0.3);
+    wide.setRho(0.3);
+    EXPECT_LE(std::abs(wide.effectiveRho() - 0.3),
+              std::abs(narrow.effectiveRho() - 0.3) + 1e-12);
+}
+
+TEST(ShadowRouter, RoutingIsStablePerAddress)
+{
+    // The same address must always route the same way for a fixed
+    // configuration — otherwise lines would be duplicated across
+    // shadow partitions.
+    ShadowRouter router(8, 6);
+    router.setRho(0.4);
+    for (Addr a = 0; a < 1000; ++a) {
+        const bool first = router.toAlpha(a);
+        for (int i = 0; i < 5; ++i)
+            EXPECT_EQ(router.toAlpha(a), first);
+    }
+}
+
+TEST(ShadowRouter, SeedsGiveIndependentFunctions)
+{
+    ShadowRouter a(8, 100), b(8, 200);
+    a.setRho(0.5);
+    b.setRho(0.5);
+    uint64_t agree = 0;
+    const uint64_t n = 10000;
+    for (Addr x = 0; x < n; ++x)
+        agree += (a.toAlpha(x) == b.toAlpha(x));
+    // Independent 50/50 functions agree about half the time.
+    EXPECT_NEAR(static_cast<double>(agree) / n, 0.5, 0.05);
+}
+
+} // namespace
+} // namespace talus

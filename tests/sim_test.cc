@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the simulation layer: scaling, the analytic core model,
+ * metrics, single-app sweeps, and the experiment utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/convex_hull.h"
+#include "sim/core_model.h"
+#include "sim/experiment_util.h"
+#include "sim/metrics.h"
+#include "sim/scale.h"
+#include "sim/single_app_sim.h"
+#include "tests/test_util.h"
+#include "workload/cyclic_scan.h"
+#include "workload/spec_suite.h"
+#include "workload/uniform_random.h"
+
+namespace talus {
+namespace {
+
+// --------------------------------------------------------------- Scale
+
+TEST(Scale, RoundTrip)
+{
+    Scale scale(1024);
+    EXPECT_EQ(scale.lines(1.0), 1024u);
+    EXPECT_EQ(scale.lines(0.5), 512u);
+    EXPECT_EQ(scale.lines(32.0), 32768u);
+    EXPECT_DOUBLE_EQ(scale.mb(2048), 2.0);
+}
+
+TEST(Scale, TinySizesClampToOneLine)
+{
+    Scale scale(16);
+    EXPECT_EQ(scale.lines(0.001), 1u);
+}
+
+TEST(Scale, FullScaleConstant)
+{
+    // 1MB / 64B = 16384 lines.
+    EXPECT_EQ(Scale::kFullLinesPerMb, 16384u);
+}
+
+// ----------------------------------------------------------- CoreModel
+
+TEST(CoreModel, IpcDecreasesWithMissRatio)
+{
+    const CoreModel model(findApp("mcf"));
+    double prev = 1e9;
+    for (double mr = 0.0; mr <= 1.0; mr += 0.1) {
+        const double ipc = model.ipcAt(mr);
+        EXPECT_LT(ipc, prev);
+        EXPECT_GT(ipc, 0.0);
+        prev = ipc;
+    }
+}
+
+TEST(CoreModel, PerfectCacheIpcBoundedByCpiBase)
+{
+    const AppSpec& app = findApp("libquantum");
+    const CoreModel model(app);
+    // With all hits, CPI = cpiBase + small L3 component.
+    EXPECT_LT(model.ipcAt(0.0), 1.0 / app.cpiBase);
+    EXPECT_GT(model.ipcAt(0.0), 0.5 / app.cpiBase);
+}
+
+TEST(CoreModel, CyclesPerAccessConsistentWithIpc)
+{
+    // Steady state: simulating K accesses at fixed miss ratio must
+    // reproduce ipcAt().
+    const AppSpec& app = findApp("omnetpp");
+    const CoreModel model(app);
+    const double mr = 0.3;
+    double cycles = 0, instr = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const bool hit = (i % 10) >= 3; // 30% misses.
+        cycles += model.cyclesPerAccess(hit);
+        instr += model.instrPerAccess();
+    }
+    EXPECT_NEAR(instr / cycles, model.ipcAt(mr), 1e-3);
+}
+
+TEST(CoreModel, MlpSoftensMissPenalty)
+{
+    AppSpec low = findApp("omnetpp");
+    AppSpec high = low;
+    high.mlp = 4.0;
+    const double ipc_low = CoreModel(low).ipcAt(0.5);
+    const double ipc_high = CoreModel(high).ipcAt(0.5);
+    EXPECT_GT(ipc_high, ipc_low);
+}
+
+// ------------------------------------------------------------- Metrics
+
+TEST(Metrics, WeightedSpeedupBaselineIsOne)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1, 2, 3}, {1, 2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(weightedSpeedup({2, 4}, {1, 2}), 2.0);
+}
+
+TEST(Metrics, HarmonicPunishesSlowdowns)
+{
+    // One app 2x faster, one 2x slower: weighted = 1.25 (looks fine),
+    // harmonic = 0.8 (punished).
+    const std::vector<double> ipc{2, 0.5}, base{1, 1};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(ipc, base), 1.25);
+    EXPECT_DOUBLE_EQ(harmonicSpeedup(ipc, base), 0.8);
+}
+
+TEST(Metrics, CoVZeroWhenFair)
+{
+    EXPECT_DOUBLE_EQ(ipcCoV({1, 1, 1, 1}), 0.0);
+    EXPECT_GT(ipcCoV({1, 1, 1, 0.1}), 0.3);
+}
+
+// --------------------------------------------------------------- Sweeps
+
+TEST(Sweep, PolicyCurveShowsScanCliff)
+{
+    // High associativity keeps the set-assoc cliff sharp (with few
+    // ways, Poisson imbalance across sets smears it — exactly the
+    // "secondary factors" caveat of Assumption 2).
+    CyclicScan scan(512);
+    SweepOptions opts;
+    opts.measureAccesses = 100000;
+    opts.ways = 64;
+    const MissCurve curve =
+        sweepPolicyCurve(scan, {256, 448, 640, 1024}, opts);
+    EXPECT_GT(curve.at(256), 0.9);
+    EXPECT_GT(curve.at(448), 0.8); // Near-cliff still thrashing.
+    EXPECT_LT(curve.at(640), 0.2);
+    EXPECT_LT(curve.at(1024), 0.05);
+}
+
+TEST(Sweep, MattsonMatchesDirectLruSweep)
+{
+    // measureLruCurve (stack algorithm) must agree with trace-driven
+    // per-size LRU simulation.
+    UniformRandom direct_stream(800, 0, 33);
+    SweepOptions opts;
+    opts.measureAccesses = 200000;
+    opts.ways = 64; // High assoc: close to the fully-assoc reference.
+    const MissCurve direct =
+        sweepPolicyCurve(direct_stream, {256, 512, 768}, opts);
+
+    UniformRandom mattson_stream(800, 0, 33);
+    const MissCurve exact =
+        measureLruCurve(mattson_stream, 300000, 1024, 128);
+    for (uint64_t s : {256u, 512u, 768u}) {
+        EXPECT_NEAR(direct.at(static_cast<double>(s)),
+                    exact.at(static_cast<double>(s)), 0.05)
+            << "s=" << s;
+    }
+}
+
+TEST(Sweep, TalusOnIdealTracksHull)
+{
+    const uint64_t w = 512;
+    CyclicScan curve_stream(w);
+    const MissCurve lru = measureLruCurve(curve_stream, w * 60, 1024, 32);
+    const ConvexHull hull(lru);
+
+    CyclicScan run_stream(w);
+    TalusSweepOptions opts;
+    opts.scheme = SchemeKind::Ideal;
+    opts.measureAccesses = 100000;
+    const MissCurve talus =
+        sweepTalusCurve(run_stream, lru, {128, 256, 384}, opts);
+    for (uint64_t s : {128u, 256u, 384u}) {
+        EXPECT_NEAR(talus.at(static_cast<double>(s)),
+                    hull.at(static_cast<double>(s)), 0.1)
+            << "s=" << s;
+    }
+}
+
+TEST(Sweep, TalusOnVantageBeatsLruMidCliff)
+{
+    const uint64_t w = 1024;
+    CyclicScan curve_stream(w);
+    const MissCurve lru = measureLruCurve(curve_stream, w * 40, 2048, 64);
+
+    CyclicScan run_stream(w);
+    TalusSweepOptions opts;
+    opts.scheme = SchemeKind::Vantage;
+    opts.measureAccesses = 150000;
+    const MissCurve talus = sweepTalusCurve(run_stream, lru, {512}, opts);
+    // LRU at 512 thrashes (~1.0); Talus+V must be far better even
+    // with the 10% unmanaged region.
+    EXPECT_LT(talus.at(512), 0.75);
+}
+
+// ------------------------------------------------------ ExperimentUtil
+
+TEST(ExperimentUtil, SizeGrid)
+{
+    Scale scale(1024);
+    const auto sizes = sizeGridLines(scale, 4.0, 1.0);
+    ASSERT_EQ(sizes.size(), 4u);
+    EXPECT_EQ(sizes[0], 1024u);
+    EXPECT_EQ(sizes[3], 4096u);
+}
+
+TEST(ExperimentUtil, ToMpkiScalesVertically)
+{
+    const MissCurve ratio({{0, 1.0}, {100, 0.5}});
+    const MissCurve mpki = toMpki(ratio, 20.0);
+    EXPECT_DOUBLE_EQ(mpki.at(0), 20.0);
+    EXPECT_DOUBLE_EQ(mpki.at(100), 10.0);
+}
+
+TEST(ExperimentUtil, MixesAreValidAndSeeded)
+{
+    const auto mixes = sampleMixes(10, 8, 1);
+    ASSERT_EQ(mixes.size(), 10u);
+    for (const auto& mix : mixes) {
+        EXPECT_EQ(mix.size(), 8u);
+        std::set<std::string> unique(mix.begin(), mix.end());
+        EXPECT_EQ(unique.size(), 8u); // No repeats within a mix.
+        for (const auto& name : mix)
+            EXPECT_NO_FATAL_FAILURE(findApp(name));
+    }
+    // Deterministic given the seed.
+    EXPECT_EQ(sampleMixes(10, 8, 1), mixes);
+    EXPECT_NE(sampleMixes(10, 8, 2), mixes);
+}
+
+} // namespace
+} // namespace talus

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Suite-wide property tests: every synthetic application must satisfy
+ * the invariants Talus relies on — a sane LRU miss curve (bounded,
+ * non-increasing, saturating by its documented footprint), a valid
+ * convex hull below it, and well-formed Talus configurations at every
+ * size. This pins the whole workload suite against regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/convex_hull.h"
+#include "core/talus_config.h"
+#include "sim/single_app_sim.h"
+#include "workload/spec_suite.h"
+
+namespace talus {
+namespace {
+
+constexpr uint64_t kLinesPerMb = 32; // Tiny scale: fast, still shaped.
+
+class SuitePropertyTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    MissCurve
+    measuredCurve(const AppSpec& app) const
+    {
+        auto stream = app.buildStream(kLinesPerMb, 0, 2026);
+        const uint64_t max_lines = std::max<uint64_t>(
+            64, static_cast<uint64_t>(app.footprintMb() * 2 *
+                                      kLinesPerMb));
+        return measureLruCurve(*stream, 150000, max_lines,
+                               std::max<uint64_t>(1, max_lines / 64));
+    }
+};
+
+TEST_P(SuitePropertyTest, LruCurveIsSane)
+{
+    const AppSpec& app = findApp(GetParam());
+    const MissCurve curve = measuredCurve(app);
+    // Bounded miss ratios, anchored at 1.0 for size 0.
+    EXPECT_DOUBLE_EQ(curve.at(0), 1.0);
+    for (const CurvePoint& p : curve.points()) {
+        EXPECT_GE(p.misses, 0.0) << app.name;
+        EXPECT_LE(p.misses, 1.0) << app.name;
+    }
+    // Mattson curves are non-increasing by construction; verify.
+    EXPECT_TRUE(curve.isNonIncreasing(1e-9)) << app.name;
+}
+
+TEST_P(SuitePropertyTest, CurveSaturatesByFootprint)
+{
+    const AppSpec& app = findApp(GetParam());
+    const MissCurve curve = measuredCurve(app);
+    // Past 2x the documented footprint only compulsory misses remain.
+    // (2x covers the stack-distance inflation of mixed components.)
+    const double beyond = app.footprintMb() * 2 * kLinesPerMb;
+    EXPECT_LT(curve.at(beyond), 0.2) << app.name;
+}
+
+TEST_P(SuitePropertyTest, HullIsConvexAndBelowCurve)
+{
+    const AppSpec& app = findApp(GetParam());
+    const MissCurve curve = measuredCurve(app);
+    const ConvexHull hull(curve);
+    EXPECT_TRUE(hull.hull().isConvex(1e-7)) << app.name;
+    for (const CurvePoint& p : curve.points())
+        EXPECT_LE(hull.at(p.size), p.misses + 1e-9) << app.name;
+}
+
+TEST_P(SuitePropertyTest, TalusConfigValidAtEverySize)
+{
+    const AppSpec& app = findApp(GetParam());
+    const MissCurve curve = measuredCurve(app);
+    const ConvexHull hull(curve);
+    const double max_size = curve.maxSize();
+    for (int i = 0; i <= 20; ++i) {
+        const double s = max_size * i / 20.0;
+        const TalusConfig cfg = computeTalusConfig(hull, s);
+        EXPECT_GE(cfg.rho, 0.0) << app.name;
+        EXPECT_LE(cfg.rho, 1.0) << app.name;
+        EXPECT_GE(cfg.s1, 0.0) << app.name;
+        EXPECT_GE(cfg.s2, 0.0) << app.name;
+        EXPECT_NEAR(cfg.s1 + cfg.s2, s, 1e-6) << app.name;
+        if (!cfg.degenerate) {
+            // The promise never exceeds the raw curve.
+            EXPECT_LE(cfg.predictedMisses(curve), curve.at(s) + 1e-9)
+                << app.name << " at " << s;
+        }
+    }
+}
+
+TEST_P(SuitePropertyTest, StreamsAreDeterministic)
+{
+    const AppSpec& app = findApp(GetParam());
+    auto a = app.buildStream(kLinesPerMb, 3, 77);
+    auto b = app.buildStream(kLinesPerMb, 3, 77);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_EQ(a->next(), b->next()) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SuitePropertyTest,
+    ::testing::ValuesIn(allAppNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace talus

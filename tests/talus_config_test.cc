@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the Talus shadow-partition math (Theorems 4-6, Lemma 5),
+ * anchored on the paper's worked example of Sec. III / Fig. 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/convex_hull.h"
+#include "core/talus_config.h"
+#include "util/rng.h"
+
+namespace talus {
+namespace {
+
+MissCurve
+exampleCurve()
+{
+    return MissCurve({{0, 24}, {1, 18}, {2, 12}, {3, 12}, {4, 12},
+                      {5, 3}, {6, 3}, {8, 3}, {10, 3}});
+}
+
+TEST(TalusConfig, WorkedExampleFromSectionIII)
+{
+    // 4MB cache on the Fig. 3 curve: alpha=2MB, beta=5MB, rho=1/3,
+    // s1=2/3MB, s2=10/3MB, predicted 6 MPKI.
+    const ConvexHull hull(exampleCurve());
+    const TalusConfig cfg = computeTalusConfig(hull, 4.0, /*margin=*/0.0);
+
+    EXPECT_FALSE(cfg.degenerate);
+    EXPECT_DOUBLE_EQ(cfg.alpha, 2.0);
+    EXPECT_DOUBLE_EQ(cfg.beta, 5.0);
+    EXPECT_NEAR(cfg.rho, 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cfg.s1, 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cfg.s2, 10.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cfg.predictedMisses(exampleCurve()), 6.0, 1e-9);
+
+    // The beta shadow partition emulates beta: s2 / (1-rho) = 5MB.
+    EXPECT_NEAR(cfg.s2 / (1.0 - cfg.rho), 5.0, 1e-9);
+    // The alpha shadow partition emulates alpha: s1 / rho = 2MB.
+    EXPECT_NEAR(cfg.s1 / cfg.rho, 2.0, 1e-9);
+}
+
+TEST(TalusConfig, MarginBumpsRhoOnly)
+{
+    const ConvexHull hull(exampleCurve());
+    const TalusConfig plain = computeTalusConfig(hull, 4.0, 0.0);
+    const TalusConfig safe = computeTalusConfig(hull, 4.0, 0.05);
+    EXPECT_NEAR(safe.rho, plain.rho * 1.05, 1e-12);
+    EXPECT_DOUBLE_EQ(safe.s1, plain.s1);
+    EXPECT_DOUBLE_EQ(safe.s2, plain.s2);
+    // Effective alpha shrinks, effective beta grows (Sec. VI-B).
+    EXPECT_LT(safe.s1 / safe.rho, plain.alpha);
+    EXPECT_GT(safe.s2 / (1 - safe.rho), plain.beta);
+}
+
+TEST(TalusConfig, DegenerateOnHullVertex)
+{
+    const ConvexHull hull(exampleCurve());
+    const TalusConfig cfg = computeTalusConfig(hull, 5.0);
+    EXPECT_TRUE(cfg.degenerate);
+    EXPECT_DOUBLE_EQ(cfg.rho, 1.0);
+    EXPECT_DOUBLE_EQ(cfg.s1, 5.0);
+    EXPECT_DOUBLE_EQ(cfg.s2, 0.0);
+}
+
+TEST(TalusConfig, DegenerateBeyondCurve)
+{
+    const ConvexHull hull(exampleCurve());
+    const TalusConfig cfg = computeTalusConfig(hull, 64.0);
+    EXPECT_TRUE(cfg.degenerate);
+    EXPECT_DOUBLE_EQ(cfg.s1, 64.0);
+}
+
+TEST(TalusConfig, DegenerateAtZero)
+{
+    const ConvexHull hull(exampleCurve());
+    const TalusConfig cfg = computeTalusConfig(hull, 0.0);
+    EXPECT_TRUE(cfg.degenerate);
+}
+
+TEST(TalusConfig, InterpolatedMissesMatchesHull)
+{
+    const ConvexHull hull(exampleCurve());
+    for (double s = 0.0; s <= 10.0; s += 0.25)
+        EXPECT_NEAR(interpolatedMisses(hull, s), hull.at(s), 1e-9)
+            << "s=" << s;
+}
+
+TEST(TalusConfig, RandomCurvesSatisfyLemma5)
+{
+    // Property test: on random non-convex curves, the configuration
+    // always satisfies s1 + s2 = s, rho in [0,1], the emulation
+    // identities, and Eq. 5 equals the hull.
+    Rng rng(47);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::vector<CurvePoint> pts;
+        double value = 50.0 + static_cast<double>(rng.below(50));
+        const int n = 4 + static_cast<int>(rng.below(20));
+        for (int i = 0; i < n; ++i) {
+            pts.push_back({static_cast<double>(i * 3), value});
+            // Mix plateaus and drops to create cliffs.
+            if (rng.chance(0.5))
+                value -= static_cast<double>(rng.below(25));
+            if (value < 0)
+                value = 0;
+        }
+        const MissCurve curve(pts);
+        const ConvexHull hull(curve);
+        const double max_s = curve.maxSize();
+
+        for (int k = 0; k < 10; ++k) {
+            const double s = rng.unit() * max_s;
+            const TalusConfig cfg = computeTalusConfig(hull, s, 0.0);
+            EXPECT_NEAR(cfg.s1 + cfg.s2, s, 1e-9);
+            EXPECT_GE(cfg.rho, 0.0);
+            EXPECT_LE(cfg.rho, 1.0);
+            if (!cfg.degenerate) {
+                EXPECT_NEAR(cfg.s1 / cfg.rho, cfg.alpha, 1e-6);
+                EXPECT_NEAR(cfg.s2 / (1.0 - cfg.rho), cfg.beta, 1e-6);
+                EXPECT_NEAR(cfg.predictedMisses(curve), hull.at(s),
+                            1e-6);
+                // Talus never promises worse than the raw curve.
+                EXPECT_LE(hull.at(s), curve.at(s) + 1e-9);
+            }
+        }
+    }
+}
+
+TEST(TalusConfig, PredictedMissesDegenerateUsesRawCurve)
+{
+    const ConvexHull hull(exampleCurve());
+    const TalusConfig cfg = computeTalusConfig(hull, 5.0);
+    EXPECT_NEAR(cfg.predictedMisses(exampleCurve()), 3.0, 1e-9);
+}
+
+} // namespace
+} // namespace talus

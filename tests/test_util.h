@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the Talus test suite.
+ */
+
+#ifndef TALUS_TESTS_TEST_UTIL_H
+#define TALUS_TESTS_TEST_UTIL_H
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+#include "workload/access_stream.h"
+
+namespace talus::test {
+
+/** Materializes @p n accesses from a stream into a trace. */
+inline std::vector<Addr>
+collect(AccessStream& stream, uint64_t n)
+{
+    std::vector<Addr> trace;
+    trace.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        trace.push_back(stream.next());
+    return trace;
+}
+
+/** A random trace over @p distinct addresses. */
+inline std::vector<Addr>
+randomTrace(uint64_t n, uint64_t distinct, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> trace;
+    trace.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        trace.push_back(rng.below(distinct));
+    return trace;
+}
+
+/** A cyclic scan trace of @p n accesses over @p lines lines. */
+inline std::vector<Addr>
+scanTrace(uint64_t n, uint64_t lines)
+{
+    std::vector<Addr> trace;
+    trace.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        trace.push_back(i % lines);
+    return trace;
+}
+
+} // namespace talus::test
+
+#endif // TALUS_TESTS_TEST_UTIL_H

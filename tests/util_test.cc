@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for src/util: RNG, H3 hashing, Fenwick trees, statistics,
+ * tables, and env parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/bits.h"
+#include "util/env.h"
+#include "util/fenwick.h"
+#include "util/h3_hash.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace talus {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next64() == b.next64());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.below(10)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 * 0.9);
+        EXPECT_LT(c, n / 10 * 1.1);
+    }
+}
+
+TEST(Rng, UnitInHalfOpenInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(19);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(Rng, SeedRestartsSequence)
+{
+    Rng rng(23);
+    const uint64_t first = rng.next64();
+    rng.next64();
+    rng.seed(23);
+    EXPECT_EQ(rng.next64(), first);
+}
+
+// ------------------------------------------------------------- H3Hash
+
+TEST(H3Hash, Deterministic)
+{
+    H3Hash h(8, 42);
+    H3Hash h2(8, 42);
+    for (Addr a = 0; a < 1000; ++a)
+        EXPECT_EQ(h.hash(a), h2.hash(a));
+}
+
+TEST(H3Hash, RangeRespectsBits)
+{
+    for (uint32_t bits : {1u, 4u, 8u, 16u}) {
+        H3Hash h(bits, 9);
+        EXPECT_EQ(h.range(), 1u << bits);
+        for (Addr a = 0; a < 2000; ++a)
+            EXPECT_LT(h.hash(a), h.range());
+    }
+}
+
+TEST(H3Hash, UniformOverSequentialAddresses)
+{
+    // Sequential addresses (scans!) must spread evenly — this is what
+    // Assumption 3 requires of the sampling function.
+    H3Hash h(4, 77);
+    std::vector<int> counts(16, 0);
+    const int n = 64000;
+    for (Addr a = 0; a < n; ++a)
+        counts[h.hash(a)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, n / 16 * 0.85);
+        EXPECT_LT(c, n / 16 * 1.15);
+    }
+}
+
+TEST(H3Hash, HashUnitMatchesHash)
+{
+    H3Hash h(8, 5);
+    for (Addr a = 0; a < 500; ++a)
+        EXPECT_DOUBLE_EQ(h.hashUnit(a), h.hash(a) / 256.0);
+}
+
+TEST(H3Hash, DifferentSeedsGiveDifferentFunctions)
+{
+    H3Hash a(8, 1), b(8, 2);
+    int same = 0;
+    for (Addr x = 0; x < 1000; ++x)
+        same += (a.hash(x) == b.hash(x));
+    // Random agreement is ~1/256.
+    EXPECT_LT(same, 30);
+}
+
+// ------------------------------------------------------------ Fenwick
+
+TEST(Fenwick, MatchesNaivePrefixSums)
+{
+    Fenwick fw(64);
+    std::vector<int64_t> naive(64, 0);
+    Rng rng(3);
+    for (int step = 0; step < 500; ++step) {
+        const size_t i = rng.below(64);
+        const int64_t delta = static_cast<int64_t>(rng.below(19)) - 9;
+        fw.add(i, delta);
+        naive[i] += delta;
+        const size_t q = rng.below(65);
+        int64_t expect = 0;
+        for (size_t k = 0; k < q; ++k)
+            expect += naive[k];
+        EXPECT_EQ(fw.prefixSum(q), expect);
+    }
+}
+
+TEST(Fenwick, RangeSum)
+{
+    Fenwick fw(10);
+    for (size_t i = 0; i < 10; ++i)
+        fw.add(i, static_cast<int64_t>(i));
+    EXPECT_EQ(fw.rangeSum(0, 10), 45);
+    EXPECT_EQ(fw.rangeSum(3, 7), 3 + 4 + 5 + 6);
+    EXPECT_EQ(fw.rangeSum(5, 5), 0);
+}
+
+TEST(Fenwick, ResizePreservesContents)
+{
+    Fenwick fw(8);
+    for (size_t i = 0; i < 8; ++i)
+        fw.add(i, 1);
+    fw.resize(32);
+    EXPECT_EQ(fw.prefixSum(8), 8);
+    fw.add(20, 5);
+    EXPECT_EQ(fw.prefixSum(32), 13);
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+    EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(Stats, StddevAndCoV)
+{
+    EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+    EXPECT_NEAR(stddev({1, 3}), 1.0, 1e-12);
+    EXPECT_NEAR(coeffOfVariation({1, 3}), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(coeffOfVariation({0, 0}), 0.0);
+}
+
+TEST(Stats, Quantile)
+{
+    std::vector<double> xs{4, 1, 3, 2};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, Sum)
+{
+    EXPECT_DOUBLE_EQ(sum({1.5, 2.5}), 4.0);
+    EXPECT_DOUBLE_EQ(sum({}), 0.0);
+}
+
+// -------------------------------------------------------------- Table
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t("demo", {"a", "bb"});
+    t.addRow(std::vector<std::string>{"1", "2"});
+    t.addRow(std::vector<double>{3.14159, 2.71828}, 2);
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t("x", {"c1", "c2"});
+    t.addRow(std::vector<std::string>{"v1", "v2"});
+    EXPECT_EQ(t.toCsv(), "c1,c2\nv1,v2\n");
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- env
+
+TEST(Env, IntAndDoubleAndFlag)
+{
+    ::setenv("TALUS_TEST_INT", "42", 1);
+    ::setenv("TALUS_TEST_DBL", "2.5", 1);
+    ::setenv("TALUS_TEST_FLAG", "1", 1);
+    ::setenv("TALUS_TEST_ZERO", "0", 1);
+    EXPECT_EQ(envInt("TALUS_TEST_INT", 7), 42);
+    EXPECT_EQ(envInt("TALUS_TEST_MISSING", 7), 7);
+    EXPECT_DOUBLE_EQ(envDouble("TALUS_TEST_DBL", 1.0), 2.5);
+    EXPECT_TRUE(envFlag("TALUS_TEST_FLAG"));
+    EXPECT_FALSE(envFlag("TALUS_TEST_ZERO"));
+    EXPECT_FALSE(envFlag("TALUS_TEST_MISSING"));
+}
+
+TEST(Env, MalformedFallsBack)
+{
+    ::setenv("TALUS_TEST_BAD", "xyz", 1);
+    EXPECT_EQ(envInt("TALUS_TEST_BAD", 5), 5);
+    EXPECT_DOUBLE_EQ(envDouble("TALUS_TEST_BAD", 1.5), 1.5);
+}
+
+// --------------------------------------------------------------- bits
+
+TEST(Bits, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    std::set<uint64_t> lows;
+    for (uint64_t x = 0; x < 1024; ++x)
+        lows.insert(mix64(x) & 0xFF);
+    // Sequential inputs should cover most of the low byte space.
+    EXPECT_GT(lows.size(), 200u);
+}
+
+} // namespace
+} // namespace talus

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the workload generators and the synthetic SPEC suite:
+ * determinism, reset/clone semantics, and — crucially — that each
+ * generator produces the LRU miss-curve shape it is documented to
+ * produce (cliffs for scans, ramps for random, convex tails for
+ * Zipf).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cache/fully_assoc_lru.h"
+#include "monitor/mattson_curve.h"
+#include "monitor/stack_distance.h"
+#include "tests/test_util.h"
+#include "workload/cyclic_scan.h"
+#include "workload/mix_stream.h"
+#include "workload/spec_suite.h"
+#include "workload/stack_dist_stream.h"
+#include "workload/uniform_random.h"
+#include "workload/zipf_stream.h"
+
+namespace talus {
+namespace {
+
+template <typename Stream>
+void
+expectDeterministicAndResettable(Stream& s)
+{
+    auto first = test::collect(s, 1000);
+    s.reset();
+    auto second = test::collect(s, 1000);
+    EXPECT_EQ(first, second);
+
+    auto cloned = s.clone();
+    auto third = test::collect(*cloned, 1000);
+    EXPECT_EQ(first, third);
+}
+
+TEST(CyclicScan, DeterministicResetClone)
+{
+    CyclicScan s(100, 1);
+    expectDeterministicAndResettable(s);
+}
+
+TEST(CyclicScan, VisitsAllLinesInOrder)
+{
+    CyclicScan s(5);
+    std::vector<Addr> expect{0, 1, 2, 3, 4, 0, 1};
+    for (Addr e : expect)
+        EXPECT_EQ(s.next(), e);
+}
+
+TEST(CyclicScan, LruCliffAtWorkingSet)
+{
+    // The defining property: zero hits below W, all hits at >= W.
+    const uint64_t w = 128;
+    CyclicScan s(w);
+    FullyAssocLru small(w - 1), fit(w);
+    for (uint64_t i = 0; i < w * 20; ++i) {
+        const Addr a = s.next();
+        small.access(a);
+        fit.access(a);
+    }
+    EXPECT_EQ(small.hits(), 0u);
+    EXPECT_EQ(fit.hits(), fit.accesses() - w);
+}
+
+TEST(UniformRandom, DeterministicResetClone)
+{
+    UniformRandom s(1000, 2, 99);
+    expectDeterministicAndResettable(s);
+}
+
+TEST(UniformRandom, StaysInWorkingSetAndCoversIt)
+{
+    UniformRandom s(64, 0, 7);
+    std::set<Addr> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = s.next();
+        EXPECT_LT(a, 64u);
+        seen.insert(a);
+    }
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(UniformRandom, LruMissRatioLinearInSize)
+{
+    // Hit rate at size s is ~ s/W for uniform random accesses.
+    const uint64_t w = 512;
+    for (double frac : {0.25, 0.5, 0.75}) {
+        UniformRandom s(w, 0, 21);
+        FullyAssocLru cache(static_cast<uint64_t>(frac * w));
+        for (int i = 0; i < 200000; ++i)
+            cache.access(s.next());
+        const double hit_rate = static_cast<double>(cache.hits()) /
+                                static_cast<double>(cache.accesses());
+        EXPECT_NEAR(hit_rate, frac, 0.05) << "frac=" << frac;
+    }
+}
+
+TEST(Zipf, DeterministicResetClone)
+{
+    ZipfStream s(500, 0.8, 1, 5);
+    expectDeterministicAndResettable(s);
+}
+
+TEST(Zipf, SkewMeansHotItemsDominate)
+{
+    ZipfStream s(1024, 1.0, 0, 3);
+    std::map<Addr, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[s.next()]++;
+    // The hottest line should get far more than uniform share.
+    int max_count = 0;
+    for (const auto& [addr, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 20 * n / 1024);
+}
+
+TEST(Zipf, ConvexLruMissCurve)
+{
+    ZipfStream s(2048, 0.9, 0, 9);
+    MattsonCurve mattson(2048);
+    for (int i = 0; i < 400000; ++i)
+        mattson.access(s.next());
+    const MissCurve curve = mattson.curve(256);
+    EXPECT_TRUE(curve.isNonIncreasing(0.01));
+    EXPECT_TRUE(curve.isConvex(0.05));
+}
+
+TEST(StackDist, MatchesRequestedProfile)
+{
+    // Ask for 60% of accesses at distance 10, 40% cold; verify the
+    // measured stack distances reproduce it.
+    StackDistStream s({{10, 0.6}}, 0.4, 0, 13);
+    StackDistanceCounter counter;
+    uint64_t at_ten = 0, cold = 0, n = 50000;
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t d = counter.access(s.next());
+        if (d == StackDistanceCounter::kCold)
+            cold++;
+        else if (d == 10)
+            at_ten++;
+    }
+    EXPECT_NEAR(static_cast<double>(at_ten) / n, 0.6, 0.05);
+    EXPECT_NEAR(static_cast<double>(cold) / n, 0.4, 0.05);
+}
+
+TEST(StackDist, DeterministicResetClone)
+{
+    StackDistStream s({{4, 0.5}, {16, 0.2}}, 0.3, 0, 17);
+    expectDeterministicAndResettable(s);
+}
+
+TEST(Mix, WeightsRespected)
+{
+    // Two disjoint address spaces; component weights 3:1.
+    std::vector<MixStream::Component> comps;
+    comps.push_back({std::make_unique<CyclicScan>(100, 1), 3.0});
+    comps.push_back({std::make_unique<CyclicScan>(100, 2), 1.0});
+    MixStream mix(std::move(comps), 23);
+    uint64_t first = 0, n = 40000;
+    for (uint64_t i = 0; i < n; ++i)
+        first += (mix.next() >> kAddrSpaceShift) == 1;
+    EXPECT_NEAR(static_cast<double>(first) / n, 0.75, 0.02);
+}
+
+TEST(Mix, DeterministicResetClone)
+{
+    std::vector<MixStream::Component> comps;
+    comps.push_back({std::make_unique<UniformRandom>(50, 1, 3), 1.0});
+    comps.push_back({std::make_unique<ZipfStream>(50, 0.8, 2, 4), 1.0});
+    MixStream mix(std::move(comps), 29);
+    expectDeterministicAndResettable(mix);
+}
+
+// ----------------------------------------------------------- AppSpec
+
+TEST(AppSpec, ComponentsUseDisjointSubspaces)
+{
+    const AppSpec& app = findApp("omnetpp"); // scan + zipf.
+    auto stream = app.buildStream(128, 1, 5);
+    std::set<uint64_t> spaces;
+    for (int i = 0; i < 10000; ++i)
+        spaces.insert(stream->next() >> kAddrSpaceShift);
+    EXPECT_GE(spaces.size(), 2u);
+}
+
+TEST(AppSpec, FootprintIsLargestComponent)
+{
+    EXPECT_DOUBLE_EQ(findApp("libquantum").footprintMb(), 32.0);
+    EXPECT_DOUBLE_EQ(findApp("omnetpp").footprintMb(), 8.0);
+}
+
+TEST(AppSpec, InstrPerAccessFromApki)
+{
+    EXPECT_NEAR(findApp("libquantum").instrPerAccess(), 1000.0 / 33.0,
+                1e-9);
+}
+
+TEST(SpecSuite, HasAllDocumentedApps)
+{
+    const auto names = allAppNames();
+    EXPECT_GE(names.size(), 22u);
+    for (const char* required :
+         {"libquantum", "omnetpp", "xalancbmk", "mcf", "perlbench",
+          "cactusADM", "lbm", "GemsFDTD", "gobmk", "povray", "tonto"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), required),
+                  names.end())
+            << required;
+    }
+}
+
+TEST(SpecSuite, MemIntensivePoolHas18UniqueApps)
+{
+    const auto pool = memIntensiveAppNames();
+    EXPECT_EQ(pool.size(), 18u);
+    std::set<std::string> unique(pool.begin(), pool.end());
+    EXPECT_EQ(unique.size(), 18u);
+    for (const std::string& name : pool)
+        EXPECT_NO_FATAL_FAILURE(findApp(name));
+}
+
+TEST(SpecSuite, LibquantumHasTheFig1Cliff)
+{
+    // LRU on libquantum (scaled): flat high MPKI below the 32MB
+    // cliff, near zero above it. Use a tiny scale for test speed.
+    const uint64_t lines_per_mb = 16; // 32MB -> 512 lines.
+    const AppSpec& app = findApp("libquantum");
+    auto stream = app.buildStream(lines_per_mb, 0, 7);
+
+    MattsonCurve mattson(1024);
+    for (int i = 0; i < 200000; ++i)
+        mattson.access(stream->next());
+    const MissCurve curve = mattson.curve(64);
+    EXPECT_GT(curve.at(256), 0.9); // Plateau at ~full miss ratio.
+    EXPECT_GT(curve.at(448), 0.9);
+    EXPECT_LT(curve.at(576), 0.1); // Past the cliff.
+}
+
+TEST(SpecSuite, OmnetppCliffAtTwoMb)
+{
+    // The 2MB scan (128 lines at this scale) creates a cliff. In the
+    // mixed stream the scan's effective LRU stack distance is its
+    // working set plus the zipf lines touched per lap, so the drop
+    // sits a bit beyond 128 lines — bracket it generously.
+    const uint64_t lines_per_mb = 64; // 2MB -> 128 lines.
+    const AppSpec& app = findApp("omnetpp");
+    auto stream = app.buildStream(lines_per_mb, 0, 9);
+    MattsonCurve mattson(1024);
+    for (int i = 0; i < 300000; ++i)
+        mattson.access(stream->next());
+    const MissCurve curve = mattson.curve(32);
+    const double before = curve.at(64);
+    const double after = curve.at(384);
+    EXPECT_GT(before - after, 0.3);
+    EXPECT_FALSE(curve.isConvex(0.001)); // The cliff is visible.
+}
+
+TEST(SpecSuite, BuildsEveryAppStream)
+{
+    for (const AppSpec& app : specSuite()) {
+        auto stream = app.buildStream(32, 3, 11);
+        ASSERT_NE(stream, nullptr) << app.name;
+        for (int i = 0; i < 1000; ++i)
+            stream->next();
+    }
+}
+
+} // namespace
+} // namespace talus
