@@ -91,7 +91,7 @@ main(int argc, char** argv)
     Table table("8 partitions, 64-point cliffy curves",
                 {"allocator", "ms/alloc", "cost on raw", "gap_raw_%",
                  "cost on hulls (Talus)", "gap_hull_%"});
-    for (const std::string& name :
+    for (const std::string name :
          {"HillClimb", "Lookahead", "Peekahead", "DP-Optimal"}) {
         auto alloc = makeAllocator(name);
         const int reps = name == "DP-Optimal" ? 3 : 20;

@@ -3,10 +3,10 @@
  * IdealPartitionedCache implementation: per-partition exact LRU.
  */
 
+#include "partition/ideal_partition.h"
+
 #include <numeric>
 
-#include "cache/fully_assoc_lru.h"
-#include "partition/partitioned_cache.h"
 #include "util/log.h"
 
 namespace talus {

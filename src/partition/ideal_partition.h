@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Idealized partitioning: one exact fully-associative LRU per
+ * partition ("Talus+I" in Fig. 8). Split out of partitioned_cache.h
+ * so the declaration lives next to its implementation
+ * (ideal_partition.cc).
+ */
+
+#ifndef TALUS_PARTITION_IDEAL_PARTITION_H
+#define TALUS_PARTITION_IDEAL_PARTITION_H
+
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "cache/fully_assoc_lru.h"
+#include "partition/partitioned_cache.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** Idealized partitioning: exact fully-associative LRU per partition. */
+class IdealPartitionedCache : public PartitionedCacheBase
+{
+  public:
+    /**
+     * @param capacity_lines Total capacity; initial targets are equal.
+     * @param num_parts Number of partitions.
+     */
+    IdealPartitionedCache(uint64_t capacity_lines, uint32_t num_parts);
+
+    bool access(Addr addr, PartId part) override;
+    void setTargets(const std::vector<uint64_t>& lines) override;
+    uint32_t numPartitions() const override;
+    uint64_t capacityLines() const override { return capacity_; }
+    uint64_t occupancy(PartId part) const override;
+    uint64_t targetOf(PartId part) const override;
+    CacheStats& stats() override { return stats_; }
+    const CacheStats& stats() const override { return stats_; }
+    const char* schemeName() const override { return "Ideal"; }
+
+  private:
+    uint64_t capacity_;
+    std::vector<FullyAssocLru> parts_;
+    CacheStats stats_;
+};
+
+} // namespace talus
+
+#endif // TALUS_PARTITION_IDEAL_PARTITION_H

@@ -1,6 +1,7 @@
 #include "partition/partitioned_cache.h"
 
 #include "partition/futility_scaling.h"
+#include "partition/ideal_partition.h"
 #include "partition/set_partition.h"
 #include "partition/unpartitioned.h"
 #include "partition/vantage.h"

@@ -9,8 +9,9 @@
  *
  *  - SchemePartitionedCache: a SetAssocCache plus a PartitionScheme
  *    (way / set / Vantage / unpartitioned).
- *  - IdealPartitionedCache: one exact fully-associative LRU per
- *    partition ("idealized partitioning", Talus+I in Fig. 8).
+ *  - IdealPartitionedCache (partition/ideal_partition.h): one exact
+ *    fully-associative LRU per partition ("idealized partitioning",
+ *    Talus+I in Fig. 8).
  */
 
 #ifndef TALUS_PARTITION_PARTITIONED_CACHE_H
@@ -21,7 +22,6 @@
 #include <vector>
 
 #include "cache/cache_stats.h"
-#include "cache/fully_assoc_lru.h"
 #include "cache/set_assoc_cache.h"
 #include "util/types.h"
 
@@ -95,32 +95,6 @@ class SchemePartitionedCache : public PartitionedCacheBase
 
   private:
     SetAssocCache cache_;
-};
-
-/** Idealized partitioning: exact fully-associative LRU per partition. */
-class IdealPartitionedCache : public PartitionedCacheBase
-{
-  public:
-    /**
-     * @param capacity_lines Total capacity; initial targets are equal.
-     * @param num_parts Number of partitions.
-     */
-    IdealPartitionedCache(uint64_t capacity_lines, uint32_t num_parts);
-
-    bool access(Addr addr, PartId part) override;
-    void setTargets(const std::vector<uint64_t>& lines) override;
-    uint32_t numPartitions() const override;
-    uint64_t capacityLines() const override { return capacity_; }
-    uint64_t occupancy(PartId part) const override;
-    uint64_t targetOf(PartId part) const override;
-    CacheStats& stats() override { return stats_; }
-    const CacheStats& stats() const override { return stats_; }
-    const char* schemeName() const override { return "Ideal"; }
-
-  private:
-    uint64_t capacity_;
-    std::vector<FullyAssocLru> parts_;
-    CacheStats stats_;
 };
 
 /** Which partitioned-cache construction to use. */

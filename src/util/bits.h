@@ -27,6 +27,30 @@ mix64(uint64_t x)
     return x;
 }
 
+/** Number of set bits in @p x (C++17 stand-in for std::popcount). */
+inline uint32_t
+popcount64(uint64_t x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<uint32_t>(__builtin_popcountll(x));
+#else
+    uint32_t count = 0;
+    while (x != 0) {
+        x &= x - 1;
+        ++count;
+    }
+    return count;
+#endif
+}
+
+/** Low-@p n-bit mask; defined for the full n in [0, 64] range, where
+ *  a plain `(1 << n) - 1` would shift out of range at n == 64. */
+inline uint64_t
+maskLow(uint32_t n)
+{
+    return n >= 64 ? ~0ull : (1ull << n) - 1;
+}
+
 } // namespace talus
 
 #endif // TALUS_UTIL_BITS_H

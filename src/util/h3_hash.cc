@@ -1,7 +1,6 @@
 #include "util/h3_hash.h"
 
-#include <bit>
-
+#include "util/bits.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -26,8 +25,7 @@ H3Hash::hash(Addr addr) const
 {
     uint32_t out = 0;
     for (uint32_t bit = 0; bit < outBits_; ++bit) {
-        out |= static_cast<uint32_t>(std::popcount(addr & masks_[bit]) & 1)
-               << bit;
+        out |= (popcount64(addr & masks_[bit]) & 1) << bit;
     }
     return out;
 }

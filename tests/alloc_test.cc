@@ -213,6 +213,18 @@ TEST(Allocators, RespectBudget)
     }
 }
 
+TEST(Allocators, SinglePartitionGetsWholeBudget)
+{
+    const std::vector<MissCurve> curves{
+        MissCurve({{0, 10}, {50, 5}, {100, 1}})};
+    for (const auto& name : knownAllocators()) {
+        auto alloc = makeAllocator(name);
+        const auto out = alloc->allocate(curves, 100, 10);
+        ASSERT_EQ(out.size(), 1u) << name;
+        EXPECT_EQ(out[0], 100u) << name;
+    }
+}
+
 TEST(AllocatorFactory, KnownNames)
 {
     for (const std::string& name : knownAllocators())

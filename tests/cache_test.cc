@@ -132,6 +132,18 @@ TEST(SetAssocCache, NonPowerOfTwoSets)
 
 // ------------------------------------------------------ FullyAssocLru
 
+TEST(SetAssocCache, SingleSetSingleWayHoldsOneLine)
+{
+    // Degenerate 1x1 geometry: a one-line cache.
+    SetAssocCache cache(smallConfig(1, 1),
+                        std::make_unique<LruPolicy>());
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_TRUE(cache.access(1));
+    EXPECT_FALSE(cache.access(2)); // Evicts 1.
+    EXPECT_FALSE(cache.access(1)); // Evicts 2.
+    EXPECT_EQ(cache.stats().evictions(), 2u);
+}
+
 TEST(FullyAssocLru, BasicHitMiss)
 {
     FullyAssocLru cache(2);

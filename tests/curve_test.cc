@@ -80,6 +80,25 @@ TEST(MissCurve, MonotoneClamped)
 
 // ----------------------------------------------------------- ConvexHull
 
+TEST(MissCurve, DefaultConstructedIsEmpty)
+{
+    MissCurve curve;
+    EXPECT_EQ(curve.numPoints(), 0u);
+    EXPECT_TRUE(curve.points().empty());
+}
+
+TEST(MissCurve, SinglePointClampsEverywhere)
+{
+    MissCurve curve({{4.0, 7.0}});
+    EXPECT_DOUBLE_EQ(curve.minSize(), 4.0);
+    EXPECT_DOUBLE_EQ(curve.maxSize(), 4.0);
+    EXPECT_DOUBLE_EQ(curve.at(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(curve.at(4.0), 7.0);
+    EXPECT_DOUBLE_EQ(curve.at(100.0), 7.0);
+    EXPECT_TRUE(curve.isNonIncreasing());
+    EXPECT_TRUE(curve.isConvex());
+}
+
 TEST(Hull, ExampleCurveHull)
 {
     // The Fig. 3 hull bridges the plateau: vertices (0,24), (2,12),

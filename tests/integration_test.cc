@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/fully_assoc_lru.h"
 #include "core/talus_controller.h"
 #include "monitor/combined_umon.h"
 #include "sim/experiment_util.h"

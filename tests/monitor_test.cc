@@ -219,6 +219,25 @@ TEST(UMon, DecayHalvesCounters)
 
 // ------------------------------------------------------- CombinedUMon
 
+TEST(UMon, ResetClearsSampledState)
+{
+    UMon::Config cfg;
+    cfg.ways = 8;
+    cfg.sets = 4;
+    cfg.modeledLines = 1 << 12;
+    UMon umon(cfg);
+    for (Addr a = 0; a < 4096; ++a)
+        umon.access(a);
+    EXPECT_GT(umon.sampledAccesses(), 0u);
+
+    umon.reset();
+    EXPECT_EQ(umon.sampledAccesses(), 0u);
+    // A reset monitor still yields a well-formed (anchored) curve.
+    const MissCurve curve = umon.curve();
+    EXPECT_EQ(curve.numPoints(), cfg.ways + 1u);
+    EXPECT_DOUBLE_EQ(curve.point(0).misses, 1.0);
+}
+
 TEST(CombinedUMon, CoversFourTimesLlc)
 {
     CombinedUMon::Config cfg;

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "partition/ideal_partition.h"
 #include "partition/partitioned_cache.h"
 #include "partition/set_partition.h"
 #include "partition/vantage.h"

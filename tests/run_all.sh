@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Convenience wrapper around the tier-1 verify: configure, build, and
+# run the GoogleTest suite through ctest.
+#
+# Usage:
+#   tests/run_all.sh                 # full suite, Release
+#   tests/run_all.sh -L unit         # fast suites only
+#   tests/run_all.sh -L integration  # slow end-to-end suites
+#   tests/run_all.sh -L property     # property/invariant suites
+#   BUILD_TYPE=Debug tests/run_all.sh
+#   BUILD_DIR=build-asan tests/run_all.sh
+#
+# Extra arguments are forwarded to ctest verbatim (e.g. -R lru, -V).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
+      -j "${JOBS}" "$@"

@@ -61,6 +61,22 @@ TEST(ShadowRouter, WiderLimitReducesQuantization)
               std::abs(narrow.effectiveRho() - 0.3) + 1e-12);
 }
 
+TEST(ShadowRouter, EffectiveRhoIsQuantizedToLimitRegister)
+{
+    ShadowRouter router(8);
+    router.setRho(0.3);
+    // round(0.3 * 256) = 77: the limit register quantizes rho.
+    EXPECT_EQ(router.limit(), 77u);
+    EXPECT_DOUBLE_EQ(router.effectiveRho(), 77.0 / 256.0);
+}
+
+TEST(ShadowRouterDeathTest, OutOfRangeRhoIsFatal)
+{
+    ShadowRouter router(8);
+    EXPECT_DEATH(router.setRho(1.5), "rho");
+    EXPECT_DEATH(router.setRho(-0.1), "rho");
+}
+
 TEST(ShadowRouter, RoutingIsStablePerAddress)
 {
     // The same address must always route the same way for a fixed

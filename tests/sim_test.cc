@@ -119,6 +119,13 @@ TEST(Metrics, CoVZeroWhenFair)
 
 // --------------------------------------------------------------- Sweeps
 
+TEST(Metrics, SingleAppDegeneratesToPlainSpeedup)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({2.0}, {1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({2.0}, {1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(ipcCoV({2.0}), 0.0);
+}
+
 TEST(Sweep, PolicyCurveShowsScanCliff)
 {
     // High associativity keeps the set-assoc cliff sharp (with few

@@ -178,6 +178,44 @@ TEST(Fenwick, RangeSum)
     EXPECT_EQ(fw.rangeSum(5, 5), 0);
 }
 
+TEST(Fenwick, EmptyTree)
+{
+    Fenwick fw;
+    EXPECT_EQ(fw.size(), 0u);
+    EXPECT_EQ(fw.prefixSum(0), 0);
+    EXPECT_EQ(fw.rangeSum(0, 0), 0);
+    // An empty tree must grow into a usable one.
+    fw.resize(4);
+    EXPECT_EQ(fw.size(), 4u);
+    fw.add(2, 7);
+    EXPECT_EQ(fw.prefixSum(4), 7);
+}
+
+TEST(Fenwick, SingleElement)
+{
+    Fenwick fw(1);
+    EXPECT_EQ(fw.size(), 1u);
+    EXPECT_EQ(fw.prefixSum(0), 0);
+    EXPECT_EQ(fw.prefixSum(1), 0);
+    fw.add(0, -3);
+    EXPECT_EQ(fw.prefixSum(1), -3);
+    fw.add(0, 5);
+    EXPECT_EQ(fw.prefixSum(1), 2);
+    EXPECT_EQ(fw.rangeSum(0, 1), 2);
+}
+
+TEST(Fenwick, ResizeToSmallerOrEqualIsNoOp)
+{
+    Fenwick fw(8);
+    fw.add(7, 9);
+    fw.resize(4);
+    EXPECT_EQ(fw.size(), 8u);
+    EXPECT_EQ(fw.prefixSum(8), 9);
+    fw.resize(8);
+    EXPECT_EQ(fw.size(), 8u);
+    EXPECT_EQ(fw.prefixSum(8), 9);
+}
+
 TEST(Fenwick, ResizePreservesContents)
 {
     Fenwick fw(8);
@@ -284,6 +322,27 @@ TEST(Bits, Mix64IsDeterministicAndSpreads)
         lows.insert(mix64(x) & 0xFF);
     // Sequential inputs should cover most of the low byte space.
     EXPECT_GT(lows.size(), 200u);
+}
+
+TEST(Bits, Popcount64Edges)
+{
+    EXPECT_EQ(popcount64(0), 0u);
+    EXPECT_EQ(popcount64(1), 1u);
+    EXPECT_EQ(popcount64(~0ull), 64u);
+    EXPECT_EQ(popcount64(1ull << 63), 1u);
+    EXPECT_EQ(popcount64(0xAAAAAAAAAAAAAAAAull), 32u);
+}
+
+TEST(Bits, MaskLowWrapAround)
+{
+    EXPECT_EQ(maskLow(0), 0u);
+    EXPECT_EQ(maskLow(1), 1u);
+    EXPECT_EQ(maskLow(8), 0xFFull);
+    EXPECT_EQ(maskLow(63), ~0ull >> 1);
+    // n == 64 would shift out of range in a naive (1 << n) - 1; the
+    // helper must saturate to all-ones instead of wrapping to zero.
+    EXPECT_EQ(maskLow(64), ~0ull);
+    EXPECT_EQ(maskLow(65), ~0ull);
 }
 
 } // namespace

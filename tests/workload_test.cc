@@ -18,7 +18,9 @@
 #include "monitor/stack_distance.h"
 #include "tests/test_util.h"
 #include "workload/cyclic_scan.h"
+#include "workload/filtered_stream.h"
 #include "workload/mix_stream.h"
+#include "workload/prefetched_stream.h"
 #include "workload/spec_suite.h"
 #include "workload/stack_dist_stream.h"
 #include "workload/uniform_random.h"
@@ -181,6 +183,57 @@ TEST(Mix, DeterministicResetClone)
 }
 
 // ----------------------------------------------------------- AppSpec
+
+TEST(Filtered, ScanPassesThroughSmallFilter)
+{
+    // A cyclic scan thrashes a too-small private LRU filter, so
+    // nearly every access misses there and reaches the LLC stream.
+    FilteredStream s(std::make_unique<CyclicScan>(1024), 64);
+    for (int i = 0; i < 4096; ++i)
+        s.next();
+    EXPECT_GT(s.passRatio(), 0.95);
+}
+
+TEST(Filtered, AbsorbsTemporalLocality)
+{
+    // Uniform random over 512 lines against a 256-line filter: about
+    // half the accesses hit the private cache and are filtered out.
+    FilteredStream s(std::make_unique<UniformRandom>(512, 0, 5), 256);
+    for (int i = 0; i < 20000; ++i)
+        s.next();
+    EXPECT_LT(s.passRatio(), 0.7);
+    EXPECT_GT(s.passRatio(), 0.3);
+}
+
+TEST(Filtered, DeterministicResetClone)
+{
+    FilteredStream s(std::make_unique<UniformRandom>(512, 1, 42), 128);
+    expectDeterministicAndResettable(s);
+}
+
+TEST(Prefetched, SequentialStreamTriggersPrefetches)
+{
+    PrefetchedStream s(std::make_unique<CyclicScan>(4096));
+    for (int i = 0; i < 10000; ++i)
+        s.next();
+    EXPECT_GT(s.prefetchesIssued(), 0u);
+}
+
+TEST(Prefetched, RandomStreamRarelyTriggers)
+{
+    // No sequential streams to train on: far fewer prefetches than
+    // the scan case relative to demand accesses.
+    PrefetchedStream s(std::make_unique<UniformRandom>(1 << 20, 0, 9));
+    for (int i = 0; i < 10000; ++i)
+        s.next();
+    EXPECT_LT(s.prefetchesIssued(), 1000u);
+}
+
+TEST(Prefetched, DeterministicResetClone)
+{
+    PrefetchedStream s(std::make_unique<CyclicScan>(512));
+    expectDeterministicAndResettable(s);
+}
 
 TEST(AppSpec, ComponentsUseDisjointSubspaces)
 {
