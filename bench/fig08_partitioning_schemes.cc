@@ -6,6 +6,10 @@
  * idealized partitioning (I) all closely trace LRU's convex hull on
  * libquantum and gobmk; Talus+V sits slightly above the hull because
  * Vantage manages only 90% of capacity.
+ *
+ * Each Talus point runs through the TalusCache facade (one
+ * single-partition cache per size, via sweepTalusCurve); only the
+ * Config::scheme knob differs between the three sweeps.
  */
 
 #include "bench/bench_util.h"

@@ -7,6 +7,9 @@
  * hardware — which is the paper's point, Sec. VI-C). Feeding that
  * monitored curve to Talus over way partitioning removes SRRIP's
  * cliffs on libquantum and mcf just as it does LRU's.
+ *
+ * The Talus sweep runs through the TalusCache facade (scheme=Way,
+ * policy=SRRIP), fed the monitor array's curve via applyCurves.
  */
 
 #include "bench/bench_util.h"

@@ -9,6 +9,10 @@
  *   - naive hill climbing on Talus matches/beats expensive Lookahead;
  *   - hill climbing on raw (cliffy) LRU curves is far behind;
  *   - Talus also wins on the fairness-emphasizing harmonic speedup.
+ *
+ * Every scheme here is one TalusCache facade configuration (inside
+ * runMultiProg): Talus+V/LRU flips Config::talus on, the baselines
+ * flip it off and vary the allocator/policy.
  */
 
 #include "bench/bench_util.h"

@@ -1,27 +1,25 @@
 /**
  * @file
- * The full hardware monitoring pipeline, end to end.
+ * The hardware monitoring pipeline, end to end, through the facade.
  *
- * Everything the other examples do with exact (Mattson) curves, this
- * one does the way the paper's hardware would (Fig. 7): a CombinedUMon
- * — a 64-way sampled utility monitor plus the 1:16-sampled second
- * monitor for 4x coverage — measures the miss curve while the program
- * runs; the convex hull is computed from the *monitored* curve; and
- * the TalusController is configured from it. Prints the monitored
- * curve against ground truth and the resulting Talus performance.
+ * Everything the paper's Fig. 7 wires in hardware — a CombinedUMon
+ * (64-way sampled utility monitor plus the 1:16-sampled second
+ * monitor for 4x coverage) measuring the miss curve while the program
+ * runs, convex hulls of the *monitored* curve, the allocator, and the
+ * shadow-partition controller — lives inside TalusCache. This example
+ * runs the self-managed loop on omnetpp at a mid-cliff size, then
+ * pulls the facade's monitored curve out and prints it against exact
+ * (Mattson) ground truth, plus the shadow configuration the loop
+ * converged to.
  *
  * Build & run:  ./build/examples/monitoring_pipeline
  */
 
 #include <cstdio>
 
-#include "core/convex_hull.h"
-#include "core/talus_controller.h"
-#include "monitor/combined_umon.h"
-#include "sim/scale.h"
+#include "api/talus.h"
 #include "sim/single_app_sim.h"
 #include "util/table.h"
-#include "workload/spec_suite.h"
 
 int
 main()
@@ -32,21 +30,27 @@ main()
     const AppSpec& app = findApp("omnetpp"); // Cliff at 2MB.
     const uint64_t llc = scale.lines(1.5);   // Mid-cliff LLC.
 
-    // --- Phase 1: the monitor watches the access stream. ---
-    CombinedUMon::Config mc;
-    mc.llcLines = llc;
-    mc.coverage = 4; // Sees up to 6MB: past the 2MB cliff.
-    CombinedUMon monitor(mc);
+    // --- One object owns monitors, hulls, allocator, controller. ---
+    TalusCache::Config cfg;
+    cfg.llcLines = llc;
+    cfg.scheme = SchemeKind::Vantage;
+    cfg.policyName = "LRU";
+    cfg.umonCoverage = 4; // Sees up to 6MB: past the 2MB cliff.
+    cfg.allocatorName = "HillClimb";
+    cfg.allocateOnHulls = true;
+    cfg.reconfigInterval = 100'000;
+    cfg.seed = 7;
+    TalusCache talus(cfg);
 
-    auto mon_stream = app.buildStream(scale.linesPerMb(), 0, 7);
-    for (int i = 0; i < 1500000; ++i)
-        monitor.access(mon_stream->next());
-    const MissCurve monitored = monitor.curve();
+    auto stream = app.buildStream(scale.linesPerMb(), 0, 7);
+    for (int i = 0; i < 1'500'000; ++i)
+        talus.access(stream->next());
 
-    // Ground truth for comparison.
+    // --- The facade's monitored curve vs exact ground truth. ---
+    const MissCurve monitored = talus.curve(0);
     auto exact_stream = app.buildStream(scale.linesPerMb(), 0, 7);
     const MissCurve exact =
-        measureLruCurve(*exact_stream, 1500000, llc * 4, llc / 8);
+        measureLruCurve(*exact_stream, 1'500'000, llc * 4, llc / 8);
 
     Table curve_table("Monitored vs exact LRU miss ratio",
                       {"size_mb", "UMON", "exact"});
@@ -57,37 +61,27 @@ main()
     }
     curve_table.print();
 
-    // --- Phase 2: configure Talus from the monitored curve. ---
-    auto phys =
-        makePartitionedCache(SchemeKind::Vantage, llc, 32, "LRU", 2);
-    TalusController::Config tc;
-    tc.numLogicalParts = 1;
-    tc.usableFraction = schemeUsableFraction(SchemeKind::Vantage);
-    TalusController talus(std::move(phys), tc);
-    talus.configure({monitored}, {llc});
-
-    const TalusConfig& cfg = talus.configOf(0);
-    std::printf("shadow configuration at %.2fMB: alpha=%.2fMB "
+    // --- The configuration the self-managed loop converged to. ---
+    const TalusCache::PartStats s = talus.stats(0);
+    std::printf("after %llu reconfigurations at %.2fMB: alpha=%.2fMB "
                 "beta=%.2fMB rho=%.3f\n",
-                scale.mb(llc), scale.mb(static_cast<uint64_t>(cfg.alpha)),
-                scale.mb(static_cast<uint64_t>(cfg.beta)), cfg.rho);
+                static_cast<unsigned long long>(
+                    talus.reconfigurations()),
+                scale.mb(llc),
+                scale.mb(static_cast<uint64_t>(s.shadow.alpha)),
+                scale.mb(static_cast<uint64_t>(s.shadow.beta)),
+                s.rho);
 
-    // --- Phase 3: run and compare against plain LRU. ---
-    auto run_stream = app.buildStream(scale.linesPerMb(), 0, 7);
-    for (uint64_t i = 0; i < 2 * llc + 65536; ++i)
-        talus.access(run_stream->next(), 0);
-    talus.cache().stats().reset();
-    for (int i = 0; i < 400000; ++i)
-        talus.access(run_stream->next(), 0);
-    const double measured =
-        static_cast<double>(talus.logicalMisses(0)) /
-        static_cast<double>(talus.logicalAccesses(0));
+    // --- Steady-state performance vs plain LRU. ---
+    talus.resetStats();
+    for (int i = 0; i < 400'000; ++i)
+        talus.access(stream->next());
 
     std::printf("at %.2fMB: LRU %.3f, Talus promise %.3f, Talus "
                 "measured %.3f miss ratio\n",
                 scale.mb(llc), exact.at(static_cast<double>(llc)),
                 ConvexHull(monitored).at(static_cast<double>(llc) *
                                          0.9),
-                measured);
+                talus.stats(0).missRatio());
     return 0;
 }

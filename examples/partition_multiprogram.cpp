@@ -6,7 +6,9 @@
  * (ii) partitioned LRU with the expensive Lookahead algorithm, and
  * (iii) Talus with trivial hill climbing — demonstrating the paper's
  * systems claim: once curves are convex, the simple algorithm matches
- * or beats the complex one (Sec. VII-D).
+ * or beats the complex one (Sec. VII-D). All three stacks are one
+ * TalusCache facade each (inside runMultiProg); the configs below
+ * only flip facade knobs.
  *
  * Build & run:  ./build/examples/partition_multiprogram
  */

@@ -5,19 +5,20 @@
  * Usage:  ./build/examples/policy_explorer [app] [max_mb]
  *         (defaults: omnetpp 8)
  *
- * Prints MPKI for LRU, DIP, SRRIP, DRRIP, PDP, and the Talus promise
- * (LRU's convex hull) across cache sizes — a build-your-own Fig. 10.
+ * Prints MPKI for LRU, DIP, SRRIP, DRRIP, and PDP across cache
+ * sizes, next to the Talus promise (LRU's convex hull) and what a
+ * TalusCache wrapped around LRU actually measures at each size — a
+ * build-your-own Fig. 10.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "core/convex_hull.h"
+#include "api/talus.h"
 #include "sim/experiment_util.h"
 #include "sim/single_app_sim.h"
 #include "util/table.h"
-#include "workload/spec_suite.h"
 
 int
 main(int argc, char** argv)
@@ -54,14 +55,24 @@ main(int argc, char** argv)
         curves.push_back(sweepPolicyCurve(*stream, sizes, opts));
     }
 
+    // And the promise made real: TalusCache (facade) around LRU,
+    // one fresh self-contained cache per size.
+    auto talus_stream = app.buildStream(scale.linesPerMb(), 0, 3);
+    TalusSweepOptions topts;
+    topts.scheme = SchemeKind::Vantage;
+    topts.measureAccesses = 150000;
+    const MissCurve talus =
+        sweepTalusCurve(*talus_stream, lru, sizes, topts);
+
     Table table("MPKI vs cache size",
                 {"size_mb", "LRU", "DIP", "SRRIP", "DRRIP", "PDP",
-                 "Talus promise"});
+                 "Talus+V/LRU", "Talus promise"});
     for (uint64_t s : sizes) {
         const double fs = static_cast<double>(s);
         std::vector<double> row{scale.mb(s), app.apki * lru.at(fs)};
         for (const auto& curve : curves)
             row.push_back(app.apki * curve.at(fs));
+        row.push_back(app.apki * talus.at(fs));
         row.push_back(app.apki * hull.at(fs));
         table.addRow(row);
     }

@@ -1,20 +1,21 @@
 /**
  * @file
- * Quickstart: the Talus math on a miss curve with a cliff.
+ * Quickstart: the whole Talus mechanism through one object.
  *
- * This is the paper's Sec. III worked example, in ~40 lines of API:
- * take a measured miss curve, compute its convex hull, and ask Talus
- * how to configure the shadow partitions at a size in the middle of
- * the cliff. No simulation involved — Talus needs only the curve.
+ * TalusCache is the library's public entry point: one validated
+ * Config builds the partitioned cache, the utility monitors, the
+ * convex-hull pre-processing, the allocator, and the shadow-partition
+ * controller (Fig. 7 of the paper), and the object reconfigures
+ * itself every `reconfigInterval` accesses. This example points it at
+ * the paper's canonical cliff — a scanning workload on a mid-cliff
+ * cache — and watches the self-managed loop trace the convex hull.
  *
  * Build & run:  ./build/examples/quickstart
  */
 
 #include <cstdio>
 
-#include "core/bypass_analysis.h"
-#include "core/convex_hull.h"
-#include "core/talus_config.h"
+#include "api/talus.h"
 #include "util/table.h"
 
 int
@@ -22,36 +23,73 @@ main()
 {
     using namespace talus;
 
-    // An application that accesses 2MB at random plus 3MB
-    // sequentially: LRU is flat at 12 MPKI from 2MB until everything
-    // fits at 5MB (the paper's Fig. 3).
-    const MissCurve lru({{0, 24}, {1, 18}, {2, 12}, {3, 12}, {4, 12},
-                         {5, 3}, {6, 3}, {8, 3}, {10, 3}});
+    const Scale scale(64); // 1 paper-MB = 64 lines: fast demo scale.
+    const AppSpec& app = findApp("libquantum"); // 32MB scan: cliff.
 
-    // Pre-processing: the convex hull is what Talus promises.
-    const ConvexHull hull(lru);
+    // --- 1. Configure. Invalid configs throw with a clear message. --
+    TalusCache::Config cfg;
+    cfg.llcLines = scale.lines(16.0);   // Mid-cliff LLC.
+    cfg.scheme = SchemeKind::Ideal;     // Idealized partitioning.
+    cfg.policyName = "LRU";
+    cfg.allocatorName = "HillClimb";    // Naive climber is enough...
+    cfg.allocateOnHulls = true;         // ...once curves are convex.
+    cfg.reconfigInterval = 50'000;      // Self-reconfigure cadence.
+    cfg.seed = 1;
 
-    Table curve_table("Miss curves (MPKI vs cache MB)",
-                      {"size_mb", "LRU", "Talus", "OptBypass"});
-    for (double mb = 0; mb <= 10; mb += 1) {
-        curve_table.addRow({mb, lru.at(mb), hull.at(mb),
-                            optimalBypass(lru, mb).misses});
+    TalusCache cache(cfg); // Throws ConfigError if cfg is invalid.
+
+    // (What rejection looks like:)
+    try {
+        TalusCache::Config bad = cfg;
+        bad.margin = 2.0;
+        TalusCache oops(bad);
+    } catch (const ConfigError& e) {
+        std::printf("config validation demo: %s\n\n", e.what());
     }
-    curve_table.print();
 
-    // Post-processing: shadow partition configuration at 4MB.
-    const TalusConfig cfg = computeTalusConfig(hull, 4.0, /*margin=*/0.0);
-    std::printf("Talus at 4MB:\n");
-    std::printf("  hull segment:     alpha=%.2gMB  beta=%.2gMB\n",
-                cfg.alpha, cfg.beta);
-    std::printf("  sampling rate:    rho=%.4g  (fraction of accesses "
-                "routed to the alpha shadow partition)\n",
-                cfg.rho);
-    std::printf("  shadow sizes:     s1=%.4gMB  s2=%.4gMB\n", cfg.s1,
-                cfg.s2);
-    std::printf("  emulated caches:  s1/rho=%.4gMB  s2/(1-rho)=%.4gMB\n",
-                cfg.s1 / cfg.rho, cfg.s2 / (1 - cfg.rho));
-    std::printf("  predicted MPKI:   %.4g (LRU at 4MB: %.4g)\n",
-                cfg.predictedMisses(lru), lru.at(4.0));
+    // --- 2. Run. The cache monitors, hulls, allocates, and ---
+    // --- reconfigures itself; callers only call access().  ---
+    auto stream = app.buildStream(scale.linesPerMb(), 0, 1);
+    for (int i = 0; i < 400'000; ++i)
+        cache.access(stream->next());
+
+    cache.resetStats(); // Measure steady state only.
+    for (int i = 0; i < 400'000; ++i)
+        cache.access(stream->next());
+
+    // --- 3. Inspect. ---
+    const TalusCache::PartStats s = cache.stats(0);
+    std::printf("workload:        %s (%.0f paper-MB scan)\n",
+                app.name.c_str(), app.footprintMb());
+    std::printf("LLC size:        %.0f paper-MB (%llu lines)\n",
+                scale.mb(cache.capacityLines()),
+                static_cast<unsigned long long>(cache.capacityLines()));
+    std::printf("reconfigs run:   %llu (every %llu accesses)\n",
+                static_cast<unsigned long long>(
+                    cache.reconfigurations()),
+                static_cast<unsigned long long>(cfg.reconfigInterval));
+    std::printf("shadow config:   alpha=%.1fMB beta=%.1fMB rho=%.3f "
+                "(s1=%.1fMB s2=%.1fMB)\n",
+                scale.mb(static_cast<uint64_t>(s.shadow.alpha)),
+                scale.mb(static_cast<uint64_t>(s.shadow.beta)), s.rho,
+                scale.mb(static_cast<uint64_t>(s.shadow.s1)),
+                scale.mb(static_cast<uint64_t>(s.shadow.s2)));
+
+    // The monitored curve vs its hull: the cliff Talus removes.
+    const MissCurve monitored = cache.curve(0);
+    const ConvexHull hull(monitored);
+    Table table("Monitored LRU miss ratio vs the Talus promise",
+                {"size_mb", "monitored", "hull"});
+    for (double mb = 8; mb <= 40; mb += 8) {
+        const double lines = static_cast<double>(scale.lines(mb));
+        table.addRow({mb, monitored.at(lines), hull.at(lines)});
+    }
+    table.print();
+
+    std::printf("measured miss ratio at %.0fMB: %.3f  (plain LRU "
+                "mid-cliff: ~%.3f, hull: %.3f)\n",
+                scale.mb(cache.capacityLines()), s.missRatio(),
+                monitored.at(static_cast<double>(cache.capacityLines())),
+                hull.at(static_cast<double>(cache.capacityLines())));
     return 0;
 }

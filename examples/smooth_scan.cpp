@@ -4,8 +4,9 @@
  *
  * Measures the real LRU miss curve with Mattson's stack algorithm,
  * then drives a trace through Talus wrapped around idealized and
- * Vantage partitioning at several cache sizes, printing measured MPKI
- * against the convex-hull promise — a miniature of the paper's
+ * Vantage partitioning at several cache sizes (one single-partition
+ * TalusCache facade per size, via sweepTalusCurve), printing measured
+ * MPKI against the convex-hull promise — a miniature of the paper's
  * Fig. 1/Fig. 8.
  *
  * Build & run:  ./build/examples/smooth_scan

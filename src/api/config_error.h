@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The error type thrown by the public API when a configuration fails
+ * validation.
+ *
+ * The library's internals use talus_assert/talus_fatal (util/log.h),
+ * which terminate the process — appropriate for simulation drivers,
+ * hostile to a component embedded in a larger system. The API layer
+ * instead rejects bad configurations by throwing ConfigError with an
+ * actionable message, so callers can catch, report, and retry.
+ */
+
+#ifndef TALUS_API_CONFIG_ERROR_H
+#define TALUS_API_CONFIG_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace talus {
+
+/** Thrown by TalusCache when a Config fails validation. */
+class ConfigError : public std::invalid_argument
+{
+  public:
+    explicit ConfigError(const std::string& what)
+        : std::invalid_argument(what)
+    {
+    }
+};
+
+} // namespace talus
+
+#endif // TALUS_API_CONFIG_ERROR_H

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Umbrella header for the public API: everything a TalusCache user
+ * needs in one include.
+ *
+ *     #include "api/talus.h"
+ *
+ * pulls in the facade itself (api/talus_cache.h), the miss-curve and
+ * convex-hull types its methods speak, paper-MB scaling, and the
+ * synthetic workload suite used by the examples. Components embedding
+ * only the cache can include api/talus_cache.h directly.
+ */
+
+#ifndef TALUS_API_TALUS_H
+#define TALUS_API_TALUS_H
+
+#include "api/config_error.h"
+#include "api/talus_cache.h"
+#include "core/convex_hull.h"
+#include "core/miss_curve.h"
+#include "sim/scale.h"
+#include "workload/spec_suite.h"
+
+#endif // TALUS_API_TALUS_H

@@ -1,0 +1,316 @@
+#include "api/talus_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "alloc/allocator_factory.h"
+#include "alloc/fair_alloc.h"
+#include "policy/policy_factory.h"
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+std::string
+joinNames(const std::vector<std::string>& names)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < names.size(); ++i)
+        oss << (i ? ", " : "") << '"' << names[i] << '"';
+    return oss.str();
+}
+
+bool
+knownName(const std::vector<std::string>& names, const std::string& name)
+{
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+} // namespace
+
+std::string
+TalusCache::Config::validate() const
+{
+    // Talus doubles every logical partition into alpha/beta shadows.
+    const uint64_t phys_parts =
+        talus ? 2ull * numParts : static_cast<uint64_t>(numParts);
+    std::ostringstream err;
+    if (llcLines < 1)
+        err << "llcLines must be >= 1 (got " << llcLines << ")";
+    else if (ways < 1)
+        err << "ways must be >= 1 (got " << ways << ")";
+    else if (ways > llcLines)
+        err << "ways (" << ways << ") exceeds llcLines (" << llcLines
+            << "); shrink the associativity or grow the cache";
+    else if (numParts < 1)
+        err << "numParts must be >= 1 (got " << numParts << ")";
+    else if (!knownName(knownPolicies(), policyName))
+        err << "unknown policyName \"" << policyName << "\"; known: "
+            << joinNames(knownPolicies());
+    else if (scheme == SchemeKind::Ideal && policyName != "LRU")
+        err << "Ideal partitioning models exact per-partition LRU "
+               "stacks; use policyName=\"LRU\" or pick another scheme";
+    else if (talus && scheme == SchemeKind::Unpartitioned)
+        err << "Talus needs a partitioning scheme to size its shadow "
+               "partitions; pick Way/Set/Vantage/Futility/Ideal, or "
+               "set talus=false for an unpartitioned baseline";
+    else if (scheme == SchemeKind::Unpartitioned &&
+             !allocatorName.empty())
+        err << "an unpartitioned cache has no partition targets for "
+               "the allocator to set; drop allocatorName (use \"\") "
+               "or pick a partitioning scheme";
+    else if (scheme == SchemeKind::Way && phys_parts > ways)
+        err << "way partitioning assigns whole ways: " << phys_parts
+            << " physical partitions"
+            << (talus ? " (2 shadows per logical partition)" : "")
+            << " need at least that many ways (got " << ways
+            << "); grow ways or shrink numParts";
+    else if (scheme == SchemeKind::Set && phys_parts > llcLines / ways)
+        err << "set partitioning assigns whole sets: " << phys_parts
+            << " physical partitions"
+            << (talus ? " (2 shadows per logical partition)" : "")
+            << " need at least that many sets (got " << llcLines / ways
+            << "); grow llcLines or shrink numParts";
+    else if (std::isnan(margin) || margin < 0.0 || margin >= 1.0)
+        err << "margin must be in [0,1) (got " << margin
+            << "); the paper uses 0.05";
+    else if (routerBits < 1 || routerBits > 32)
+        err << "routerBits must be in [1,32] (got " << routerBits
+            << "); the paper uses 8";
+    else if (umonCoverage < 1)
+        err << "umonCoverage must be >= 1 (got " << umonCoverage
+            << "); the paper uses 4";
+    else if (!allocatorName.empty() &&
+             !knownName(knownAllocators(), allocatorName))
+        err << "unknown allocatorName \"" << allocatorName
+            << "\"; known: " << joinNames(knownAllocators())
+            << " (or \"\" to configure externally via applyCurves)";
+    else if (reconfigInterval > 0 && allocatorName.empty())
+        err << "reconfigInterval (" << reconfigInterval
+            << " accesses) needs an allocator; set allocatorName or "
+               "use reconfigInterval=0 with applyCurves()";
+    else if (!monitoring && !allocatorName.empty())
+        err << "the reconfiguration loop reads the built-in monitors; "
+               "keep monitoring=true, or set allocatorName=\"\" and "
+               "configure externally via applyCurves()";
+    return err.str();
+}
+
+TalusCache::TalusCache(const Config& config) : cfg_(config)
+{
+    const std::string err = cfg_.validate();
+    if (!err.empty())
+        throw ConfigError("TalusCache::Config: " + err);
+
+    if (cfg_.monitoring) {
+        monitors_.reserve(cfg_.numParts);
+        for (uint32_t p = 0; p < cfg_.numParts; ++p) {
+            CombinedUMon::Config mc;
+            mc.llcLines = cfg_.llcLines;
+            mc.coverage = cfg_.umonCoverage;
+            mc.seed = cfg_.seed ^ (0x1111ull * (p + 1));
+            monitors_.emplace_back(mc);
+        }
+    }
+
+    if (cfg_.talus) {
+        auto phys = makePartitionedCache(cfg_.scheme, cfg_.llcLines,
+                                         cfg_.ways, cfg_.policyName,
+                                         2 * cfg_.numParts, cfg_.seed);
+        TalusController::Config tc;
+        tc.numLogicalParts = cfg_.numParts;
+        tc.margin = cfg_.margin;
+        tc.routerBits = cfg_.routerBits;
+        tc.usableFraction = schemeUsableFraction(cfg_.scheme);
+        tc.recomputeFromCoarsened = cfg_.scheme == SchemeKind::Way ||
+                                    cfg_.scheme == SchemeKind::Set;
+        tc.seed = cfg_.routerSeed.value_or(cfg_.seed ^ 0xC11);
+        ctl_ = std::make_unique<TalusController>(std::move(phys), tc);
+
+        // Start from a fair split; single-point curves make every
+        // logical partition degenerate (rho = 1) until monitors warm
+        // or the caller applies real curves.
+        std::vector<MissCurve> flat(cfg_.numParts,
+                                    MissCurve({{0.0, 1.0}}));
+        FairAllocator fair;
+        ctl_->configure(
+            flat, fair.allocate(flat, ctl_->cache().capacityLines(), 1));
+    } else {
+        plain_ = makePartitionedCache(cfg_.scheme, cfg_.llcLines,
+                                      cfg_.ways, cfg_.policyName,
+                                      cfg_.numParts, cfg_.seed);
+    }
+
+    if (!cfg_.allocatorName.empty())
+        allocator_ = makeAllocator(cfg_.allocatorName);
+    granule_ = std::max<uint64_t>(1, cfg_.llcLines / 64);
+    intervalAccesses_.assign(cfg_.numParts, 0);
+}
+
+bool
+TalusCache::access(Addr addr, PartId part)
+{
+    talus_assert(part < cfg_.numParts, "bad logical partition ", part);
+    if (cfg_.monitoring)
+        monitors_[part].access(addr);
+    const bool hit = cfg_.talus ? ctl_->access(addr, part)
+                                : plain_->access(addr, part);
+    intervalAccesses_[part]++;
+    sinceReconfig_++;
+    if (cfg_.reconfigInterval > 0 &&
+        sinceReconfig_ >= cfg_.reconfigInterval)
+        reconfigure();
+    return hit;
+}
+
+void
+TalusCache::reconfigure()
+{
+    if (allocator_ == nullptr)
+        talus_fatal("TalusCache::reconfigure() needs an allocator; set "
+                    "Config::allocatorName (one of ",
+                    joinNames(knownAllocators()),
+                    ") or apply externally computed configurations "
+                    "with applyCurves()");
+    sinceReconfig_ = 0;
+    reconfigurations_++;
+
+    std::vector<MissCurve> curves;
+    std::vector<MissCurve> alloc_curves;
+    curves.reserve(cfg_.numParts);
+    alloc_curves.reserve(cfg_.numParts);
+    for (uint32_t p = 0; p < cfg_.numParts; ++p) {
+        MissCurve c = monitors_[p].curve();
+        // Weight each partition's curve by its interval access volume
+        // so the allocator compares misses, not ratios.
+        alloc_curves.push_back(c.scaled(
+            1.0, static_cast<double>(intervalAccesses_[p]) + 1.0));
+        curves.push_back(std::move(c));
+        intervalAccesses_[p] = 0;
+    }
+
+    // Pre-processing: Talus promises the convex hulls.
+    if (cfg_.allocateOnHulls)
+        alloc_curves = TalusController::convexHulls(alloc_curves);
+
+    // The cache may round capacity down to whole sets; never hand the
+    // allocator more lines than physically exist.
+    const uint64_t cap =
+        std::min<uint64_t>(cfg_.llcLines, cache().capacityLines());
+    const uint64_t usable =
+        (!cfg_.talus && cfg_.scheme == SchemeKind::Vantage)
+            ? cap * 9 / 10
+            : cap;
+    const std::vector<uint64_t> alloc =
+        allocator_->allocate(alloc_curves, usable, granule_);
+
+    if (cfg_.talus)
+        ctl_->configure(curves, alloc);
+    else if (cfg_.scheme != SchemeKind::Unpartitioned)
+        plain_->setTargets(alloc);
+
+    for (auto& mon : monitors_)
+        mon.decay();
+    cache().nextInterval();
+}
+
+void
+TalusCache::applyCurves(const std::vector<MissCurve>& curves,
+                        const std::vector<uint64_t>& logical_alloc)
+{
+    if (curves.size() != cfg_.numParts ||
+        logical_alloc.size() != cfg_.numParts)
+        talus_fatal("TalusCache::applyCurves: expected ", cfg_.numParts,
+                    " curves and allocations (one per logical "
+                    "partition), got ",
+                    curves.size(), " curves and ", logical_alloc.size(),
+                    " allocations");
+    if (cfg_.talus)
+        ctl_->configure(curves, logical_alloc);
+    else if (cfg_.scheme != SchemeKind::Unpartitioned)
+        plain_->setTargets(logical_alloc);
+}
+
+TalusCache::PartStats
+TalusCache::stats(PartId part) const
+{
+    talus_assert(part < cfg_.numParts, "bad logical partition ", part);
+    PartStats s;
+    if (cfg_.talus) {
+        s.accesses = ctl_->logicalAccesses(part);
+        s.misses = ctl_->logicalMisses(part);
+        const PartitionedCacheBase& c = ctl_->cache();
+        s.targetLines = c.targetOf(2 * part) + c.targetOf(2 * part + 1);
+        s.rho = ctl_->routedRho(part);
+        s.shadow = ctl_->configOf(part);
+    } else {
+        const CacheStats& cs = plain_->stats();
+        s.accesses = cs.accesses(part);
+        s.misses = cs.misses(part);
+        s.targetLines = plain_->targetOf(part);
+    }
+    return s;
+}
+
+std::vector<MissCurve>
+TalusCache::curves() const
+{
+    if (!cfg_.monitoring)
+        talus_fatal("TalusCache::curves(): monitoring is disabled in "
+                    "this Config; enable Config::monitoring to read "
+                    "monitored miss curves");
+    std::vector<MissCurve> out;
+    out.reserve(monitors_.size());
+    for (const CombinedUMon& mon : monitors_)
+        out.push_back(mon.curve());
+    return out;
+}
+
+MissCurve
+TalusCache::curve(PartId part) const
+{
+    if (!cfg_.monitoring)
+        talus_fatal("TalusCache::curve(): monitoring is disabled in "
+                    "this Config; enable Config::monitoring to read "
+                    "monitored miss curves");
+    talus_assert(part < cfg_.numParts, "bad logical partition ", part);
+    return monitors_[part].curve();
+}
+
+double
+TalusCache::missRatio() const
+{
+    const CacheStats& cs = cache().stats();
+    return cs.totalAccesses() > 0
+               ? static_cast<double>(cs.totalMisses()) /
+                     static_cast<double>(cs.totalAccesses())
+               : 0.0;
+}
+
+void
+TalusCache::resetStats()
+{
+    cache().stats().reset();
+}
+
+uint64_t
+TalusCache::capacityLines() const
+{
+    return cache().capacityLines();
+}
+
+PartitionedCacheBase&
+TalusCache::cache()
+{
+    return cfg_.talus ? ctl_->cache() : *plain_;
+}
+
+const PartitionedCacheBase&
+TalusCache::cache() const
+{
+    return cfg_.talus ? ctl_->cache() : *plain_;
+}
+
+} // namespace talus

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * TalusCache: the single self-managing entry point to the library.
+ *
+ * The paper's pitch is that Talus is simple to deploy (Fig. 7):
+ * utility monitors feed miss curves to convex hulls, hulls feed the
+ * partitioning algorithm, and the controller turns allocations into
+ * shadow-partition sizes and sampling rates. TalusCache owns that
+ * whole loop. One validated Config builds the partitioned cache, the
+ * TalusController, one CombinedUMon per logical partition, and the
+ * allocator; callers then just:
+ *
+ *     TalusCache::Config cfg;
+ *     cfg.llcLines = 8192;
+ *     cfg.numParts = 2;
+ *     cfg.reconfigInterval = 100'000;   // accesses between reconfigs
+ *     TalusCache cache(cfg);            // throws ConfigError if invalid
+ *     bool hit = cache.access(addr, part);
+ *     auto s = cache.stats(part);       // misses, rho, shadow sizes
+ *
+ * reconfigure() runs one iteration of the paper's software flow
+ * (monitor curves -> hulls -> allocate -> configure) and also fires
+ * automatically every Config::reconfigInterval accesses. Callers with
+ * externally measured curves (sweeps, offline studies) can bypass the
+ * built-in monitors/allocator with applyCurves().
+ *
+ * Invalid configurations are rejected at construction with an
+ * actionable ConfigError instead of an assert, so embedding systems
+ * can surface the message to their operators.
+ */
+
+#ifndef TALUS_API_TALUS_CACHE_H
+#define TALUS_API_TALUS_CACHE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "api/config_error.h"
+#include "core/talus_controller.h"
+#include "monitor/combined_umon.h"
+#include "partition/partitioned_cache.h"
+
+namespace talus {
+
+/** A partitioned cache that runs the Talus loop on itself. */
+class TalusCache
+{
+  public:
+    /** Everything needed to build a self-managing cache. */
+    struct Config
+    {
+        // --- Geometry -------------------------------------------------
+        uint64_t llcLines = 8192;       //!< Total capacity in lines.
+        uint32_t ways = 32;             //!< Associativity (Table I: 32).
+        std::string policyName = "LRU"; //!< Replacement policy name.
+        SchemeKind scheme = SchemeKind::Vantage; //!< Partitioning scheme.
+        uint32_t numParts = 1;          //!< Logical (caller-visible)
+                                        //!< partitions.
+
+        // --- Mechanism ------------------------------------------------
+        bool talus = true;     //!< false: plain partitioned cache (no
+                               //!< shadow partitions), for baselines.
+        double margin = 0.05;  //!< Safety margin on rho (Sec. VI-B).
+        uint32_t routerBits = 8; //!< Sampling hash/limit width.
+
+        // --- Monitoring -----------------------------------------------
+        bool monitoring = true;    //!< false: no UMONs (external curves
+                                   //!< only, via applyCurves).
+        uint32_t umonCoverage = 4; //!< UMON models coverage*LLC lines.
+
+        // --- Allocation / reconfiguration -----------------------------
+        std::string allocatorName = "HillClimb"; //!< "" = external
+                                                 //!< applyCurves() only.
+        bool allocateOnHulls = true; //!< Allocate on convex hulls
+                                     //!< (the Talus promise).
+        uint64_t reconfigInterval = 0; //!< Accesses between automatic
+                                       //!< reconfigs; 0 = manual only.
+        uint64_t seed = 42;
+        std::optional<uint64_t> routerSeed; //!< Shadow-router H3 seed;
+                                            //!< unset derives it from
+                                            //!< `seed`.
+
+        /**
+         * Validates the configuration. Returns "" when valid,
+         * otherwise an actionable error message naming the bad field
+         * and the accepted values.
+         */
+        std::string validate() const;
+    };
+
+    /** A snapshot of one logical partition's state. */
+    struct PartStats
+    {
+        uint64_t accesses = 0;    //!< Accesses by this partition.
+        uint64_t misses = 0;      //!< Misses by this partition.
+        uint64_t targetLines = 0; //!< Current allocation (both shadow
+                                  //!< partitions under Talus).
+        double rho = 1.0;         //!< Routed sampling rate (Talus).
+        TalusConfig shadow;       //!< Shadow configuration (Talus).
+
+        /** Misses / accesses; 0 before any access. */
+        double missRatio() const
+        {
+            return accesses > 0 ? static_cast<double>(misses) /
+                                      static_cast<double>(accesses)
+                                : 0.0;
+        }
+    };
+
+    /**
+     * Builds the cache, controller, monitors, and allocator.
+     *
+     * @throws ConfigError if @p config fails Config::validate().
+     */
+    explicit TalusCache(const Config& config);
+
+    /**
+     * One access by logical partition @p part; returns true on hit.
+     * Fires reconfigure() automatically every Config::reconfigInterval
+     * accesses (when an allocator is configured).
+     */
+    bool access(Addr addr, PartId part = 0);
+
+    /**
+     * One iteration of the paper's reconfiguration flow (Fig. 7):
+     * read each partition's monitored miss curve, weight it by the
+     * interval's access volume, (optionally) take convex hulls, run
+     * the allocator, and apply the result — shadow sizes + sampling
+     * rates under Talus, plain partition targets otherwise. Monitors
+     * decay and the policy interval hook fires afterwards.
+     *
+     * Fatal if the Config named no allocator.
+     */
+    void reconfigure();
+
+    /**
+     * Applies externally computed miss curves and logical allocations
+     * directly, bypassing the built-in monitors and allocator. For
+     * sweeps and offline studies where the curve is already known.
+     */
+    void applyCurves(const std::vector<MissCurve>& curves,
+                     const std::vector<uint64_t>& logical_alloc);
+
+    /** Snapshot of logical partition @p part. */
+    PartStats stats(PartId part) const;
+
+    /** Monitored miss curves, one per logical partition. Fatal when
+     *  Config::monitoring is off. */
+    std::vector<MissCurve> curves() const;
+
+    /** Monitored miss curve of partition @p part. Fatal when
+     *  Config::monitoring is off. */
+    MissCurve curve(PartId part) const;
+
+    /** Miss ratio across all partitions since the last resetStats(). */
+    double missRatio() const;
+
+    /** Clears the cache's access/miss counters (not the monitors). */
+    void resetStats();
+
+    /** Number of logical partitions. */
+    uint32_t numParts() const { return cfg_.numParts; }
+
+    /** Actual capacity in lines (may round down to whole sets). */
+    uint64_t capacityLines() const;
+
+    /** Reconfigurations run so far (manual + automatic). */
+    uint64_t reconfigurations() const { return reconfigurations_; }
+
+    /** True if an allocator was configured (reconfigure() is legal). */
+    bool hasAllocator() const { return allocator_ != nullptr; }
+
+    /** The validated configuration this cache was built from. */
+    const Config& config() const { return cfg_; }
+
+    /** Underlying physical cache, for monitors and tests. */
+    PartitionedCacheBase& cache();
+    const PartitionedCacheBase& cache() const;
+
+    /** The Talus controller; nullptr when Config::talus is false. */
+    const TalusController* controller() const { return ctl_.get(); }
+
+  private:
+    Config cfg_;
+    std::vector<CombinedUMon> monitors_;
+    std::unique_ptr<TalusController> ctl_;        //!< Talus mode.
+    std::unique_ptr<PartitionedCacheBase> plain_; //!< Baseline mode.
+    std::unique_ptr<Allocator> allocator_;
+    uint64_t granule_ = 1;
+    std::vector<uint64_t> intervalAccesses_;
+    uint64_t sinceReconfig_ = 0;
+    uint64_t reconfigurations_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_API_TALUS_CACHE_H

@@ -1,5 +1,6 @@
 #include "core/shadow_router.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/log.h"
@@ -14,9 +15,15 @@ ShadowRouter::ShadowRouter(uint32_t bits, uint64_t seed)
 void
 ShadowRouter::setRho(double rho)
 {
-    talus_assert(rho >= 0.0 && rho <= 1.0, "rho out of [0,1]: ", rho);
-    limit_ = static_cast<uint64_t>(
-        std::llround(rho * static_cast<double>(hash_.range())));
+    if (std::isnan(rho))
+        talus_fatal("ShadowRouter::setRho: rho is NaN; the shadow "
+                    "configuration that produced it is invalid (check "
+                    "the miss curve for non-finite or zero-width hull "
+                    "segments)");
+    // Out-of-range values come from rounding in upstream sizing math;
+    // the limit register saturates rather than faulting.
+    limit_ = static_cast<uint64_t>(std::llround(
+        std::clamp(rho, 0.0, 1.0) * static_cast<double>(hash_.range())));
 }
 
 double

@@ -28,7 +28,11 @@ class ShadowRouter
      */
     explicit ShadowRouter(uint32_t bits = 8, uint64_t seed = 0x70C4);
 
-    /** Sets the sampling rate; the limit register is round(rho*2^bits). */
+    /**
+     * Sets the sampling rate; the limit register is round(rho*2^bits).
+     * Values outside [0,1] are clamped (the limit register saturates);
+     * NaN is a fatal configuration error.
+     */
     void setRho(double rho);
 
     /** The quantized rate actually implemented by the limit register. */

@@ -54,17 +54,28 @@ void
 TalusController::configure(const std::vector<MissCurve>& curves,
                            const std::vector<uint64_t>& logical_alloc)
 {
-    talus_assert(curves.size() == cfg_.numLogicalParts,
-                 "expected ", cfg_.numLogicalParts, " curves, got ",
-                 curves.size());
-    talus_assert(logical_alloc.size() == cfg_.numLogicalParts,
-                 "expected ", cfg_.numLogicalParts, " allocations, got ",
-                 logical_alloc.size());
+    // User-facing configuration errors: fatal with actionable
+    // messages, not asserts — a bad allocator or caller wiring must
+    // not read as a library bug.
+    if (curves.size() != cfg_.numLogicalParts)
+        talus_fatal("TalusController::configure: expected ",
+                    cfg_.numLogicalParts,
+                    " miss curves (one per logical partition), got ",
+                    curves.size());
+    if (logical_alloc.size() != cfg_.numLogicalParts)
+        talus_fatal("TalusController::configure: expected ",
+                    cfg_.numLogicalParts,
+                    " allocations (one per logical partition), got ",
+                    logical_alloc.size());
     const uint64_t total = std::accumulate(logical_alloc.begin(),
                                            logical_alloc.end(), uint64_t{0});
-    talus_assert(total <= phys_->capacityLines(),
-                 "allocations (", total, ") exceed capacity (",
-                 phys_->capacityLines(), ")");
+    if (total > phys_->capacityLines())
+        talus_fatal("TalusController::configure: allocations sum to ",
+                    total, " lines and exceed capacity (",
+                    phys_->capacityLines(),
+                    " lines); the partitioning algorithm must allocate "
+                    "at most the physical capacity (check allocator "
+                    "granularity and set-rounding)");
 
     // Compute shadow partition sizes for every logical partition.
     std::vector<uint64_t> phys_targets(2 * cfg_.numLogicalParts, 0);

@@ -1,7 +1,13 @@
 #include "sim/experiment_util.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
 
 #include "util/env.h"
 #include "util/log.h"
@@ -10,23 +16,123 @@
 
 namespace talus {
 
+namespace {
+
+/**
+ * If @p arg is "--<name>=<value>", parses the value into @p out and
+ * returns true. A malformed value is a usage error: exits 1.
+ */
+bool
+matchValueFlag(const char* binary, const std::string& arg,
+               const char* name, std::optional<uint64_t>* out)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    const std::string value = arg.substr(prefix.size());
+    // strtoull alone would accept (and wrap) negative values; demand
+    // pure digits so "-5" is an error, not 2^64-5.
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos ||
+        end == nullptr || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "%s: flag %s needs an unsigned integer, got "
+                     "'%s'\n\n%s",
+                     binary, (std::string("--") + name).c_str(),
+                     value.c_str(), BenchEnv::usage());
+        std::exit(1);
+    }
+    *out = static_cast<uint64_t>(parsed);
+    return true;
+}
+
+} // namespace
+
+const char*
+BenchEnv::usage()
+{
+    return
+        "usage: <bench> [--csv] [--full] [--scale=N] [--instr=N]\n"
+        "               [--mixes=N] [--accesses=N] [--seed=N]\n"
+        "\n"
+        "  --csv         emit CSV instead of aligned tables\n"
+        "  --full        paper-true scale and run lengths (slow);\n"
+        "                same as TALUS_FULL=1\n"
+        "  --scale=N     cache lines per paper-MB (default 1024;\n"
+        "                TALUS_SCALE)\n"
+        "  --instr=N     fixed work per app in instructions\n"
+        "                (TALUS_INSTR)\n"
+        "  --mixes=N     random mixes for the multiprogram figures\n"
+        "                (TALUS_MIXES)\n"
+        "  --accesses=N  measured accesses per sweep point\n"
+        "                (TALUS_ACCESSES)\n"
+        "  --seed=N      global seed (TALUS_SEED)\n"
+        "  --help, -h    this text\n"
+        "\n"
+        "Environment variables provide the same knobs; flags win.\n";
+}
+
 BenchEnv
 BenchEnv::init(int argc, char** argv)
 {
+    const char* binary = argc > 0 ? argv[0] : "bench";
     BenchEnv env;
-    env.scale = Scale::fromEnv();
-    const bool full = envFlag("TALUS_FULL");
-    env.instrPerApp = static_cast<uint64_t>(
-        envInt("TALUS_INSTR", full ? 50'000'000 : 4'000'000));
-    env.mixes =
-        static_cast<uint32_t>(envInt("TALUS_MIXES", full ? 100 : 24));
-    env.measureAccesses = static_cast<uint64_t>(
-        envInt("TALUS_ACCESSES", full ? 4'000'000 : 400'000));
-    env.seed = static_cast<uint64_t>(envInt("TALUS_SEED", 20150207));
+    bool full = envFlag("TALUS_FULL");
+    std::optional<uint64_t> scale_f, instr_f, mixes_f, accesses_f,
+        seed_f;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0)
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("%s", usage());
+            std::exit(0);
+        } else if (arg == "--csv") {
             env.csv = true;
+        } else if (arg == "--full") {
+            full = true;
+        } else if (matchValueFlag(binary, arg, "scale", &scale_f) ||
+                   matchValueFlag(binary, arg, "instr", &instr_f) ||
+                   matchValueFlag(binary, arg, "mixes", &mixes_f) ||
+                   matchValueFlag(binary, arg, "accesses",
+                                  &accesses_f) ||
+                   matchValueFlag(binary, arg, "seed", &seed_f)) {
+            // Parsed into its optional above.
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "%s: unrecognized flag '%s'\n\n%s",
+                         binary, arg.c_str(), usage());
+            std::exit(1);
+        }
+        // Non-flag positional arguments are the binary's business.
     }
+
+    if (scale_f.has_value()) {
+        if (*scale_f < 1) {
+            std::fprintf(stderr, "%s: --scale must be >= 1\n\n%s",
+                         binary, usage());
+            std::exit(1);
+        }
+        env.scale = Scale(*scale_f);
+    } else {
+        env.scale = full ? Scale(Scale::kFullLinesPerMb)
+                         : Scale::fromEnv();
+    }
+    env.instrPerApp = instr_f.value_or(static_cast<uint64_t>(
+        envInt("TALUS_INSTR", full ? 50'000'000 : 4'000'000)));
+    if (mixes_f.has_value() &&
+        *mixes_f > std::numeric_limits<uint32_t>::max()) {
+        std::fprintf(stderr, "%s: --mixes must fit 32 bits\n\n%s",
+                     binary, usage());
+        std::exit(1);
+    }
+    env.mixes = static_cast<uint32_t>(mixes_f.value_or(
+        static_cast<uint64_t>(envInt("TALUS_MIXES", full ? 100 : 24))));
+    env.measureAccesses = accesses_f.value_or(static_cast<uint64_t>(
+        envInt("TALUS_ACCESSES", full ? 4'000'000 : 400'000)));
+    env.seed = seed_f.value_or(
+        static_cast<uint64_t>(envInt("TALUS_SEED", 20150207)));
     return env;
 }
 

@@ -28,10 +28,18 @@ struct BenchEnv
     uint64_t seed = 0;           //!< Global seed (TALUS_SEED).
 
     /**
-     * Reads TALUS_SCALE / TALUS_FULL / TALUS_INSTR / TALUS_MIXES /
-     * TALUS_ACCESSES / TALUS_SEED and scans argv for --csv.
+     * Parses the common bench command line over environment-variable
+     * defaults (flags win over env vars). Accepted flags: --csv,
+     * --full, --scale=N, --instr=N, --mixes=N, --accesses=N, --seed=N,
+     * and --help/-h (prints usage() and exits 0). Any other `--`
+     * argument is an error: usage goes to stderr and the process
+     * exits 1. Non-flag positional arguments are left for the binary
+     * to interpret.
      */
     static BenchEnv init(int argc, char** argv);
+
+    /** The usage text printed by --help and on flag errors. */
+    static const char* usage();
 };
 
 /**

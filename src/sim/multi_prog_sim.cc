@@ -1,12 +1,9 @@
 #include "sim/multi_prog_sim.h"
 
-#include <algorithm>
 #include <limits>
+#include <memory>
 
-#include "alloc/allocator_factory.h"
-#include "alloc/fair_alloc.h"
-#include "core/talus_controller.h"
-#include "monitor/combined_umon.h"
+#include "api/talus_cache.h"
 #include "util/log.h"
 
 namespace talus {
@@ -30,12 +27,34 @@ struct AppState
     CoreModel model;
     double cycles = 0;
     double instr = 0;
-    uint64_t intervalAccesses = 0;
     uint64_t measuredAccesses = 0;
     uint64_t measuredMisses = 0;
     bool done = false;
     double doneCycles = 0;
 };
+
+/** Maps a MultiProgConfig onto the facade's configuration. */
+TalusCache::Config
+facadeConfig(const MultiProgConfig& cfg, uint32_t n)
+{
+    TalusCache::Config cc;
+    cc.llcLines = cfg.llcLines;
+    cc.ways = cfg.ways;
+    cc.policyName = cfg.policyName;
+    cc.scheme = cfg.scheme;
+    cc.numParts = n;
+    cc.talus = cfg.useTalus;
+    cc.margin = cfg.margin;
+    cc.routerBits = cfg.routerBits;
+    cc.umonCoverage = cfg.umonCoverage;
+    cc.allocatorName = cfg.allocatorName;
+    cc.allocateOnHulls = cfg.allocateOnHulls;
+    // Reconfiguration is driven by modeled cycles below, not by the
+    // facade's access-count interval.
+    cc.reconfigInterval = 0;
+    cc.seed = cfg.seed;
+    return cc;
+}
 
 } // namespace
 
@@ -47,57 +66,25 @@ runMultiProg(const std::vector<const AppSpec*>& apps,
     talus_assert(n >= 1, "need at least one app");
     talus_assert(cfg.instrPerApp > 0, "fixed work must be > 0");
 
-    // --- Build per-app state (streams, core models, monitors). ---
+    // --- Build per-app state (streams, core models). ---
     std::vector<AppState> state;
     state.reserve(n);
-    std::vector<CombinedUMon> monitors;
-    monitors.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
         state.push_back(AppState{
             apps[i]->buildStream(scale.linesPerMb(), i + 1,
                                  cfg.seed + 131 * i),
             CoreModel(*apps[i], cfg.coreParams)});
-
-        CombinedUMon::Config mc;
-        mc.llcLines = cfg.llcLines;
-        mc.coverage = cfg.umonCoverage;
-        mc.seed = cfg.seed ^ (0x1111ull * (i + 1));
-        monitors.emplace_back(mc);
     }
 
-    // --- Build the cache stack. ---
-    std::unique_ptr<TalusController> talus_ctl;
-    std::unique_ptr<PartitionedCacheBase> plain;
-    if (cfg.useTalus) {
-        auto phys = makePartitionedCache(cfg.scheme, cfg.llcLines, cfg.ways,
-                                         cfg.policyName, 2 * n, cfg.seed);
-        TalusController::Config tc;
-        tc.numLogicalParts = n;
-        tc.margin = cfg.margin;
-        tc.routerBits = cfg.routerBits;
-        tc.usableFraction = schemeUsableFraction(cfg.scheme);
-        tc.recomputeFromCoarsened = cfg.scheme == SchemeKind::Way ||
-                                    cfg.scheme == SchemeKind::Set;
-        tc.seed = cfg.seed ^ 0xC11;
-        talus_ctl =
-            std::make_unique<TalusController>(std::move(phys), tc);
-
-        // Start from a fair split; single-point curves make every
-        // logical partition degenerate (rho = 1) until monitors warm.
-        std::vector<MissCurve> flat(n, MissCurve({{0.0, 1.0}}));
-        FairAllocator fair;
-        talus_ctl->configure(
-            flat, fair.allocate(flat, cfg.llcLines, 1));
-    } else {
-        plain = makePartitionedCache(cfg.scheme, cfg.llcLines, cfg.ways,
-                                     cfg.policyName, n, cfg.seed);
+    // --- The shared LLC: the facade owns monitors, the Talus ---
+    // --- controller (or the plain scheme), and the allocator. ---
+    std::unique_ptr<TalusCache> llc;
+    try {
+        llc = std::make_unique<TalusCache>(facadeConfig(cfg, n));
+    } catch (const ConfigError& e) {
+        talus_fatal(e.what());
     }
 
-    std::unique_ptr<Allocator> allocator;
-    if (!cfg.allocatorName.empty())
-        allocator = makeAllocator(cfg.allocatorName);
-
-    const uint64_t granule = std::max<uint64_t>(1, cfg.llcLines / 64);
     const double instr_target = static_cast<double>(cfg.instrPerApp);
 
     MultiProgResult result;
@@ -118,13 +105,9 @@ runMultiProg(const std::vector<const AppSpec*>& apps,
         }
 
         AppState& s = state[a];
-        const Addr addr = s.stream->next();
-        monitors[a].access(addr);
-        const bool hit = cfg.useTalus ? talus_ctl->access(addr, a)
-                                      : plain->access(addr, a);
+        const bool hit = llc->access(s.stream->next(), a);
         s.cycles += s.model.cyclesPerAccess(hit);
         s.instr += s.model.instrPerAccess();
-        s.intervalAccesses++;
 
         if (!s.done) {
             s.measuredAccesses++;
@@ -138,50 +121,12 @@ runMultiProg(const std::vector<const AppSpec*>& apps,
         }
 
         // --- Periodic reconfiguration (Fig. 7 software flow). ---
-        if (allocator != nullptr && min_cycles >= next_reconfig) {
+        if (llc->hasAllocator() && min_cycles >= next_reconfig) {
             next_reconfig += cfg.reconfigCycles;
-            result.reconfigurations++;
-
-            std::vector<MissCurve> curves;
-            std::vector<MissCurve> alloc_curves;
-            curves.reserve(n);
-            alloc_curves.reserve(n);
-            for (uint32_t i = 0; i < n; ++i) {
-                MissCurve c = monitors[i].curve();
-                // Weight each app's curve by its interval access
-                // volume so the allocator compares misses, not ratios.
-                alloc_curves.push_back(c.scaled(
-                    1.0,
-                    static_cast<double>(state[i].intervalAccesses) + 1.0));
-                curves.push_back(std::move(c));
-                state[i].intervalAccesses = 0;
-            }
-
-            // Pre-processing: Talus promises the convex hulls.
-            if (cfg.allocateOnHulls)
-                alloc_curves = TalusController::convexHulls(alloc_curves);
-
-            const uint64_t usable =
-                (!cfg.useTalus && cfg.scheme == SchemeKind::Vantage)
-                    ? cfg.llcLines * 9 / 10
-                    : cfg.llcLines;
-            const std::vector<uint64_t> alloc =
-                allocator->allocate(alloc_curves, usable, granule);
-
-            if (cfg.useTalus) {
-                talus_ctl->configure(curves, alloc);
-            } else if (cfg.scheme != SchemeKind::Unpartitioned) {
-                plain->setTargets(alloc);
-            }
-
-            for (auto& mon : monitors)
-                mon.decay();
-            if (cfg.useTalus)
-                talus_ctl->nextInterval();
-            else
-                plain->nextInterval();
+            llc->reconfigure();
         }
     }
+    result.reconfigurations = llc->reconfigurations();
 
     // --- Collect per-app results over their fixed work. ---
     for (uint32_t i = 0; i < n; ++i) {

@@ -3,14 +3,16 @@
  * Multiprogrammed simulation with the paper's fixed-work methodology
  * (Sec. VII-A) and runtime reconfiguration loop (Fig. 7).
  *
- * N apps share one LLC. Apps advance access-by-access in cycle order
- * under the analytic core model, so faster apps touch the cache more
- * often — capturing contention and the "vicious cycle" unfairness of
- * Sec. VII-D. Every reconfiguration interval the engine reads each
- * app's UMON curve, (for Talus) computes convex hulls, runs the
- * configured allocator, and applies the result — through the
- * TalusController (shadow partitions + sampling rates) or directly to
- * the partitioning scheme.
+ * N apps share one LLC, modeled by the TalusCache facade (api/): the
+ * facade owns the per-app UMONs, the TalusController (or the plain
+ * partitioning scheme), and the allocator. Apps advance
+ * access-by-access in cycle order under the analytic core model, so
+ * faster apps touch the cache more often — capturing contention and
+ * the "vicious cycle" unfairness of Sec. VII-D. Every reconfiguration
+ * interval (in modeled cycles, so the engine fires it rather than the
+ * facade's access-count trigger) the facade reads each app's UMON
+ * curve, (for Talus) computes convex hulls, runs the configured
+ * allocator, and applies the result.
  *
  * Fixed work: every app runs until all have retired `instrPerApp`
  * instructions; per-app IPC/MPKI count only each app's first
@@ -38,7 +40,7 @@ struct MultiProgConfig
     uint32_t ways = 32;             //!< LLC associativity (Table I).
     std::string policyName = "LRU"; //!< Replacement policy.
     SchemeKind scheme = SchemeKind::Vantage; //!< Partitioning scheme.
-    bool useTalus = false;          //!< Wrap with TalusController.
+    bool useTalus = false;          //!< Talus shadow partitions on/off.
     std::string allocatorName = "HillClimb"; //!< "" = no reconfiguration.
     bool allocateOnHulls = false;   //!< Pre-process curves to hulls.
     uint64_t instrPerApp = 4'000'000; //!< Fixed work per app.

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/talus_controller.h"
+#include "api/talus_cache.h"
 #include "monitor/mattson_curve.h"
 #include "policy/policy_factory.h"
 #include "util/log.h"
@@ -78,32 +78,40 @@ sweepTalusCurve(AccessStream& stream, const MissCurve& input_curve,
 
     for (uint64_t size : sizes) {
         talus_assert(size >= 1, "sweep size must be >= 1 line");
-        const uint32_t ways =
+
+        // One fresh single-partition facade per size; the curve is
+        // supplied by the caller, so no allocator/monitor loop runs.
+        TalusCache::Config cc;
+        cc.llcLines = size;
+        cc.ways =
             static_cast<uint32_t>(std::min<uint64_t>(opts.ways, size));
+        cc.policyName = opts.policyName;
+        cc.scheme = opts.scheme;
+        cc.numParts = 1;
+        cc.margin = opts.margin;
+        cc.routerBits = opts.routerBits;
+        cc.allocatorName = "";
+        cc.monitoring = false; // The curve is measured by the caller.
+        cc.seed = opts.seed;
+        cc.routerSeed = opts.seed ^ 0x7;
 
-        auto phys = makePartitionedCache(opts.scheme, size, ways,
-                                         opts.policyName, 2, opts.seed);
-
-        TalusController::Config tc;
-        tc.numLogicalParts = 1;
-        tc.margin = opts.margin;
-        tc.routerBits = opts.routerBits;
-        tc.usableFraction = schemeUsableFraction(opts.scheme);
-        tc.recomputeFromCoarsened = opts.scheme == SchemeKind::Way ||
-                                    opts.scheme == SchemeKind::Set;
-        tc.seed = opts.seed ^ 0x7;
-        TalusController talus_cache(std::move(phys), tc);
+        std::unique_ptr<TalusCache> talus_cache;
+        try {
+            talus_cache = std::make_unique<TalusCache>(cc);
+        } catch (const ConfigError& e) {
+            talus_fatal(e.what());
+        }
 
         // The cache rounds capacity down to whole sets; allocate what
         // actually exists.
-        const uint64_t capacity = talus_cache.cache().capacityLines();
-        talus_cache.configure({input_curve}, {capacity});
+        talus_cache->applyCurves({input_curve},
+                                 {talus_cache->capacityLines()});
 
         const double ratio = measureMissRatio(
             stream, autoWarmup(size, opts.warmupAccesses),
             opts.measureAccesses,
-            [&](Addr addr) { talus_cache.access(addr, 0); },
-            talus_cache.cache().stats());
+            [&](Addr addr) { talus_cache->access(addr, 0); },
+            talus_cache->cache().stats());
         pts.push_back({static_cast<double>(size), ratio});
     }
     return MissCurve(std::move(pts));

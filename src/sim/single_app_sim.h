@@ -50,9 +50,9 @@ struct TalusSweepOptions : SweepOptions
 
 /**
  * Trace-driven sweep of Talus wrapped around scheme/policy: for each
- * size, a fresh 2-shadow-partition cache is configured from
- * @p input_curve (the underlying policy's monitored miss curve) and
- * driven through warmup + measurement.
+ * size, a fresh single-partition TalusCache facade is configured from
+ * @p input_curve (the underlying policy's monitored miss curve, via
+ * TalusCache::applyCurves) and driven through warmup + measurement.
  */
 MissCurve sweepTalusCurve(AccessStream& stream, const MissCurve& input_curve,
                           const std::vector<uint64_t>& sizes,

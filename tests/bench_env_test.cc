@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the shared bench command line (BenchEnv::init): value
+ * flags override environment defaults, --help exits cleanly, and
+ * unrecognized `--` flags are an error instead of being silently
+ * ignored.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/experiment_util.h"
+
+namespace talus {
+namespace {
+
+/** Runs BenchEnv::init over a fake argv. */
+BenchEnv
+initWith(std::vector<const char*> args)
+{
+    args.insert(args.begin(), "bench_test");
+    return BenchEnv::init(static_cast<int>(args.size()),
+                          const_cast<char**>(args.data()));
+}
+
+TEST(BenchEnv, DefaultsWithoutFlags)
+{
+    const BenchEnv env = initWith({});
+    EXPECT_FALSE(env.csv);
+    EXPECT_GT(env.instrPerApp, 0u);
+    EXPECT_GT(env.mixes, 0u);
+    EXPECT_GT(env.measureAccesses, 0u);
+}
+
+TEST(BenchEnv, ValueFlagsOverrideDefaults)
+{
+    const BenchEnv env = initWith({"--csv", "--scale=128", "--instr=5000",
+                                   "--mixes=3", "--accesses=777",
+                                   "--seed=42"});
+    EXPECT_TRUE(env.csv);
+    EXPECT_EQ(env.scale.linesPerMb(), 128u);
+    EXPECT_EQ(env.instrPerApp, 5000u);
+    EXPECT_EQ(env.mixes, 3u);
+    EXPECT_EQ(env.measureAccesses, 777u);
+    EXPECT_EQ(env.seed, 42u);
+}
+
+TEST(BenchEnv, FullSelectsPaperScaleUnlessOverridden)
+{
+    EXPECT_EQ(initWith({"--full"}).scale.linesPerMb(),
+              Scale::kFullLinesPerMb);
+    // An explicit --scale wins over --full.
+    EXPECT_EQ(initWith({"--full", "--scale=256"}).scale.linesPerMb(),
+              256u);
+    // --full also lengthens the default run.
+    EXPECT_GT(initWith({"--full"}).instrPerApp,
+              initWith({}).instrPerApp);
+}
+
+TEST(BenchEnv, PositionalArgumentsAreLeftAlone)
+{
+    const BenchEnv env = initWith({"omnetpp", "8"});
+    EXPECT_FALSE(env.csv);
+}
+
+TEST(BenchEnvDeathTest, HelpPrintsUsageAndExitsZero)
+{
+    EXPECT_EXIT(initWith({"--help"}), ::testing::ExitedWithCode(0),
+                "");
+    EXPECT_EXIT(initWith({"-h"}), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchEnvDeathTest, UnknownFlagFailsWithUsage)
+{
+    EXPECT_EXIT(initWith({"--not-a-flag"}),
+                ::testing::ExitedWithCode(1), "unrecognized flag");
+    EXPECT_EXIT(initWith({"--cvs"}), ::testing::ExitedWithCode(1),
+                "unrecognized flag");
+}
+
+TEST(BenchEnvDeathTest, MalformedValueFailsWithUsage)
+{
+    EXPECT_EXIT(initWith({"--seed=abc"}), ::testing::ExitedWithCode(1),
+                "unsigned integer");
+    EXPECT_EXIT(initWith({"--scale=0"}), ::testing::ExitedWithCode(1),
+                "--scale must be >= 1");
+    // strtoull would happily wrap negatives to 2^64-n; reject them.
+    EXPECT_EXIT(initWith({"--seed=-1"}), ::testing::ExitedWithCode(1),
+                "unsigned integer");
+    EXPECT_EXIT(initWith({"--instr=99999999999999999999999"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+    // --mixes is stored in 32 bits; an out-of-range value must not
+    // silently truncate to 0 mixes.
+    EXPECT_EXIT(initWith({"--mixes=4294967296"}),
+                ::testing::ExitedWithCode(1), "32 bits");
+}
+
+} // namespace
+} // namespace talus

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Same-results regression guard for the TalusCache facade refactor.
+ *
+ * runMultiProg() used to wire monitors, the TalusController, and the
+ * allocator by hand; it now drives everything through the facade.
+ * This suite keeps a faithful replica of the original hand-wired loop
+ * (construction order, seed derivations, reconfiguration flow) and
+ * checks that the facade-driven engine reproduces its per-app IPC and
+ * MPKI exactly for a fixed seed, in every mode the engine supports
+ * (Talus, plain partitioned + allocator, unpartitioned baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "alloc/allocator_factory.h"
+#include "alloc/fair_alloc.h"
+#include "core/talus_controller.h"
+#include "monitor/combined_umon.h"
+#include "sim/multi_prog_sim.h"
+#include "workload/spec_suite.h"
+
+namespace talus {
+namespace {
+
+/** Per-app dynamic state of the reference engine. */
+struct RefAppState
+{
+    std::unique_ptr<AccessStream> stream;
+    CoreModel model;
+    double cycles = 0;
+    double instr = 0;
+    uint64_t intervalAccesses = 0;
+    uint64_t measuredAccesses = 0;
+    uint64_t measuredMisses = 0;
+    bool done = false;
+    double doneCycles = 0;
+};
+
+/**
+ * The pre-facade runMultiProg, verbatim: hand-wired monitors,
+ * controller, and allocator. Kept as the reference the facade must
+ * match bit-for-bit.
+ */
+MultiProgResult
+runMultiProgReference(const std::vector<const AppSpec*>& apps,
+                      const MultiProgConfig& cfg, const Scale& scale)
+{
+    const uint32_t n = static_cast<uint32_t>(apps.size());
+
+    std::vector<RefAppState> state;
+    state.reserve(n);
+    std::vector<CombinedUMon> monitors;
+    monitors.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        state.push_back(RefAppState{
+            apps[i]->buildStream(scale.linesPerMb(), i + 1,
+                                 cfg.seed + 131 * i),
+            CoreModel(*apps[i], cfg.coreParams)});
+
+        CombinedUMon::Config mc;
+        mc.llcLines = cfg.llcLines;
+        mc.coverage = cfg.umonCoverage;
+        mc.seed = cfg.seed ^ (0x1111ull * (i + 1));
+        monitors.emplace_back(mc);
+    }
+
+    std::unique_ptr<TalusController> talus_ctl;
+    std::unique_ptr<PartitionedCacheBase> plain;
+    if (cfg.useTalus) {
+        auto phys = makePartitionedCache(cfg.scheme, cfg.llcLines,
+                                         cfg.ways, cfg.policyName,
+                                         2 * n, cfg.seed);
+        TalusController::Config tc;
+        tc.numLogicalParts = n;
+        tc.margin = cfg.margin;
+        tc.routerBits = cfg.routerBits;
+        tc.usableFraction = schemeUsableFraction(cfg.scheme);
+        tc.recomputeFromCoarsened = cfg.scheme == SchemeKind::Way ||
+                                    cfg.scheme == SchemeKind::Set;
+        tc.seed = cfg.seed ^ 0xC11;
+        talus_ctl =
+            std::make_unique<TalusController>(std::move(phys), tc);
+
+        std::vector<MissCurve> flat(n, MissCurve({{0.0, 1.0}}));
+        FairAllocator fair;
+        talus_ctl->configure(flat,
+                             fair.allocate(flat, cfg.llcLines, 1));
+    } else {
+        plain = makePartitionedCache(cfg.scheme, cfg.llcLines, cfg.ways,
+                                     cfg.policyName, n, cfg.seed);
+    }
+
+    std::unique_ptr<Allocator> allocator;
+    if (!cfg.allocatorName.empty())
+        allocator = makeAllocator(cfg.allocatorName);
+
+    const uint64_t granule = std::max<uint64_t>(1, cfg.llcLines / 64);
+    const double instr_target = static_cast<double>(cfg.instrPerApp);
+
+    MultiProgResult result;
+    result.apps.resize(n);
+    uint32_t remaining = n;
+    double next_reconfig = cfg.reconfigCycles;
+
+    while (remaining > 0) {
+        uint32_t a = 0;
+        double min_cycles = std::numeric_limits<double>::infinity();
+        for (uint32_t i = 0; i < n; ++i) {
+            if (state[i].cycles < min_cycles) {
+                min_cycles = state[i].cycles;
+                a = i;
+            }
+        }
+
+        RefAppState& s = state[a];
+        const Addr addr = s.stream->next();
+        monitors[a].access(addr);
+        const bool hit = cfg.useTalus ? talus_ctl->access(addr, a)
+                                      : plain->access(addr, a);
+        s.cycles += s.model.cyclesPerAccess(hit);
+        s.instr += s.model.instrPerAccess();
+        s.intervalAccesses++;
+
+        if (!s.done) {
+            s.measuredAccesses++;
+            if (!hit)
+                s.measuredMisses++;
+            if (s.instr >= instr_target) {
+                s.done = true;
+                s.doneCycles = s.cycles;
+                remaining--;
+            }
+        }
+
+        if (allocator != nullptr && min_cycles >= next_reconfig) {
+            next_reconfig += cfg.reconfigCycles;
+            result.reconfigurations++;
+
+            std::vector<MissCurve> curves;
+            std::vector<MissCurve> alloc_curves;
+            curves.reserve(n);
+            alloc_curves.reserve(n);
+            for (uint32_t i = 0; i < n; ++i) {
+                MissCurve c = monitors[i].curve();
+                alloc_curves.push_back(c.scaled(
+                    1.0,
+                    static_cast<double>(state[i].intervalAccesses) +
+                        1.0));
+                curves.push_back(std::move(c));
+                state[i].intervalAccesses = 0;
+            }
+
+            if (cfg.allocateOnHulls)
+                alloc_curves =
+                    TalusController::convexHulls(alloc_curves);
+
+            const uint64_t usable =
+                (!cfg.useTalus && cfg.scheme == SchemeKind::Vantage)
+                    ? cfg.llcLines * 9 / 10
+                    : cfg.llcLines;
+            const std::vector<uint64_t> alloc =
+                allocator->allocate(alloc_curves, usable, granule);
+
+            if (cfg.useTalus) {
+                talus_ctl->configure(curves, alloc);
+            } else if (cfg.scheme != SchemeKind::Unpartitioned) {
+                plain->setTargets(alloc);
+            }
+
+            for (auto& mon : monitors)
+                mon.decay();
+            if (cfg.useTalus)
+                talus_ctl->nextInterval();
+            else
+                plain->nextInterval();
+        }
+    }
+
+    for (uint32_t i = 0; i < n; ++i) {
+        AppRunResult& r = result.apps[i];
+        const RefAppState& s = state[i];
+        r.name = apps[i]->name;
+        r.cycles = s.doneCycles;
+        r.ipc = instr_target / s.doneCycles;
+        r.missRatio = s.measuredAccesses > 0
+                          ? static_cast<double>(s.measuredMisses) /
+                                static_cast<double>(s.measuredAccesses)
+                          : 0.0;
+        r.mpki = static_cast<double>(s.measuredMisses) /
+                 (instr_target / 1000.0);
+    }
+    return result;
+}
+
+std::vector<const AppSpec*>
+mix(const std::vector<std::string>& names)
+{
+    std::vector<const AppSpec*> apps;
+    for (const auto& name : names)
+        apps.push_back(&findApp(name));
+    return apps;
+}
+
+void
+expectSameResults(const MultiProgResult& facade,
+                  const MultiProgResult& ref)
+{
+    EXPECT_EQ(facade.reconfigurations, ref.reconfigurations);
+    ASSERT_EQ(facade.apps.size(), ref.apps.size());
+    for (size_t i = 0; i < facade.apps.size(); ++i) {
+        EXPECT_EQ(facade.apps[i].name, ref.apps[i].name);
+        EXPECT_DOUBLE_EQ(facade.apps[i].ipc, ref.apps[i].ipc) << i;
+        EXPECT_DOUBLE_EQ(facade.apps[i].mpki, ref.apps[i].mpki) << i;
+        EXPECT_DOUBLE_EQ(facade.apps[i].missRatio,
+                         ref.apps[i].missRatio)
+            << i;
+        EXPECT_DOUBLE_EQ(facade.apps[i].cycles, ref.apps[i].cycles)
+            << i;
+    }
+}
+
+TEST(MultiProgEquivalence, TalusModeMatchesHandWiredPath)
+{
+    const Scale scale(64);
+    MultiProgConfig cfg;
+    cfg.llcLines = 1024; // Divisible by ways: no set rounding.
+    cfg.ways = 32;
+    cfg.scheme = SchemeKind::Vantage;
+    cfg.useTalus = true;
+    cfg.allocateOnHulls = true;
+    cfg.allocatorName = "HillClimb";
+    cfg.instrPerApp = 400'000;
+    cfg.reconfigCycles = 150'000;
+    cfg.seed = 123;
+    const auto apps = mix({"astar", "omnetpp"});
+    expectSameResults(runMultiProg(apps, cfg, scale),
+                      runMultiProgReference(apps, cfg, scale));
+}
+
+TEST(MultiProgEquivalence, PlainPartitionedModeMatchesHandWiredPath)
+{
+    const Scale scale(64);
+    MultiProgConfig cfg;
+    cfg.llcLines = 512;
+    cfg.ways = 32;
+    cfg.scheme = SchemeKind::Vantage;
+    cfg.useTalus = false;
+    cfg.allocatorName = "Lookahead";
+    cfg.instrPerApp = 300'000;
+    cfg.reconfigCycles = 120'000;
+    cfg.seed = 77;
+    const auto apps = mix({"astar", "gcc"});
+    expectSameResults(runMultiProg(apps, cfg, scale),
+                      runMultiProgReference(apps, cfg, scale));
+}
+
+TEST(MultiProgEquivalence, UnpartitionedBaselineMatchesHandWiredPath)
+{
+    const Scale scale(64);
+    MultiProgConfig cfg;
+    cfg.llcLines = 512;
+    cfg.ways = 32;
+    cfg.scheme = SchemeKind::Unpartitioned;
+    cfg.useTalus = false;
+    cfg.allocatorName = "";
+    cfg.instrPerApp = 300'000;
+    cfg.reconfigCycles = 120'000;
+    cfg.seed = 9;
+    const auto apps = mix({"milc", "hmmer"});
+    expectSameResults(runMultiProg(apps, cfg, scale),
+                      runMultiProgReference(apps, cfg, scale));
+}
+
+} // namespace
+} // namespace talus

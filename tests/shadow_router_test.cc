@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/shadow_router.h"
 
 namespace talus {
@@ -70,11 +72,23 @@ TEST(ShadowRouter, EffectiveRhoIsQuantizedToLimitRegister)
     EXPECT_DOUBLE_EQ(router.effectiveRho(), 77.0 / 256.0);
 }
 
-TEST(ShadowRouterDeathTest, OutOfRangeRhoIsFatal)
+TEST(ShadowRouter, OutOfRangeRhoClampsToLimitRegisterRange)
+{
+    // Upstream sizing math can overshoot [0,1] by rounding; the limit
+    // register saturates instead of faulting.
+    ShadowRouter router(8);
+    router.setRho(1.5);
+    EXPECT_DOUBLE_EQ(router.effectiveRho(), 1.0);
+    router.setRho(-0.1);
+    EXPECT_DOUBLE_EQ(router.effectiveRho(), 0.0);
+    router.setRho(1e12);
+    EXPECT_DOUBLE_EQ(router.effectiveRho(), 1.0);
+}
+
+TEST(ShadowRouterDeathTest, NaNRhoIsFatal)
 {
     ShadowRouter router(8);
-    EXPECT_DEATH(router.setRho(1.5), "rho");
-    EXPECT_DEATH(router.setRho(-0.1), "rho");
+    EXPECT_DEATH(router.setRho(std::nan("")), "NaN");
 }
 
 TEST(ShadowRouter, RoutingIsStablePerAddress)

@@ -217,6 +217,24 @@ TEST(TalusController, LogicalStatsSumShadows)
     EXPECT_EQ(ctl->logicalAccesses(0), 5000u);
 }
 
+TEST(TalusControllerDeathTest, ConfigureRejectsWrongAllocationCount)
+{
+    auto ctl = makeIdealTalus(512, 2);
+    const MissCurve convex({{0, 1.0}, {256, 0.5}, {512, 0.25}});
+    // Two logical partitions need two allocations.
+    EXPECT_DEATH(ctl->configure({convex, convex}, {256}),
+                 "allocations");
+}
+
+TEST(TalusControllerDeathTest, ConfigureRejectsOverCommittedSum)
+{
+    auto ctl = makeIdealTalus(512, 2);
+    const MissCurve convex({{0, 1.0}, {256, 0.5}, {512, 0.25}});
+    // 300 + 300 = 600 > 512 lines of capacity.
+    EXPECT_DEATH(ctl->configure({convex, convex}, {300, 300}),
+                 "exceed capacity");
+}
+
 TEST(TalusController, ConvexHullsHelper)
 {
     const MissCurve cliff({{0, 10}, {1, 9}, {2, 9}, {3, 1}, {4, 1}});
