@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs and gate on regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
+                     [--benchmarks name1,name2,...]
+
+Exits non-zero if any tracked benchmark's throughput (items_per_second,
+falling back to 1/real_time) dropped by more than --threshold relative
+to the baseline. Benchmarks present in only one file are reported but
+never fail the gate, so adding or renaming benches does not break CI.
+
+The checked-in baseline (bench/BENCH_baseline.json) was recorded on one
+reference machine; absolute numbers vary across hosts, which is why the
+CI perf job is opt-in (workflow_dispatch) rather than part of every PR.
+Refresh the baseline alongside any intentional perf-relevant change:
+
+    ./build/bench/perf_micro --benchmark_format=json \
+        --benchmark_min_time=0.5 > bench/BENCH_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+# Hot-path benchmarks the gate tracks by default; must stay in sync
+# with the optimized paths listed in README "Performance".
+DEFAULT_TRACKED = [
+    "BM_H3Hash",
+    "BM_ShadowRouterRoute",
+    "BM_FullyAssocLru",
+    "BM_UmonAccess",
+    "BM_TalusFacadeAccess",
+    "BM_TalusBatchedAccess",
+    "BM_TalusRoutedAccess",
+]
+
+
+def throughput(entry):
+    """Items/sec of one benchmark entry (1/real_time fallback)."""
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"])
+    real_time = float(entry["real_time"])
+    # google-benchmark reports per-iteration time in time_unit.
+    scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}
+    return scale[entry.get("time_unit", "ns")] / real_time
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = throughput(entry)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional drop (default 0.15)")
+    parser.add_argument("--benchmarks", default=",".join(DEFAULT_TRACKED),
+                        help="comma-separated tracked benchmark names")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+    tracked = [b for b in args.benchmarks.split(",") if b]
+
+    failures = []
+    print(f"{'benchmark':<28} {'baseline':>14} {'current':>14} "
+          f"{'ratio':>7}")
+    for name in tracked:
+        if name not in base or name not in curr:
+            missing = "baseline" if name not in base else "current"
+            print(f"{name:<28} {'—':>14} {'—':>14} {'—':>7}  "
+                  f"(missing from {missing}; skipped)")
+            continue
+        ratio = curr[name] / base[name]
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            failures.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:<28} {base[name]:>12.3e}/s {curr[name]:>12.3e}/s "
+              f"{ratio:>6.2f}x{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more "
+              f"than {args.threshold:.0%}:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x of baseline")
+        return 1
+    print(f"\nOK: no tracked benchmark regressed more than "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,11 +11,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/talus_cache.h"
+#include "cache/fully_assoc_lru.h"
 #include "core/convex_hull.h"
+#include "core/shadow_router.h"
 #include "core/talus_config.h"
 #include "core/talus_controller.h"
 #include "monitor/combined_umon.h"
 #include "monitor/mattson_curve.h"
+#include "monitor/stack_distance.h"
 #include "policy/policy_factory.h"
 #include "util/h3_hash.h"
 #include "util/rng.h"
@@ -32,8 +36,43 @@ BM_H3Hash(benchmark::State& state)
     Addr addr = 0;
     for (auto _ : state)
         benchmark::DoNotOptimize(hash.hash(addr++));
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_H3Hash);
+
+void
+BM_ShadowRouterRoute(benchmark::State& state)
+{
+    ShadowRouter router(8, 0x70C4);
+    router.setRho(0.37);
+    Addr addr = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(router.toAlpha(addr++));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowRouterRoute);
+
+void
+BM_FullyAssocLru(benchmark::State& state)
+{
+    FullyAssocLru lru(8192);
+    Rng rng(17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lru.access(rng.below(16384)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullyAssocLru);
+
+void
+BM_StackDistanceCounter(benchmark::State& state)
+{
+    StackDistanceCounter counter;
+    Rng rng(19);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(counter.access(rng.below(1 << 14)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StackDistanceCounter);
 
 void
 BM_CacheAccess(benchmark::State& state, const std::string& policy)
@@ -83,6 +122,61 @@ BM_UmonAccess(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_UmonAccess);
+
+TalusCache::Config
+facadeBenchConfig()
+{
+    TalusCache::Config cc;
+    cc.llcLines = 16384;
+    cc.ways = 16;
+    cc.numParts = 1;
+    cc.allocatorName = "";
+    cc.seed = 21;
+    return cc;
+}
+
+std::vector<Addr>
+facadeBenchAddrs()
+{
+    Rng rng(23);
+    std::vector<Addr> addrs(1 << 16);
+    for (Addr& a : addrs)
+        a = rng.below(32768);
+    return addrs;
+}
+
+/** Serial facade access: monitors + routed cache, one call per addr. */
+void
+BM_TalusFacadeAccess(benchmark::State& state)
+{
+    TalusCache cache(facadeBenchConfig());
+    const std::vector<Addr> addrs = facadeBenchAddrs();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i], 0));
+        i = (i + 1) & (addrs.size() - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TalusFacadeAccess);
+
+/** Same facade and address stream, driven through accessBatch. */
+void
+BM_TalusBatchedAccess(benchmark::State& state)
+{
+    constexpr size_t kBlock = 4096;
+    TalusCache cache(facadeBenchConfig());
+    const std::vector<Addr> addrs = facadeBenchAddrs();
+    size_t off = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.accessBatch(
+            Span<const Addr>(addrs.data() + off, kBlock), 0));
+        off = (off + kBlock) & (addrs.size() - 1);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kBlock));
+}
+BENCHMARK(BM_TalusBatchedAccess);
 
 void
 BM_MattsonAccess(benchmark::State& state)

@@ -165,6 +165,48 @@ TalusCache::access(Addr addr, PartId part)
     return hit;
 }
 
+uint64_t
+TalusCache::accessBatch(Span<const Addr> addrs, PartId part)
+{
+    talus_assert(part < cfg_.numParts, "bad logical partition ", part);
+    CombinedUMon* mon = cfg_.monitoring ? &monitors_[part] : nullptr;
+    uint64_t hits = 0;
+    const Addr* p = addrs.data();
+    uint64_t left = addrs.size();
+    while (left > 0) {
+        // Stop each chunk exactly where the serial path would fire an
+        // automatic reconfiguration, so batching cannot slide the
+        // reconfiguration points.
+        uint64_t chunk = left;
+        if (cfg_.reconfigInterval > 0)
+            chunk = std::min<uint64_t>(
+                chunk, cfg_.reconfigInterval - sinceReconfig_);
+        if (cfg_.talus) {
+            TalusController* ctl = ctl_.get();
+            for (uint64_t i = 0; i < chunk; ++i) {
+                if (mon)
+                    mon->access(p[i]);
+                hits += ctl->access(p[i], part);
+            }
+        } else {
+            PartitionedCacheBase* plain = plain_.get();
+            for (uint64_t i = 0; i < chunk; ++i) {
+                if (mon)
+                    mon->access(p[i]);
+                hits += plain->access(p[i], part);
+            }
+        }
+        intervalAccesses_[part] += chunk;
+        sinceReconfig_ += chunk;
+        p += chunk;
+        left -= chunk;
+        if (cfg_.reconfigInterval > 0 &&
+            sinceReconfig_ >= cfg_.reconfigInterval)
+            reconfigure();
+    }
+    return hits;
+}
+
 void
 TalusCache::reconfigure()
 {

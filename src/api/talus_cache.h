@@ -42,6 +42,7 @@
 #include "core/talus_controller.h"
 #include "monitor/combined_umon.h"
 #include "partition/partitioned_cache.h"
+#include "util/span.h"
 
 namespace talus {
 
@@ -123,6 +124,18 @@ class TalusCache
      * accesses (when an allocator is configured).
      */
     bool access(Addr addr, PartId part = 0);
+
+    /**
+     * Drives a whole block of addresses through the cache for one
+     * logical partition — bit-exact with calling access() once per
+     * address (monitors update first, automatic reconfigurations fire
+     * at the same access counts), but with the per-access dispatch
+     * (monitoring check, Talus-vs-plain branch) hoisted out of the
+     * inner loop. This is the fast path the trace-replay sims use.
+     *
+     * @return Number of hits in the block.
+     */
+    uint64_t accessBatch(Span<const Addr> addrs, PartId part = 0);
 
     /**
      * One iteration of the paper's reconfiguration flow (Fig. 7):

@@ -1,50 +1,101 @@
 #include "cache/fully_assoc_lru.h"
 
+#include "util/bits.h"
+#include "util/log.h"
+
 namespace talus {
 
+namespace {
+
+constexpr uint32_t kMinTableSize = 16;
+
+} // namespace
+
 FullyAssocLru::FullyAssocLru(uint64_t capacity_lines)
-    : capacity_(capacity_lines)
+    : capacity_(capacity_lines),
+      table_(kMinTableSize, Entry{0, kEmpty, 0}),
+      tableMask_(kMinTableSize - 1)
 {
+}
+
+uint32_t
+FullyAssocLru::homeSlot(Addr addr) const
+{
+    // Fibonacci hashing: one multiply spreads sequential and strided
+    // line addresses across the power-of-two table.
+    return static_cast<uint32_t>(
+               (addr * 0x9E3779B97F4A7C15ull) >> 32) &
+           tableMask_;
+}
+
+uint32_t
+FullyAssocLru::findSlot(Addr addr) const
+{
+    uint32_t slot = homeSlot(addr);
+    while (table_[slot].prev != kEmpty && table_[slot].addr != addr)
+        slot = (slot + 1) & tableMask_;
+    return slot;
 }
 
 bool
 FullyAssocLru::access(Addr addr)
 {
     accesses_++;
-    auto it = map_.find(addr);
-    if (it != map_.end()) {
+    // If this access misses, eviction will need the tail entry — the
+    // coldest data in the structure. Start fetching it now so the
+    // load overlaps the lookup probe.
+    const bool at_capacity = size_ >= capacity_ && tail_ != kNil;
+    if (at_capacity)
+        prefetch(&table_[tail_]);
+    const uint32_t slot = findSlot(addr);
+    if (table_[slot].prev != kEmpty) {
         hits_++;
-        lru_.splice(lru_.begin(), lru_, it->second);
+        moveToFront(slot);
         return true;
     }
     if (capacity_ == 0)
         return false;
-    while (map_.size() >= capacity_)
+
+    // Insert first, straight into the empty slot the lookup probe
+    // already found, then trim to capacity: the new line is at MRU so
+    // it can never be the one evicted, and reusing the probe avoids a
+    // second walk of the cluster.
+    table_[slot] = Entry{addr, kNil, head_};
+    if (head_ != kNil)
+        table_[head_].prev = slot;
+    head_ = slot;
+    if (tail_ == kNil)
+        tail_ = slot;
+    size_++;
+
+    if (size_ * 4 > static_cast<uint64_t>(tableMask_ + 1) * 3)
+        growTable();
+    while (size_ > capacity_)
         evictLru();
-    lru_.push_front(addr);
-    map_.emplace(addr, lru_.begin());
     return false;
 }
 
 bool
 FullyAssocLru::contains(Addr addr) const
 {
-    return map_.find(addr) != map_.end();
+    return table_[findSlot(addr)].prev != kEmpty;
 }
 
 void
 FullyAssocLru::setCapacity(uint64_t capacity_lines)
 {
     capacity_ = capacity_lines;
-    while (map_.size() > capacity_)
+    while (size_ > capacity_)
         evictLru();
 }
 
 void
 FullyAssocLru::clear()
 {
-    lru_.clear();
-    map_.clear();
+    table_.assign(kMinTableSize, Entry{0, kEmpty, 0});
+    tableMask_ = kMinTableSize - 1;
+    head_ = tail_ = kNil;
+    size_ = 0;
 }
 
 void
@@ -55,10 +106,101 @@ FullyAssocLru::resetStats()
 }
 
 void
+FullyAssocLru::moveToFront(uint32_t slot)
+{
+    if (head_ == slot)
+        return;
+    Entry& e = table_[slot];
+    table_[e.prev].next = e.next; // Not MRU, so e.prev is a slot.
+    if (e.next != kNil)
+        table_[e.next].prev = e.prev;
+    else
+        tail_ = e.prev;
+    e.prev = kNil;
+    e.next = head_;
+    table_[head_].prev = slot;
+    head_ = slot;
+}
+
+void
 FullyAssocLru::evictLru()
 {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+    talus_assert(tail_ != kNil, "evicting from an empty cache");
+    const uint32_t slot = tail_;
+    const uint32_t new_tail = table_[slot].prev;
+    if (new_tail != kNil)
+        table_[new_tail].next = kNil;
+    else
+        head_ = kNil;
+    tail_ = new_tail;
+    size_--;
+    tableErase(slot);
+}
+
+void
+FullyAssocLru::moveEntry(uint32_t from, uint32_t to)
+{
+    // Relocates an entry during backward-shift, repairing the list
+    // links (and head/tail) that name its old slot.
+    const Entry e = table_[from];
+    table_[to] = e;
+    table_[from].prev = kEmpty;
+    if (e.prev != kNil)
+        table_[e.prev].next = to;
+    else
+        head_ = to;
+    if (e.next != kNil)
+        table_[e.next].prev = to;
+    else
+        tail_ = to;
+}
+
+void
+FullyAssocLru::tableErase(uint32_t slot)
+{
+    // Backward-shift deletion keeps linear probing tombstone-free:
+    // walk the cluster after the hole and pull back any entry whose
+    // home slot is outside the (hole, entry] probe interval.
+    table_[slot].prev = kEmpty;
+    uint32_t hole = slot;
+    uint32_t i = slot;
+    for (;;) {
+        i = (i + 1) & tableMask_;
+        if (table_[i].prev == kEmpty)
+            return;
+        const uint32_t home = homeSlot(table_[i].addr);
+        const bool reachable =
+            (i > hole) ? (home > hole && home <= i)
+                       : (home > hole || home <= i);
+        if (!reachable) {
+            moveEntry(i, hole);
+            hole = i;
+        }
+    }
+}
+
+void
+FullyAssocLru::growTable()
+{
+    std::vector<Entry> old = std::move(table_);
+    const uint32_t old_head = head_;
+    const uint32_t new_size = static_cast<uint32_t>(old.size()) * 2;
+    table_.assign(new_size, Entry{0, kEmpty, 0});
+    tableMask_ = new_size - 1;
+
+    // Walk the old list MRU->LRU and rebuild table and links together.
+    head_ = tail_ = kNil;
+    uint32_t prev_slot = kNil;
+    for (uint32_t cur = old_head; cur != kNil; cur = old[cur].next) {
+        const uint32_t slot = findSlot(old[cur].addr);
+        table_[slot] = Entry{old[cur].addr, prev_slot, kNil};
+        if (prev_slot != kNil)
+            table_[prev_slot].next = slot;
+        else
+            head_ = slot;
+        prev_slot = slot;
+    }
+    tail_ = prev_slot;
 }
 
 } // namespace talus

@@ -9,14 +9,21 @@
  *
  * Capacity can be changed at runtime; shrinking evicts from the LRU
  * end, which is exactly how an idealized repartitioning behaves.
+ *
+ * Storage is flat and allocation-free per access: one open-addressing
+ * table (linear probing, backward-shift deletion) whose 16-byte slots
+ * carry the address plus intrusive doubly-linked LRU links (slot
+ * indices, not pointers). A hit is one probe — the entry found IS the
+ * list node, so recency updates are plain stores to neighbor slots —
+ * where the previous std::list + std::unordered_map representation
+ * chased a map bucket, a map node, and heap-allocated list nodes.
  */
 
 #ifndef TALUS_CACHE_FULLY_ASSOC_LRU_H
 #define TALUS_CACHE_FULLY_ASSOC_LRU_H
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "util/types.h"
 
@@ -42,7 +49,7 @@ class FullyAssocLru
     bool contains(Addr addr) const;
 
     /** Current number of resident lines. */
-    uint64_t size() const { return map_.size(); }
+    uint64_t size() const { return size_; }
 
     /** Capacity in lines. */
     uint64_t capacity() const { return capacity_; }
@@ -66,13 +73,41 @@ class FullyAssocLru
     void resetStats();
 
   private:
+    /**
+     * One table slot: a resident line and its LRU list links (slot
+     * indices). prev is kNil for the MRU entry, kEmpty for a free
+     * slot; next is kNil for the LRU entry. 16 bytes, so probing
+     * walks 4 slots per cache line and never leaves the table.
+     */
+    struct Entry
+    {
+        Addr addr;
+        uint32_t prev;
+        uint32_t next;
+    };
+
+    static constexpr uint32_t kNil = 0xFFFFFFFFu;   //!< List end.
+    static constexpr uint32_t kEmpty = 0xFFFFFFFEu; //!< Free slot.
+
+    uint32_t homeSlot(Addr addr) const;
+    uint32_t findSlot(Addr addr) const; //!< Slot of addr, or the empty
+                                        //!< slot where probing stopped.
+    void moveToFront(uint32_t slot);
     void evictLru();
+    void tableErase(uint32_t slot);     //!< Backward-shift deletion.
+    void moveEntry(uint32_t from, uint32_t to);
+    void growTable();
 
     uint64_t capacity_;
+    uint64_t size_ = 0;
     uint64_t hits_ = 0;
     uint64_t accesses_ = 0;
-    std::list<Addr> lru_; //!< Front = MRU, back = LRU.
-    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+
+    uint32_t head_ = kNil; //!< MRU slot.
+    uint32_t tail_ = kNil; //!< LRU slot.
+
+    std::vector<Entry> table_; //!< Open addressing, linear probing.
+    uint32_t tableMask_ = 0;   //!< table_.size() - 1 (power of two).
 };
 
 } // namespace talus

@@ -7,8 +7,7 @@
 namespace talus {
 
 UMon::UMon(const Config& config)
-    : cfg_(config), sampleHash_(32, config.seed),
-      setHash_(32, config.seed ^ 0xBADC0DE)
+    : cfg_(config), hash_(32, config.seed)
 {
     talus_assert(cfg_.ways >= 1, "UMON needs at least one way");
     talus_assert(cfg_.sets >= 1, "UMON needs at least one set");
@@ -35,6 +34,13 @@ UMon::UMon(const Config& config)
             ? 1.0
             : static_cast<double>(monitor_lines) /
                   static_cast<double>(cfg_.modeledLines);
+    // hash/2^32 < threshold  <=>  hash < threshold*2^32: scaling by a
+    // power of two is exact, so the prescaled compare samples the
+    // exact same addresses as the hashUnit() form did.
+    sampleLimit_ =
+        sampleThreshold_ * static_cast<double>(hash_.range());
+    setsArePow2_ = (cfg_.sets & (cfg_.sets - 1)) == 0;
+    setMask_ = cfg_.sets - 1;
     tags_.assign(monitor_lines, kInvalidTag);
     wayHits_.assign(cfg_.ways, 0);
 }
@@ -44,12 +50,15 @@ UMon::access(Addr addr)
 {
     // Pseudo-random address sampling (Assumption 3): the sampled
     // stream is statistically self-similar, so the small array models
-    // a proportionally larger cache (Theorem 4).
-    if (sampleHash_.hashUnit(addr) >= sampleThreshold_)
+    // a proportionally larger cache (Theorem 4). One H3 evaluation
+    // drives both decisions: the magnitude compare consumes the high
+    // bits, the set index the low bits.
+    const uint32_t h = hash_.hash(addr);
+    if (static_cast<double>(h) >= sampleLimit_)
         return;
     sampled_++;
 
-    const uint32_t set = setHash_.hash(addr) % cfg_.sets;
+    const uint32_t set = setsArePow2_ ? (h & setMask_) : (h % cfg_.sets);
     Addr* way0 = &tags_[static_cast<size_t>(set) * cfg_.ways];
 
     // Find the address's LRU stack position, if resident.

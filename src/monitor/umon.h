@@ -65,9 +65,15 @@ class UMon
 
   private:
     Config cfg_;
-    H3Hash sampleHash_;
-    H3Hash setHash_;
+    H3Hash hash_;
     double sampleThreshold_;
+    // Sampling compares the hash's magnitude, set selection its low
+    // bits: one H3 evaluation serves both. sampleLimit_ is the
+    // threshold prescaled to the hash range; setMask_ replaces the
+    // modulo when sets is a power of two (the common geometry).
+    double sampleLimit_;
+    uint32_t setMask_ = 0;
+    bool setsArePow2_ = false;
 
     // tags_[set*ways + pos], pos 0 = MRU. Invalid entries hold
     // kInvalidTag.

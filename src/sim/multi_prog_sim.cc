@@ -1,5 +1,6 @@
 #include "sim/multi_prog_sim.h"
 
+#include <array>
 #include <limits>
 #include <memory>
 
@@ -20,6 +21,9 @@ MultiProgResult::ipcVector() const
 
 namespace {
 
+/** Addresses pre-generated per app between refills. */
+constexpr uint64_t kAddrBuf = 256;
+
 /** Per-app dynamic state during a run. */
 struct AppState
 {
@@ -31,6 +35,21 @@ struct AppState
     uint64_t measuredMisses = 0;
     bool done = false;
     double doneCycles = 0;
+
+    // Address buffer: the interleaved loop consumes one address per
+    // turn in cycle order, but generates them a block at a time so
+    // the virtual stream dispatch is paid once per kAddrBuf accesses.
+    std::array<Addr, kAddrBuf> buf{};
+    uint64_t bufPos = kAddrBuf;
+
+    Addr nextAddr()
+    {
+        if (bufPos == kAddrBuf) {
+            stream->nextBlock(buf.data(), kAddrBuf);
+            bufPos = 0;
+        }
+        return buf[bufPos++];
+    }
 };
 
 /** Maps a MultiProgConfig onto the facade's configuration. */
@@ -105,7 +124,7 @@ runMultiProg(const std::vector<const AppSpec*>& apps,
         }
 
         AppState& s = state[a];
-        const bool hit = llc->access(s.stream->next(), a);
+        const bool hit = llc->access(s.nextAddr(), a);
         s.cycles += s.model.cyclesPerAccess(hit);
         s.instr += s.model.instrPerAccess();
 

@@ -1,6 +1,7 @@
 #include "sim/single_app_sim.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "api/talus_cache.h"
 #include "monitor/mattson_curve.h"
@@ -19,18 +20,35 @@ autoWarmup(uint64_t size_lines, uint64_t configured)
     return 2 * size_lines + 65536;
 }
 
-/** Runs warmup + measurement through any access functor. */
-template <typename AccessFn>
+/** Addresses generated per block in the replay loops. */
+constexpr uint64_t kReplayBlock = 4096;
+
+/**
+ * Runs warmup + measurement through a block functor
+ * (const Addr*, uint64_t count): addresses are generated a block at a
+ * time (one virtual nextBlock per block instead of one next() per
+ * access) and handed to the cache in a tight loop.
+ */
+template <typename BatchFn>
 double
 measureMissRatio(AccessStream& stream, uint64_t warmup, uint64_t measure,
-                 AccessFn&& do_access, CacheStats& stats)
+                 BatchFn&& do_batch, CacheStats& stats)
 {
     stream.reset();
-    for (uint64_t i = 0; i < warmup; ++i)
-        do_access(stream.next());
+    std::vector<Addr> block(kReplayBlock);
+    for (uint64_t left = warmup; left > 0;) {
+        const uint64_t n = std::min<uint64_t>(kReplayBlock, left);
+        stream.nextBlock(block.data(), n);
+        do_batch(block.data(), n);
+        left -= n;
+    }
     stats.reset();
-    for (uint64_t i = 0; i < measure; ++i)
-        do_access(stream.next());
+    for (uint64_t left = measure; left > 0;) {
+        const uint64_t n = std::min<uint64_t>(kReplayBlock, left);
+        stream.nextBlock(block.data(), n);
+        do_batch(block.data(), n);
+        left -= n;
+    }
     const uint64_t accesses = stats.totalAccesses();
     talus_assert(accesses > 0, "no accesses measured");
     return static_cast<double>(stats.totalMisses()) /
@@ -61,7 +79,11 @@ sweepPolicyCurve(AccessStream& stream, const std::vector<uint64_t>& sizes,
         const double ratio = measureMissRatio(
             stream, autoWarmup(size, opts.warmupAccesses),
             opts.measureAccesses,
-            [&](Addr addr) { cache.access(addr, 0); }, cache.stats());
+            [&](const Addr* addrs, uint64_t n) {
+                for (uint64_t i = 0; i < n; ++i)
+                    cache.access(addrs[i], 0);
+            },
+            cache.stats());
         pts.push_back({static_cast<double>(cfg.numSets) * ways, ratio});
     }
     return MissCurve(std::move(pts));
@@ -110,7 +132,9 @@ sweepTalusCurve(AccessStream& stream, const MissCurve& input_curve,
         const double ratio = measureMissRatio(
             stream, autoWarmup(size, opts.warmupAccesses),
             opts.measureAccesses,
-            [&](Addr addr) { talus_cache->access(addr, 0); },
+            [&](const Addr* addrs, uint64_t n) {
+                talus_cache->accessBatch(Span<const Addr>(addrs, n), 0);
+            },
             talus_cache->cache().stats());
         pts.push_back({static_cast<double>(size), ratio});
     }
@@ -124,8 +148,14 @@ measureLruCurve(AccessStream& stream, uint64_t accesses, uint64_t max_lines,
     talus_assert(accesses > 0, "need accesses to measure");
     MattsonCurve mattson(max_lines);
     stream.reset();
-    for (uint64_t i = 0; i < accesses; ++i)
-        mattson.access(stream.next());
+    std::vector<Addr> block(kReplayBlock);
+    for (uint64_t left = accesses; left > 0;) {
+        const uint64_t n = std::min<uint64_t>(kReplayBlock, left);
+        stream.nextBlock(block.data(), n);
+        for (uint64_t i = 0; i < n; ++i)
+            mattson.access(block[i]);
+        left -= n;
+    }
     return mattson.curve(step);
 }
 

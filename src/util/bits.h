@@ -51,6 +51,18 @@ maskLow(uint32_t n)
     return n >= 64 ? ~0ull : (1ull << n) - 1;
 }
 
+/** Hints the CPU to start loading @p p; no-op where unsupported. Used
+ *  on hot paths to overlap independent cold-memory fetches. */
+inline void
+prefetch(const void* p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p);
+#else
+    (void)p;
+#endif
+}
+
 } // namespace talus
 
 #endif // TALUS_UTIL_BITS_H

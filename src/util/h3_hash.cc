@@ -18,22 +18,38 @@ H3Hash::H3Hash(uint32_t out_bits, uint64_t seed)
             mask = rng.next64();
         } while (mask == 0);
     }
+
+    // Byte-slice the masks: parity(addr & m) is the XOR over bytes of
+    // parity(byte & m_byte), so each byte's contribution to all output
+    // bits can be precomputed. bit_contrib[j] collects the output bits
+    // whose mask has input bit (8*b + j) set; each table entry is then
+    // filled in one XOR from the entry with its lowest set bit cleared.
+    for (uint32_t b = 0; b < 8; ++b) {
+        uint32_t bit_contrib[8] = {};
+        for (uint32_t i = 0; i < outBits_; ++i) {
+            const uint64_t mask_byte = (masks_[i] >> (8 * b)) & 0xFF;
+            for (uint32_t j = 0; j < 8; ++j) {
+                if ((mask_byte >> j) & 1)
+                    bit_contrib[j] |= 1u << i;
+            }
+        }
+        table_[b][0] = 0;
+        for (uint32_t j = 0; j < 8; ++j) {
+            for (uint32_t v = 0; v < (1u << j); ++v)
+                table_[b][(1u << j) | v] =
+                    table_[b][v] ^ bit_contrib[j];
+        }
+    }
 }
 
 uint32_t
-H3Hash::hash(Addr addr) const
+H3Hash::hashReference(Addr addr) const
 {
     uint32_t out = 0;
     for (uint32_t bit = 0; bit < outBits_; ++bit) {
         out |= (popcount64(addr & masks_[bit]) & 1) << bit;
     }
     return out;
-}
-
-double
-H3Hash::hashUnit(Addr addr) const
-{
-    return static_cast<double>(hash(addr)) / static_cast<double>(range());
 }
 
 } // namespace talus

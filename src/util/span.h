@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal read-only span: a (pointer, length) view over contiguous
+ * addresses. C++17 stand-in for std::span<const T>, used by the
+ * batched access API so callers can pass vectors, arrays, or raw
+ * buffers without copying.
+ */
+
+#ifndef TALUS_UTIL_SPAN_H
+#define TALUS_UTIL_SPAN_H
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace talus {
+
+/** A non-owning view of @p size contiguous const elements. */
+template <typename T>
+class Span
+{
+  public:
+    constexpr Span() = default;
+
+    constexpr Span(const T* data, size_t size) : data_(data), size_(size)
+    {
+    }
+
+    Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+    template <size_t N>
+    constexpr Span(const std::array<T, N>& a) : data_(a.data()), size_(N)
+    {
+    }
+
+    template <size_t N>
+    constexpr Span(const T (&a)[N]) : data_(a), size_(N)
+    {
+    }
+
+    constexpr const T* data() const { return data_; }
+    constexpr size_t size() const { return size_; }
+    constexpr bool empty() const { return size_ == 0; }
+    constexpr const T& operator[](size_t i) const { return data_[i]; }
+    constexpr const T* begin() const { return data_; }
+    constexpr const T* end() const { return data_ + size_; }
+
+    /** The subview [offset, offset+count). */
+    constexpr Span subspan(size_t offset, size_t count) const
+    {
+        return Span(data_ + offset, count);
+    }
+
+  private:
+    const T* data_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_UTIL_SPAN_H

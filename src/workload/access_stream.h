@@ -33,6 +33,18 @@ class AccessStream
     /** Produces the next line address. */
     virtual Addr next() = 0;
 
+    /**
+     * Fills @p out with the next @p n addresses — the same sequence n
+     * calls to next() would produce. The default loops over next();
+     * hot generators override it so block-driven replay loops pay one
+     * virtual dispatch per block instead of one per address.
+     */
+    virtual void nextBlock(Addr* out, uint64_t n)
+    {
+        for (uint64_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
+
     /** Restarts the stream from its initial state. */
     virtual void reset() = 0;
 

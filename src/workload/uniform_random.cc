@@ -19,6 +19,13 @@ UniformRandom::next()
     return base_ + rng_.below(numLines_);
 }
 
+void
+UniformRandom::nextBlock(Addr* out, uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        out[i] = base_ + rng_.below(numLines_);
+}
+
 std::unique_ptr<AccessStream>
 UniformRandom::clone() const
 {

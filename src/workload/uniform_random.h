@@ -26,6 +26,7 @@ class UniformRandom : public AccessStream
                   uint64_t seed = 0x11A2);
 
     Addr next() override;
+    void nextBlock(Addr* out, uint64_t n) override;
     void reset() override { rng_.seed(seed_); }
     std::unique_ptr<AccessStream> clone() const override;
     const char* kind() const override { return "random"; }

@@ -42,6 +42,20 @@ ZipfStream::next()
     return base_ + rank;
 }
 
+void
+ZipfStream::nextBlock(Addr* out, uint64_t n)
+{
+    const bool pow2 = (numLines_ & (numLines_ - 1)) == 0;
+    const uint64_t scramble =
+        pow2 ? (mix64(seed_) & (numLines_ - 1)) : 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        const double u = rng_.unit();
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        const uint64_t rank = static_cast<uint64_t>(it - cdf_.begin());
+        out[i] = base_ + (rank ^ scramble);
+    }
+}
+
 std::unique_ptr<AccessStream>
 ZipfStream::clone() const
 {

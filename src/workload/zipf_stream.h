@@ -30,6 +30,7 @@ class ZipfStream : public AccessStream
                uint64_t seed = 0x21FF);
 
     Addr next() override;
+    void nextBlock(Addr* out, uint64_t n) override;
     void reset() override { rng_.seed(seed_); }
     std::unique_ptr<AccessStream> clone() const override;
     const char* kind() const override { return "zipf"; }

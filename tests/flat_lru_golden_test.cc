@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Equivalence tests for the flat FullyAssocLru.
+ *
+ * The open-addressing + intrusive-list FullyAssocLru must be
+ * indistinguishable from the textbook std::list + std::unordered_map
+ * LRU it replaced: same hit/miss on every access, same size, same
+ * residency, under adversarial traces — duplicate-heavy streams that
+ * stress recency moves, capacity shrinks that evict from the LRU end
+ * mid-trace, growth, and clear(). The reference implementation lives
+ * here so the library itself carries only the fast one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/fully_assoc_lru.h"
+#include "util/rng.h"
+
+namespace talus {
+namespace {
+
+/** The pre-PR list + hash-map LRU, kept as the behavioral oracle. */
+class ReferenceLru
+{
+  public:
+    explicit ReferenceLru(uint64_t capacity_lines)
+        : capacity_(capacity_lines)
+    {
+    }
+
+    bool access(Addr addr)
+    {
+        auto it = map_.find(addr);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return true;
+        }
+        if (capacity_ == 0)
+            return false;
+        while (map_.size() >= capacity_)
+            evictLru();
+        lru_.push_front(addr);
+        map_.emplace(addr, lru_.begin());
+        return false;
+    }
+
+    bool contains(Addr addr) const
+    {
+        return map_.find(addr) != map_.end();
+    }
+
+    uint64_t size() const { return map_.size(); }
+
+    void setCapacity(uint64_t capacity_lines)
+    {
+        capacity_ = capacity_lines;
+        while (map_.size() > capacity_)
+            evictLru();
+    }
+
+    void clear()
+    {
+        lru_.clear();
+        map_.clear();
+    }
+
+  private:
+    void evictLru()
+    {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+
+    uint64_t capacity_;
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+};
+
+/** Replays a trace through both models, asserting lockstep equality. */
+void
+expectLockstep(FullyAssocLru& fast, ReferenceLru& ref,
+               const std::vector<Addr>& trace)
+{
+    for (size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(fast.access(trace[i]), ref.access(trace[i]))
+            << "diverged at access " << i << " addr " << trace[i];
+        ASSERT_EQ(fast.size(), ref.size()) << "size diverged at " << i;
+    }
+}
+
+std::vector<Addr>
+randomTrace(uint64_t accesses, uint64_t working_set, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> t(accesses);
+    for (Addr& a : t)
+        a = rng.below(working_set);
+    return t;
+}
+
+TEST(FlatLruGolden, RandomTraceMatchesReference)
+{
+    FullyAssocLru fast(256);
+    ReferenceLru ref(256);
+    expectLockstep(fast, ref, randomTrace(100'000, 1024, 11));
+}
+
+TEST(FlatLruGolden, DuplicateHeavyTraceMatchesReference)
+{
+    // 90% of accesses hit a tiny hot set: stresses recency reordering
+    // (moveToFront) far more than insertion/eviction.
+    Rng rng(13);
+    std::vector<Addr> trace;
+    trace.reserve(100'000);
+    for (int i = 0; i < 100'000; ++i) {
+        trace.push_back(rng.below(10) < 9 ? rng.below(8)
+                                          : 100 + rng.below(4096));
+    }
+    FullyAssocLru fast(128);
+    ReferenceLru ref(128);
+    expectLockstep(fast, ref, trace);
+}
+
+TEST(FlatLruGolden, CapacityShrinkMatchesReference)
+{
+    // Shrink while full, in steps, interleaved with traffic: the
+    // shrink must evict exactly the same LRU-end lines in both.
+    FullyAssocLru fast(512);
+    ReferenceLru ref(512);
+    Rng rng(17);
+    for (uint64_t cap : {512u, 300u, 299u, 128u, 7u, 1u, 0u, 64u}) {
+        fast.setCapacity(cap);
+        ref.setCapacity(cap);
+        ASSERT_EQ(fast.size(), ref.size()) << "after shrink to " << cap;
+        expectLockstep(fast, ref, randomTrace(20'000, 2048, rng.next64()));
+    }
+}
+
+TEST(FlatLruGolden, SequentialScanMatchesReference)
+{
+    // Cyclic scan one line larger than capacity: every access misses
+    // under LRU (the classic cliff), maximizing evictions.
+    std::vector<Addr> trace;
+    for (int rep = 0; rep < 300; ++rep)
+        for (Addr a = 0; a < 257; ++a)
+            trace.push_back(a);
+    FullyAssocLru fast(256);
+    ReferenceLru ref(256);
+    expectLockstep(fast, ref, trace);
+}
+
+TEST(FlatLruGolden, ResidencyMatchesReferenceAfterTraffic)
+{
+    FullyAssocLru fast(200);
+    ReferenceLru ref(200);
+    const std::vector<Addr> trace = randomTrace(50'000, 700, 23);
+    expectLockstep(fast, ref, trace);
+    for (Addr a = 0; a < 700; ++a)
+        ASSERT_EQ(fast.contains(a), ref.contains(a)) << "addr " << a;
+}
+
+TEST(FlatLruGolden, ClearMatchesReference)
+{
+    FullyAssocLru fast(64);
+    ReferenceLru ref(64);
+    expectLockstep(fast, ref, randomTrace(10'000, 256, 29));
+    fast.clear();
+    ref.clear();
+    EXPECT_EQ(fast.size(), 0u);
+    expectLockstep(fast, ref, randomTrace(10'000, 256, 31));
+}
+
+TEST(FlatLruGolden, WideAddressSpaceMatchesReference)
+{
+    // Full-width addresses (per-app address-space bits set) exercise
+    // the hash-and-probe path away from small dense integers.
+    Rng rng(37);
+    std::vector<Addr> trace;
+    trace.reserve(60'000);
+    for (int i = 0; i < 60'000; ++i)
+        trace.push_back((1ull << 40) * (1 + rng.below(4)) +
+                        rng.below(500));
+    FullyAssocLru fast(333);
+    ReferenceLru ref(333);
+    expectLockstep(fast, ref, trace);
+}
+
+} // namespace
+} // namespace talus

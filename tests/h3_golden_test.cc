@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-value tests for the table-driven H3 hash.
+ *
+ * H3Hash::hash() is a byte-sliced table evaluation of the bit-serial
+ * H3 definition (one parity per output bit). Two guards keep it
+ * honest: hardcoded golden values captured from the original
+ * bit-serial implementation pin the function seed-for-seed across
+ * refactors (sampling decisions, shadow routing, and UMON set
+ * placement all depend on these exact bits), and a randomized sweep
+ * checks the tables against the in-class bit-serial reference for
+ * arbitrary seeds and widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shadow_router.h"
+#include "util/h3_hash.h"
+#include "util/rng.h"
+
+namespace talus {
+namespace {
+
+// Address probes used by the golden vectors: edge patterns plus
+// typical per-app line addresses (kAddrSpaceShift region).
+constexpr Addr kProbes[] = {
+    0ull,
+    1ull,
+    0xFFFFFFFFFFFFFFFFull,
+    0xDEADBEEFull,
+    0x123456789ABCDEFull,
+    1ull << 40,
+    (1ull << 40) + 12345,
+    0x5555555555555555ull,
+};
+constexpr size_t kNumProbes = sizeof(kProbes) / sizeof(kProbes[0]);
+
+struct GoldenVector
+{
+    uint32_t bits;
+    uint64_t seed;
+    uint32_t expected[kNumProbes];
+};
+
+// Captured from the bit-serial implementation this PR replaced
+// (seeds are the defaults used across the library: H3Hash default,
+// perf_micro, UMon sample/set hashes, facade router derivation).
+constexpr GoldenVector kGolden[] = {
+    {8, 0x1905CAFEull,
+     {0x0u, 0x5u, 0xC3u, 0xF5u, 0x27u, 0x5Du, 0x24u, 0x76u}},
+    {8, 0x1ull,
+     {0x0u, 0x99u, 0x11u, 0xEDu, 0x8u, 0xA7u, 0xBBu, 0xC0u}},
+    {32, 0x707ull,
+     {0x0u, 0xED354465u, 0x35DBDE43u, 0xA9C2E78Du, 0xCBA96B40u,
+      0x8C099D96u, 0x3FC6BCD9u, 0x242313D3u}},
+    {32, 0xBADC7D9ull,
+     {0x0u, 0x573C91A4u, 0x846CD3B9u, 0xC5997542u, 0xFBD0A142u,
+      0x7FB2C95Cu, 0xE4FD613u, 0x9F784792u}},
+    {16, 0x2Aull,
+     {0x0u, 0x4E8Cu, 0x2696u, 0x10A6u, 0x6EE0u, 0x1EAFu, 0xBA60u,
+      0xD75Cu}},
+    {1, 0x7ull, {0x0u, 0x0u, 0x0u, 0x1u, 0x1u, 0x0u, 0x0u, 0x0u}},
+    {32, 0xC3Bull,
+     {0x0u, 0x97612C6Fu, 0x4A3CBE0Fu, 0x58A3F5F9u, 0x618CAC71u,
+      0x2EF2C21Du, 0x7032394Du, 0xA28E1A1Cu}},
+};
+
+TEST(H3Golden, MatchesPrePrBitSerialValues)
+{
+    for (const GoldenVector& g : kGolden) {
+        H3Hash h(g.bits, g.seed);
+        for (size_t i = 0; i < kNumProbes; ++i)
+            EXPECT_EQ(h.hash(kProbes[i]), g.expected[i])
+                << "bits=" << g.bits << " seed=" << g.seed
+                << " addr=" << kProbes[i];
+    }
+}
+
+TEST(H3Golden, TableMatchesBitSerialReferenceForRandomSeeds)
+{
+    Rng rng(0xF00D);
+    for (int trial = 0; trial < 20; ++trial) {
+        const uint32_t bits = 1 + static_cast<uint32_t>(rng.below(32));
+        const uint64_t seed = rng.next64();
+        H3Hash h(bits, seed);
+        for (int i = 0; i < 2000; ++i) {
+            const Addr a = rng.next64();
+            ASSERT_EQ(h.hash(a), h.hashReference(a))
+                << "bits=" << bits << " seed=" << seed << " addr=" << a;
+        }
+    }
+}
+
+TEST(H3Golden, HashUnitMatchesHashForWideHashes)
+{
+    H3Hash h(32, 0x707);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = rng.next64();
+        EXPECT_DOUBLE_EQ(h.hashUnit(a),
+                         static_cast<double>(h.hash(a)) /
+                             static_cast<double>(h.range()));
+    }
+}
+
+TEST(H3Golden, ShadowRouterRoutingUnchanged)
+{
+    // The router's alpha/beta split is hash < limit; with the golden
+    // seed the first probe values are pinned above, so spot-check the
+    // routing decision itself for a mid-range rho.
+    ShadowRouter router(8, 0x1905CAFE);
+    router.setRho(0.5); // limit = 128
+    EXPECT_TRUE(router.toAlpha(0));      // hash 0x00
+    EXPECT_TRUE(router.toAlpha(1));      // hash 0x05
+    EXPECT_FALSE(router.toAlpha(~0ull)); // hash 0xC3
+    EXPECT_FALSE(router.toAlpha(0xDEADBEEF)); // hash 0xF5
+}
+
+} // namespace
+} // namespace talus
