@@ -7,8 +7,10 @@ Usage:
 
 Exits non-zero if any tracked benchmark's throughput (items_per_second,
 falling back to 1/real_time) dropped by more than --threshold relative
-to the baseline. Benchmarks present in only one file are reported but
-never fail the gate, so adding or renaming benches does not break CI.
+to the baseline, or if a tracked benchmark is missing from the current
+run (a silently deleted/renamed hot-path bench must not pass the
+gate). Tracked benchmarks missing from the *baseline* only warn, so a
+new bench can land before the baseline is refreshed.
 
 The checked-in baseline (bench/BENCH_baseline.json) was recorded on one
 reference machine; absolute numbers vary across hosts, which is why the
@@ -33,6 +35,12 @@ DEFAULT_TRACKED = [
     "BM_TalusFacadeAccess",
     "BM_TalusBatchedAccess",
     "BM_TalusRoutedAccess",
+    # Sharded serving engine (inline dispatch: deterministic and
+    # meaningful on any core count; threaded variants are reported
+    # but not tracked). The sweep uses UseRealTime — work runs on
+    # pool threads — which suffixes the names.
+    "BM_ShardedBatchedAccess/shards:1/threads:0/real_time",
+    "BM_ShardedBatchedAccess/shards:4/threads:0/real_time",
 ]
 
 
@@ -72,27 +80,37 @@ def main():
     tracked = [b for b in args.benchmarks.split(",") if b]
 
     failures = []
-    print(f"{'benchmark':<28} {'baseline':>14} {'current':>14} "
+    missing = []
+    print(f"{'benchmark':<54} {'baseline':>14} {'current':>14} "
           f"{'ratio':>7}")
     for name in tracked:
-        if name not in base or name not in curr:
-            missing = "baseline" if name not in base else "current"
-            print(f"{name:<28} {'—':>14} {'—':>14} {'—':>7}  "
-                  f"(missing from {missing}; skipped)")
+        if name not in curr:
+            # A tracked bench that did not run is a gate failure: a
+            # rename/delete must not silently drop perf coverage.
+            missing.append(name)
+            print(f"{name:<54} {'—':>14} {'—':>14} {'—':>7}  "
+                  f"<< MISSING from current run")
+            continue
+        if name not in base:
+            print(f"{name:<54} {'—':>14} {curr[name]:>12.3e}/s "
+                  f"{'—':>7}  (missing from baseline; warned only)")
             continue
         ratio = curr[name] / base[name]
         flag = ""
         if ratio < 1.0 - args.threshold:
             failures.append((name, ratio))
             flag = "  << REGRESSION"
-        print(f"{name:<28} {base[name]:>12.3e}/s {curr[name]:>12.3e}/s "
+        print(f"{name:<54} {base[name]:>12.3e}/s {curr[name]:>12.3e}/s "
               f"{ratio:>6.2f}x{flag}")
 
-    if failures:
+    if failures or missing:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more "
-              f"than {args.threshold:.0%}:")
+              f"than {args.threshold:.0%}, {len(missing)} tracked "
+              f"benchmark(s) missing from the current run:")
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x of baseline")
+        for name in missing:
+            print(f"  {name}: missing from current run")
         return 1
     print(f"\nOK: no tracked benchmark regressed more than "
           f"{args.threshold:.0%}")

@@ -21,6 +21,7 @@
 #include "monitor/mattson_curve.h"
 #include "monitor/stack_distance.h"
 #include "policy/policy_factory.h"
+#include "shard/sharded_cache.h"
 #include "util/h3_hash.h"
 #include "util/rng.h"
 #include "workload/zipf_stream.h"
@@ -177,6 +178,48 @@ BM_TalusBatchedAccess(benchmark::State& state)
                             static_cast<int64_t>(kBlock));
 }
 BENCHMARK(BM_TalusBatchedAccess);
+
+/**
+ * Scatter-dispatch-gather through the sharded serving engine, with a
+ * shard-count scaling sweep. Total capacity is held constant (the
+ * facade bench cache split across shards) so the sweep isolates the
+ * shard layer's routing + dispatch cost. The threads:0 rows are the
+ * deterministic, host-independent ones the regression gate tracks;
+ * the threads:2/threads:4 rows of the same sweep measure worker-pool
+ * dispatch and depend on core count (hence UseRealTime: with work on
+ * pool threads, the main thread's cpu_time would be meaningless).
+ */
+void
+BM_ShardedBatchedAccess(benchmark::State& state)
+{
+    constexpr size_t kBlock = 4096;
+    const uint32_t shards = static_cast<uint32_t>(state.range(0));
+    const uint32_t threads = static_cast<uint32_t>(state.range(1));
+    ShardedTalusCache::Config cfg;
+    cfg.shard = facadeBenchConfig();
+    cfg.shard.llcLines = 16384 / shards;
+    cfg.numShards = shards;
+    cfg.threads = threads;
+    ShardedTalusCache cache(cfg);
+    const std::vector<Addr> addrs = facadeBenchAddrs();
+    size_t off = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.accessBatch(
+            Span<const Addr>(addrs.data() + off, kBlock), 0));
+        off = (off + kBlock) & (addrs.size() - 1);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kBlock));
+}
+BENCHMARK(BM_ShardedBatchedAccess)
+    ->ArgNames({"shards", "threads"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->UseRealTime();
 
 void
 BM_MattsonAccess(benchmark::State& state)

@@ -5,10 +5,12 @@
  *
  *     #include "api/talus.h"
  *
- * pulls in the facade itself (api/talus_cache.h), the miss-curve and
- * convex-hull types its methods speak, paper-MB scaling, and the
- * synthetic workload suite used by the examples. Components embedding
- * only the cache can include api/talus_cache.h directly.
+ * pulls in the facade itself (api/talus_cache.h), the sharded
+ * serving engine built on top of it (shard/sharded_cache.h), the
+ * miss-curve and convex-hull types its methods speak, paper-MB
+ * scaling, and the synthetic workload suite used by the examples.
+ * Components embedding only the cache can include api/talus_cache.h
+ * directly.
  */
 
 #ifndef TALUS_API_TALUS_H
@@ -18,6 +20,7 @@
 #include "api/talus_cache.h"
 #include "core/convex_hull.h"
 #include "core/miss_curve.h"
+#include "shard/sharded_cache.h"
 #include "sim/scale.h"
 #include "workload/spec_suite.h"
 

@@ -1,0 +1,32 @@
+#include "shard/shard_router.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+ShardRouter::ShardRouter(uint32_t num_shards, uint64_t seed)
+    : numShards_(num_shards), seed_(seed), hash_(32, seed)
+{
+    talus_assert(num_shards >= 1, "a router needs at least one shard");
+}
+
+void
+ShardRouter::scatter(Span<const Addr> addrs,
+                     std::vector<std::vector<Addr>>& per_shard) const
+{
+    per_shard.resize(numShards_);
+    for (std::vector<Addr>& bucket : per_shard)
+        bucket.clear();
+    for (Addr addr : addrs)
+        per_shard[route(addr)].push_back(addr);
+}
+
+std::vector<std::vector<Addr>>
+ShardRouter::scatter(Span<const Addr> addrs) const
+{
+    std::vector<std::vector<Addr>> per_shard;
+    scatter(addrs, per_shard);
+    return per_shard;
+}
+
+} // namespace talus

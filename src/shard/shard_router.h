@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ShardRouter: seeded, deterministic address -> shard mapping.
+ *
+ * A serving deployment scales Talus horizontally by hash-partitioning
+ * the key space into independent shards, each running its own
+ * self-managing TalusCache (the paper's cheap-deployability pitch,
+ * Fig. 7, applied per shard). The router is the only piece the shards
+ * share, so it must be stateless, seeded, and bit-stable: the same
+ * (seed, numShards) must route the same address to the same shard on
+ * every run, which is what makes sharded execution reproducible and
+ * lets tests replay one shard's sub-stream through a stand-alone
+ * TalusCache.
+ *
+ * Routing reuses the H3 family (util/h3_hash.h) that Talus already
+ * specifies for its sampling hardware: a full-width 32-bit H3 hash is
+ * reduced to [0, numShards) with a multiply-shift, so shard counts
+ * need not be powers of two and no modulo sits on the hot path.
+ */
+
+#ifndef TALUS_SHARD_SHARD_ROUTER_H
+#define TALUS_SHARD_SHARD_ROUTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/h3_hash.h"
+#include "util/span.h"
+#include "util/types.h"
+
+namespace talus {
+
+/** Deterministic H3-based address -> shard mapping. */
+class ShardRouter
+{
+  public:
+    /**
+     * Builds a router over @p num_shards shards.
+     *
+     * @param num_shards Number of shards (>= 1).
+     * @param seed Seed for the H3 masks; same seed, same mapping.
+     */
+    explicit ShardRouter(uint32_t num_shards, uint64_t seed = 0x5A4D);
+
+    /** The shard @p addr belongs to, in [0, numShards()). */
+    uint32_t route(Addr addr) const
+    {
+        if (numShards_ == 1)
+            return 0;
+        // Multiply-shift reduction of the 32-bit H3 output: cheaper
+        // than modulo and works for any shard count.
+        return static_cast<uint32_t>(
+            (static_cast<uint64_t>(hash_.hash(addr)) * numShards_) >>
+            32);
+    }
+
+    /**
+     * Splits @p addrs into per-shard buffers, preserving the original
+     * order within each shard — shard s receives exactly the
+     * sub-stream of addresses that route(addr) == s, in stream order.
+     * Reuses @p per_shard's element capacity across calls; the outer
+     * vector is resized to numShards().
+     */
+    void scatter(Span<const Addr> addrs,
+                 std::vector<std::vector<Addr>>& per_shard) const;
+
+    /** Convenience allocating form of scatter(). */
+    std::vector<std::vector<Addr>> scatter(Span<const Addr> addrs) const;
+
+    /** Number of shards routed across. */
+    uint32_t numShards() const { return numShards_; }
+
+    /** The seed the H3 masks were built from. */
+    uint64_t seed() const { return seed_; }
+
+  private:
+    uint32_t numShards_;
+    uint64_t seed_;
+    H3Hash hash_; //!< 32 output bits; reduced by multiply-shift.
+};
+
+} // namespace talus
+
+#endif // TALUS_SHARD_SHARD_ROUTER_H

@@ -1,0 +1,194 @@
+#include "shard/sharded_cache.h"
+
+#include <sstream>
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+// Shard-seed derivation: odd multiplier so consecutive shards get
+// well-separated seeds; XOR keeps shard 0 distinct from the base.
+constexpr uint64_t kShardSeedSalt = 0x9E37'79B9'7F4A'7C15ull;
+
+// Router-seed derivation when Config::routerSeed is unset. Distinct
+// from every per-shard seed so the router never reuses a shard's H3
+// masks (routing and intra-shard sampling must stay independent).
+constexpr uint64_t kRouterSeedSalt = 0x5A4D'0C11ull;
+
+// Validation gate for the member-initializer list: the router and
+// worker pool are constructed before the constructor body runs, so
+// an invalid config must throw before either sees it.
+const ShardedTalusCache::Config&
+validated(const ShardedTalusCache::Config& config)
+{
+    const std::string err = config.validate();
+    if (!err.empty())
+        throw ConfigError("ShardedTalusCache::Config: " + err);
+    return config;
+}
+
+} // namespace
+
+std::string
+ShardedTalusCache::Config::validate() const
+{
+    std::ostringstream err;
+    if (numShards < 1 || numShards > kMaxShards)
+        err << "numShards must be in [1, " << kMaxShards << "] (got "
+            << numShards << ")";
+    else if (threads > kMaxShards)
+        err << "threads must be <= " << kMaxShards << " (got "
+            << threads << "); a batch has at most numShards <= "
+            << kMaxShards << " independent tasks, so more workers "
+            << "can never help";
+    else {
+        const std::string shard_err = shard.validate();
+        if (!shard_err.empty())
+            err << "per-shard config: " << shard_err;
+    }
+    return err.str();
+}
+
+TalusCache::Config
+ShardedTalusCache::shardConfig(const Config& config, uint32_t shard)
+{
+    TalusCache::Config cfg = config.shard;
+    cfg.seed = config.shard.seed ^ (kShardSeedSalt * (shard + 1));
+    // An explicit per-shard routerSeed is kept as-is: shards are
+    // independent caches, so sharing the sampling seed is harmless.
+    return cfg;
+}
+
+ShardedTalusCache::ShardedTalusCache(const Config& config)
+    : cfg_(validated(config)),
+      router_(cfg_.numShards,
+              cfg_.routerSeed.value_or(cfg_.shard.seed ^
+                                       kRouterSeedSalt)),
+      pool_(cfg_.threads)
+{
+    shards_.reserve(cfg_.numShards);
+    for (uint32_t s = 0; s < cfg_.numShards; ++s)
+        shards_.push_back(
+            std::make_unique<TalusCache>(shardConfig(cfg_, s)));
+    scatter_.resize(cfg_.numShards);
+    shardHits_.assign(cfg_.numShards, 0);
+}
+
+bool
+ShardedTalusCache::access(Addr addr, PartId part)
+{
+    return shards_[router_.route(addr)]->access(addr, part);
+}
+
+uint64_t
+ShardedTalusCache::accessBatch(Span<const Addr> addrs, PartId part)
+{
+    if (addrs.empty())
+        return 0;
+    router_.scatter(addrs, scatter_);
+    pool_.run(cfg_.numShards, [this, part](uint32_t s) {
+        shardHits_[s] =
+            shards_[s]->accessBatch(Span<const Addr>(scatter_[s]), part);
+    });
+    uint64_t hits = 0;
+    for (uint64_t h : shardHits_)
+        hits += h;
+    return hits;
+}
+
+void
+ShardedTalusCache::reconfigure()
+{
+    for (auto& shard : shards_)
+        shard->reconfigure();
+}
+
+TalusCache::PartStats
+ShardedTalusCache::stats(PartId part) const
+{
+    TalusCache::PartStats agg;
+    double rho_weighted = 0.0;
+    for (const auto& shard : shards_) {
+        const TalusCache::PartStats s = shard->stats(part);
+        agg.accesses += s.accesses;
+        agg.misses += s.misses;
+        agg.targetLines += s.targetLines;
+        rho_weighted += s.rho * static_cast<double>(s.accesses);
+    }
+    agg.rho = agg.accesses > 0
+                  ? rho_weighted / static_cast<double>(agg.accesses)
+                  : 1.0;
+    return agg;
+}
+
+TalusCache::PartStats
+ShardedTalusCache::shardStats(uint32_t shard, PartId part) const
+{
+    talus_assert(shard < shards_.size(), "bad shard ", shard);
+    return shards_[shard]->stats(part);
+}
+
+MissCurve
+ShardedTalusCache::shardCurve(uint32_t shard, PartId part) const
+{
+    talus_assert(shard < shards_.size(), "bad shard ", shard);
+    return shards_[shard]->curve(part);
+}
+
+double
+ShardedTalusCache::missRatio() const
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    for (const auto& shard : shards_) {
+        const CacheStats& cs = shard->cache().stats();
+        accesses += cs.totalAccesses();
+        misses += cs.totalMisses();
+    }
+    return accesses > 0 ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+}
+
+void
+ShardedTalusCache::resetStats()
+{
+    for (auto& shard : shards_)
+        shard->resetStats();
+}
+
+uint64_t
+ShardedTalusCache::capacityLines() const
+{
+    uint64_t lines = 0;
+    for (const auto& shard : shards_)
+        lines += shard->capacityLines();
+    return lines;
+}
+
+uint64_t
+ShardedTalusCache::reconfigurations() const
+{
+    uint64_t total = 0;
+    for (const auto& shard : shards_)
+        total += shard->reconfigurations();
+    return total;
+}
+
+TalusCache&
+ShardedTalusCache::shard(uint32_t shard)
+{
+    talus_assert(shard < shards_.size(), "bad shard ", shard);
+    return *shards_[shard];
+}
+
+const TalusCache&
+ShardedTalusCache::shard(uint32_t shard) const
+{
+    talus_assert(shard < shards_.size(), "bad shard ", shard);
+    return *shards_[shard];
+}
+
+} // namespace talus

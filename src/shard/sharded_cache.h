@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ShardedTalusCache: N independent TalusCache shards behind one
+ * access/accessBatch/stats/reconfigure surface.
+ *
+ * This is the serving-engine layer: a ShardRouter hash-partitions the
+ * address space across numShards fully independent TalusCache
+ * instances (each with its own monitors, allocator, and
+ * reconfiguration loop — miss curves stay per shard, via
+ * shardCurve()), and batches execute scatter-dispatch-gather:
+ * the batch is split into per-shard sub-streams in stream order, each
+ * shard's sub-stream is driven through TalusCache::accessBatch (on a
+ * WorkerPool when Config::threads > 0), and the hit counts are
+ * summed.
+ *
+ * Determinism invariant — the subsystem's test anchor: because shards
+ * share no state, every shard's hit/miss sequence, monitor state, and
+ * reconfiguration schedule are bit-exact regardless of thread count,
+ * and identical to a stand-alone TalusCache built from
+ * shardConfig(cfg, s) fed the router's sub-stream for shard s.
+ * Config::threads trades wall-clock for nothing else; threads == 0
+ * runs inline for deterministic single-threaded debugging.
+ */
+
+#ifndef TALUS_SHARD_SHARDED_CACHE_H
+#define TALUS_SHARD_SHARDED_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/talus_cache.h"
+#include "shard/shard_router.h"
+#include "shard/worker_pool.h"
+#include "util/span.h"
+
+namespace talus {
+
+/** N independent TalusCache shards behind the TalusCache surface. */
+class ShardedTalusCache
+{
+  public:
+    /**
+     * Upper bound on numShards (and therefore on useful worker
+     * threads). Generous for a single process — horizontal scale
+     * beyond this is a multi-process concern — while keeping an
+     * absurd shard count an actionable ConfigError instead of an
+     * out-of-memory crash. BenchEnv's --shards/--threads flags
+     * enforce the same bound.
+     */
+    static constexpr uint32_t kMaxShards = 1024;
+
+    /** Shard-layer configuration wrapping one per-shard Config. */
+    struct Config
+    {
+        /**
+         * Per-shard cache configuration. llcLines is per shard, so
+         * total capacity is numShards * shard.llcLines; shard s runs
+         * with a seed derived from shard.seed and s (see
+         * shardConfig()) so shards sample independently.
+         */
+        TalusCache::Config shard;
+        uint32_t numShards = 4; //!< Independent shards (>= 1).
+        uint32_t threads = 0;   //!< Worker threads; 0 = inline
+                                //!< (deterministic debugging).
+        std::optional<uint64_t> routerSeed; //!< Address->shard H3
+                                            //!< seed; unset derives
+                                            //!< it from shard.seed.
+
+        /**
+         * Validates the configuration (including the embedded
+         * per-shard Config). Returns "" when valid, otherwise an
+         * actionable message.
+         */
+        std::string validate() const;
+    };
+
+    /**
+     * Builds the router, the N shards, and the worker pool.
+     *
+     * @throws ConfigError if @p config fails Config::validate().
+     */
+    explicit ShardedTalusCache(const Config& config);
+
+    /**
+     * The exact TalusCache::Config shard @p shard runs with: the
+     * embedded per-shard Config with a shard-specific seed. Exposed
+     * so tests (and offline tools) can hand-build a bit-identical
+     * stand-alone replica of any shard.
+     */
+    static TalusCache::Config shardConfig(const Config& config,
+                                          uint32_t shard);
+
+    /** Routes @p addr to its shard and accesses it; true on hit. */
+    bool access(Addr addr, PartId part = 0);
+
+    /**
+     * Scatter-dispatch-gather batch execution: splits @p addrs into
+     * per-shard sub-streams (preserving stream order within each
+     * shard), drives every shard's sub-stream through
+     * TalusCache::accessBatch — in parallel when Config::threads > 0
+     * — and returns the total hit count. Bit-exact with routing each
+     * address through access() serially, for any thread count.
+     */
+    uint64_t accessBatch(Span<const Addr> addrs, PartId part = 0);
+
+    /** Runs one reconfiguration on every shard (serially). */
+    void reconfigure();
+
+    /**
+     * Aggregate snapshot of logical partition @p part across all
+     * shards: accesses, misses, and targetLines are sums; rho is the
+     * access-weighted mean of the shard rhos (1.0 before any access).
+     * The shadow configuration is a per-shard concept and is left
+     * default — read it via shardStats().
+     */
+    TalusCache::PartStats stats(PartId part) const;
+
+    /** Snapshot of partition @p part on shard @p shard alone. */
+    TalusCache::PartStats shardStats(uint32_t shard, PartId part) const;
+
+    /** Monitored miss curve of partition @p part on shard @p shard. */
+    MissCurve shardCurve(uint32_t shard, PartId part) const;
+
+    /** Miss ratio across all shards and partitions. */
+    double missRatio() const;
+
+    /** Clears every shard's access/miss counters (not monitors). */
+    void resetStats();
+
+    /** Number of shards. */
+    uint32_t numShards() const { return cfg_.numShards; }
+
+    /** Logical partitions per shard (the caller-visible PartId
+     *  space; every shard has the same partitions). */
+    uint32_t numParts() const { return cfg_.shard.numParts; }
+
+    /** Worker threads driving batches (0 = inline). */
+    uint32_t threads() const { return pool_.threadCount(); }
+
+    /** Total capacity in lines, summed over shards. */
+    uint64_t capacityLines() const;
+
+    /** Reconfigurations run so far, summed over shards. */
+    uint64_t reconfigurations() const;
+
+    /** The address->shard router. */
+    const ShardRouter& router() const { return router_; }
+
+    /** Direct access to shard @p shard, for tests and diagnostics. */
+    TalusCache& shard(uint32_t shard);
+    const TalusCache& shard(uint32_t shard) const;
+
+    /** The validated configuration this engine was built from. */
+    const Config& config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    ShardRouter router_;
+    std::vector<std::unique_ptr<TalusCache>> shards_;
+    WorkerPool pool_;
+    // Scatter/gather scratch, reused across accessBatch calls so the
+    // steady state allocates nothing. accessBatch is single-caller
+    // (like TalusCache, the engine is externally synchronized); the
+    // worker pool only ever runs one batch at a time.
+    std::vector<std::vector<Addr>> scatter_;
+    std::vector<uint64_t> shardHits_;
+};
+
+} // namespace talus
+
+#endif // TALUS_SHARD_SHARDED_CACHE_H

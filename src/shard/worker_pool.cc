@@ -1,0 +1,97 @@
+#include "shard/worker_pool.h"
+
+namespace talus {
+
+WorkerPool::WorkerPool(uint32_t threads)
+{
+    workers_.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+WorkerPool::run(uint32_t num_tasks, const std::function<void(uint32_t)>& fn)
+{
+    if (num_tasks == 0)
+        return;
+    if (workers_.empty()) {
+        for (uint32_t t = 0; t < num_tasks; ++t)
+            fn(t);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    // A worker that slept through the previous batch may wake late and
+    // briefly enter the claim loop (where it claims nothing, because
+    // nextTask_ is exhausted). Publishing a new batch — which resets
+    // nextTask_ — while such a straggler is mid-claim would hand it a
+    // task index with a stale job pointer, so wait for quiescence
+    // before touching the batch state.
+    done_.wait(lock, [this] { return activeWorkers_ == 0; });
+
+    job_ = &fn;
+    numTasks_ = num_tasks;
+    nextTask_.store(0, std::memory_order_relaxed);
+    tasksDone_.store(0, std::memory_order_relaxed);
+    generation_++;
+    lock.unlock();
+    wake_.notify_all();
+
+    lock.lock();
+    done_.wait(lock, [this, num_tasks] {
+        return tasksDone_.load(std::memory_order_acquire) == num_tasks &&
+               activeWorkers_ == 0;
+    });
+    job_ = nullptr;
+}
+
+void
+WorkerPool::workerLoop()
+{
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        wake_.wait(lock, [this, seen_generation] {
+            return stop_ || generation_ != seen_generation;
+        });
+        if (stop_)
+            return;
+        seen_generation = generation_;
+        const std::function<void(uint32_t)>* job = job_;
+        const uint32_t num_tasks = numTasks_;
+        activeWorkers_++;
+        lock.unlock();
+
+        // Claim-and-run until the batch is exhausted. A straggler that
+        // wakes after its batch completed (job may even be null again)
+        // finds nextTask_ >= num_tasks and claims nothing.
+        while (true) {
+            const uint32_t task =
+                nextTask_.fetch_add(1, std::memory_order_relaxed);
+            if (task >= num_tasks)
+                break;
+            (*job)(task);
+            tasksDone_.fetch_add(1, std::memory_order_release);
+        }
+
+        lock.lock();
+        activeWorkers_--;
+        // active == 0 implies every claimed task finished, so this
+        // covers both the batch-done and straggler-quiesced waits.
+        if (activeWorkers_ == 0)
+            done_.notify_all();
+    }
+}
+
+} // namespace talus

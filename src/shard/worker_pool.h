@@ -1,0 +1,87 @@
+/**
+ * @file
+ * WorkerPool: a fixed pool of std::threads executing indexed tasks.
+ *
+ * The sharded serving engine dispatches one task per shard per batch;
+ * tasks are fully independent (each touches exactly one shard's
+ * TalusCache), so the pool needs no work stealing or futures — just
+ * "run fn(0..numTasks-1), each exactly once, then return". Worker
+ * threads are started once and reused across run() calls, so the
+ * per-batch cost is one wakeup, not a thread spawn.
+ *
+ * threads == 0 runs every task inline on the caller's thread in index
+ * order — the deterministic-debugging mode, and the reference the
+ * multi-threaded modes must match bit-for-bit (shards being
+ * independent, execution order cannot change any shard's results).
+ */
+
+#ifndef TALUS_SHARD_WORKER_POOL_H
+#define TALUS_SHARD_WORKER_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace talus {
+
+/** A fixed std::thread pool running indexed task batches. */
+class WorkerPool
+{
+  public:
+    /**
+     * Starts @p threads worker threads. 0 means no threads: run()
+     * executes tasks inline on the calling thread.
+     */
+    explicit WorkerPool(uint32_t threads);
+
+    /** Stops and joins the workers. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /**
+     * Executes fn(0), fn(1), ..., fn(num_tasks - 1), each exactly
+     * once, and returns when all have finished. With worker threads,
+     * tasks are claimed dynamically (any worker may run any index);
+     * with threads == 0 they run inline in index order. Not
+     * reentrant: one run() at a time, from one thread.
+     */
+    void run(uint32_t num_tasks, const std::function<void(uint32_t)>& fn);
+
+    /** Number of worker threads (0 = inline execution). */
+    uint32_t threadCount() const
+    {
+        return static_cast<uint32_t>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    // Batch state, guarded by mu_ except where noted. A batch is
+    // published by bumping generation_; workers claim task indices
+    // from nextTask_ (atomic, lock-free on the claim path) and run()
+    // returns once every task finished AND every woken worker has
+    // left the claim loop — the second condition keeps a stale worker
+    // from racing a later batch's nextTask_ reset.
+    std::mutex mu_;
+    std::condition_variable wake_;    //!< run() -> workers.
+    std::condition_variable done_;    //!< last worker -> run().
+    const std::function<void(uint32_t)>* job_ = nullptr;
+    uint32_t numTasks_ = 0;
+    uint64_t generation_ = 0;
+    uint32_t activeWorkers_ = 0;
+    bool stop_ = false;
+    std::atomic<uint32_t> nextTask_{0};
+    std::atomic<uint32_t> tasksDone_{0};
+};
+
+} // namespace talus
+
+#endif // TALUS_SHARD_WORKER_POOL_H

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "shard/sharded_cache.h"
 #include "util/env.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -58,6 +59,7 @@ BenchEnv::usage()
     return
         "usage: <bench> [--csv] [--full] [--scale=N] [--instr=N]\n"
         "               [--mixes=N] [--accesses=N] [--seed=N]\n"
+        "               [--shards=N] [--threads=N]\n"
         "\n"
         "  --csv         emit CSV instead of aligned tables\n"
         "  --full        paper-true scale and run lengths (slow);\n"
@@ -71,6 +73,10 @@ BenchEnv::usage()
         "  --accesses=N  measured accesses per sweep point\n"
         "                (TALUS_ACCESSES)\n"
         "  --seed=N      global seed (TALUS_SEED)\n"
+        "  --shards=N    shard count for sharded benches\n"
+        "                (TALUS_SHARDS; 0 = bench default)\n"
+        "  --threads=N   worker threads for sharded benches\n"
+        "                (TALUS_THREADS; 0 = inline)\n"
         "  --help, -h    this text\n"
         "\n"
         "Environment variables provide the same knobs; flags win.\n";
@@ -83,7 +89,7 @@ BenchEnv::init(int argc, char** argv)
     BenchEnv env;
     bool full = envFlag("TALUS_FULL");
     std::optional<uint64_t> scale_f, instr_f, mixes_f, accesses_f,
-        seed_f;
+        seed_f, shards_f, threads_f;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -98,7 +104,10 @@ BenchEnv::init(int argc, char** argv)
                    matchValueFlag(binary, arg, "mixes", &mixes_f) ||
                    matchValueFlag(binary, arg, "accesses",
                                   &accesses_f) ||
-                   matchValueFlag(binary, arg, "seed", &seed_f)) {
+                   matchValueFlag(binary, arg, "seed", &seed_f) ||
+                   matchValueFlag(binary, arg, "shards", &shards_f) ||
+                   matchValueFlag(binary, arg, "threads",
+                                  &threads_f)) {
             // Parsed into its optional above.
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "%s: unrecognized flag '%s'\n\n%s",
@@ -133,6 +142,38 @@ BenchEnv::init(int argc, char** argv)
         envInt("TALUS_ACCESSES", full ? 4'000'000 : 400'000)));
     env.seed = seed_f.value_or(
         static_cast<uint64_t>(envInt("TALUS_SEED", 20150207)));
+    // Shard-layer knobs share the 32-bit ranges of their consumers
+    // (ShardedTalusCache::Config); reject out-of-range values — from
+    // the flag OR the env var — here, so they fail as usage errors,
+    // not as cache ConfigErrors (or uint32 wraparounds) later.
+    const auto shardKnob = [&](const std::optional<uint64_t>& flag,
+                               const char* env_name, uint64_t max,
+                               const char* range_msg) -> uint32_t {
+        uint64_t value;
+        if (flag.has_value()) {
+            value = *flag;
+        } else {
+            const int64_t raw = envInt(env_name, 0);
+            if (raw < 0) {
+                std::fprintf(stderr, "%s: %s must be >= 0\n\n%s",
+                             binary, env_name, usage());
+                std::exit(1);
+            }
+            value = static_cast<uint64_t>(raw);
+        }
+        if (value > max) {
+            std::fprintf(stderr, "%s: %s\n\n%s", binary, range_msg,
+                         usage());
+            std::exit(1);
+        }
+        return static_cast<uint32_t>(value);
+    };
+    env.shards = shardKnob(shards_f, "TALUS_SHARDS",
+                           ShardedTalusCache::kMaxShards,
+                           "--shards/TALUS_SHARDS must be <= 1024");
+    env.threads = shardKnob(threads_f, "TALUS_THREADS",
+                            ShardedTalusCache::kMaxShards,
+                            "--threads/TALUS_THREADS must be <= 1024");
     return env;
 }
 

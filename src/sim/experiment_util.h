@@ -26,15 +26,21 @@ struct BenchEnv
     uint32_t mixes = 0;          //!< Fig. 12 mix count (TALUS_MIXES).
     uint64_t measureAccesses = 0; //!< Sweep measurement (TALUS_ACCESSES).
     uint64_t seed = 0;           //!< Global seed (TALUS_SEED).
+    uint32_t shards = 0;         //!< Shard count for sharded benches
+                                 //!< (TALUS_SHARDS); 0 = bench default
+                                 //!< (typically a sweep).
+    uint32_t threads = 0;        //!< Worker threads for sharded
+                                 //!< benches (TALUS_THREADS); 0 =
+                                 //!< inline execution.
 
     /**
      * Parses the common bench command line over environment-variable
      * defaults (flags win over env vars). Accepted flags: --csv,
      * --full, --scale=N, --instr=N, --mixes=N, --accesses=N, --seed=N,
-     * and --help/-h (prints usage() and exits 0). Any other `--`
-     * argument is an error: usage goes to stderr and the process
-     * exits 1. Non-flag positional arguments are left for the binary
-     * to interpret.
+     * --shards=N, --threads=N, and --help/-h (prints usage() and
+     * exits 0). Any other `--` argument is an error: usage goes to
+     * stderr and the process exits 1. Non-flag positional arguments
+     * are left for the binary to interpret.
      */
     static BenchEnv init(int argc, char** argv);
 

@@ -1,0 +1,37 @@
+#include "sim/sharded_replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "util/log.h"
+
+namespace talus {
+
+ShardedReplayResult
+runShardedReplay(ShardedTalusCache& cache, AccessStream& stream,
+                 const ShardedReplayOptions& opts)
+{
+    talus_assert(opts.blockSize >= 1, "blockSize must be >= 1");
+    std::vector<Addr> block(
+        std::min<uint64_t>(opts.blockSize, opts.accesses));
+
+    ShardedReplayResult result;
+    const auto start = std::chrono::steady_clock::now();
+    uint64_t left = opts.accesses;
+    while (left > 0) {
+        const uint64_t n = std::min<uint64_t>(opts.blockSize, left);
+        stream.nextBlock(block.data(), n);
+        result.hits +=
+            cache.accessBatch(Span<const Addr>(block.data(), n),
+                              opts.part);
+        left -= n;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    result.accesses = opts.accesses;
+    result.seconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+} // namespace talus

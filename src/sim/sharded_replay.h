@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sharded trace replay: the driver that feeds AccessStream workloads
+ * into the sharded serving engine (shard/sharded_cache.h).
+ *
+ * The replay loop is the bulk-serving shape the ROADMAP asks new
+ * scenarios to build on: blocks of addresses are pulled from the
+ * stream with AccessStream::nextBlock (one virtual dispatch per
+ * block) and pushed through ShardedTalusCache::accessBatch, which
+ * scatters each block into per-shard buffers and runs the shards in
+ * parallel. Timing wraps only the replay loop, so the result doubles
+ * as a shard-scaling throughput measurement for the README table and
+ * the sharded example.
+ */
+
+#ifndef TALUS_SIM_SHARDED_REPLAY_H
+#define TALUS_SIM_SHARDED_REPLAY_H
+
+#include <cstdint>
+
+#include "shard/sharded_cache.h"
+#include "util/types.h"
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Knobs for one sharded replay run. */
+struct ShardedReplayOptions
+{
+    uint64_t accesses = 1'000'000; //!< Total addresses to replay.
+    uint64_t blockSize = 4096;     //!< Addresses per accessBatch call.
+    PartId part = 0;               //!< Logical partition to replay as.
+};
+
+/** What one sharded replay run measured. */
+struct ShardedReplayResult
+{
+    uint64_t accesses = 0; //!< Addresses replayed.
+    uint64_t hits = 0;     //!< Hits across all shards.
+    double seconds = 0.0;  //!< Wall time of the replay loop only.
+
+    /** Misses / accesses; 0 before any access. */
+    double missRatio() const
+    {
+        return accesses > 0 ? static_cast<double>(accesses - hits) /
+                                  static_cast<double>(accesses)
+                            : 0.0;
+    }
+
+    /** Replay throughput; 0 when the loop was too fast to time. */
+    double accessesPerSecond() const
+    {
+        return seconds > 0.0 ? static_cast<double>(accesses) / seconds
+                             : 0.0;
+    }
+};
+
+/**
+ * Replays @p opts.accesses addresses from @p stream through
+ * @p cache in blocks of @p opts.blockSize. The stream is consumed
+ * (not reset), so callers control warmup by replaying twice.
+ */
+ShardedReplayResult runShardedReplay(ShardedTalusCache& cache,
+                                     AccessStream& stream,
+                                     const ShardedReplayOptions& opts);
+
+} // namespace talus
+
+#endif // TALUS_SIM_SHARDED_REPLAY_H

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 namespace talus {
@@ -20,21 +21,29 @@ template <typename T>
 class Span
 {
   public:
+    // Containers hold non-const elements even when the view adds
+    // const (Span<const T> over a std::vector<T>), so the converting
+    // constructors strip the view's const to name the element type.
+    using Elem = std::remove_const_t<T>;
+
     constexpr Span() = default;
 
     constexpr Span(const T* data, size_t size) : data_(data), size_(size)
     {
     }
 
-    Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
-
-    template <size_t N>
-    constexpr Span(const std::array<T, N>& a) : data_(a.data()), size_(N)
+    Span(const std::vector<Elem>& v) : data_(v.data()), size_(v.size())
     {
     }
 
     template <size_t N>
-    constexpr Span(const T (&a)[N]) : data_(a), size_(N)
+    constexpr Span(const std::array<Elem, N>& a)
+        : data_(a.data()), size_(N)
+    {
+    }
+
+    template <size_t N>
+    constexpr Span(const Elem (&a)[N]) : data_(a), size_(N)
     {
     }
 

@@ -37,13 +37,24 @@ TEST(BenchEnv, ValueFlagsOverrideDefaults)
 {
     const BenchEnv env = initWith({"--csv", "--scale=128", "--instr=5000",
                                    "--mixes=3", "--accesses=777",
-                                   "--seed=42"});
+                                   "--seed=42", "--shards=8",
+                                   "--threads=2"});
     EXPECT_TRUE(env.csv);
     EXPECT_EQ(env.scale.linesPerMb(), 128u);
     EXPECT_EQ(env.instrPerApp, 5000u);
     EXPECT_EQ(env.mixes, 3u);
     EXPECT_EQ(env.measureAccesses, 777u);
     EXPECT_EQ(env.seed, 42u);
+    EXPECT_EQ(env.shards, 8u);
+    EXPECT_EQ(env.threads, 2u);
+}
+
+TEST(BenchEnv, ShardKnobsDefaultToZero)
+{
+    // 0 means "bench default" (shards) / inline execution (threads).
+    const BenchEnv env = initWith({});
+    EXPECT_EQ(env.shards, 0u);
+    EXPECT_EQ(env.threads, 0u);
 }
 
 TEST(BenchEnv, FullSelectsPaperScaleUnlessOverridden)
@@ -94,6 +105,35 @@ TEST(BenchEnvDeathTest, MalformedValueFailsWithUsage)
     // silently truncate to 0 mixes.
     EXPECT_EXIT(initWith({"--mixes=4294967296"}),
                 ::testing::ExitedWithCode(1), "32 bits");
+    // The shard knobs keep the same failure behavior: malformed or
+    // out-of-range values are usage errors, not silent truncations.
+    EXPECT_EXIT(initWith({"--shards=abc"}), ::testing::ExitedWithCode(1),
+                "unsigned integer");
+    EXPECT_EXIT(initWith({"--shards=2000"}),
+                ::testing::ExitedWithCode(1), "must be <= 1024");
+    EXPECT_EXIT(initWith({"--threads=-2"}), ::testing::ExitedWithCode(1),
+                "unsigned integer");
+    EXPECT_EXIT(initWith({"--threads=2000"}),
+                ::testing::ExitedWithCode(1), "must be <= 1024");
+}
+
+TEST(BenchEnvDeathTest, EnvVarShardKnobsAreRangeCheckedToo)
+{
+    // The TALUS_* env path must hit the same range checks as the
+    // flags — a negative TALUS_SHARDS must not wrap to 4 billion
+    // shards.
+    ::setenv("TALUS_SHARDS", "-1", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "TALUS_SHARDS must be >= 0");
+    ::unsetenv("TALUS_SHARDS");
+
+    ::setenv("TALUS_THREADS", "2000", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "must be <= 1024");
+    // Flags win over env vars, so an explicit --threads sidesteps
+    // the out-of-range env value.
+    EXPECT_EQ(initWith({"--threads=3"}).threads, 3u);
+    ::unsetenv("TALUS_THREADS");
 }
 
 } // namespace

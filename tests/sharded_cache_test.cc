@@ -1,0 +1,311 @@
+/**
+ * @file
+ * The sharded serving engine's determinism anchor: because shards are
+ * fully independent, ShardedTalusCache with N shards must produce
+ * per-shard hit/miss sequences and stats identical to N hand-built
+ * serial TalusCache instances fed the router's per-shard sub-streams
+ * — for any thread count. Thread counts {0, 1, 4} cover inline
+ * execution, a single worker, and more workers than most CI cores;
+ * the TSan CI job race-checks the same tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "api/talus.h"
+#include "util/rng.h"
+#include "workload/zipf_stream.h"
+
+namespace talus {
+namespace {
+
+ShardedTalusCache::Config
+engineConfig(uint32_t num_shards, uint32_t threads)
+{
+    ShardedTalusCache::Config cfg;
+    cfg.shard.llcLines = 2048;
+    cfg.shard.ways = 16;
+    cfg.shard.numParts = 1;
+    cfg.shard.allocatorName = "HillClimb";
+    cfg.shard.reconfigInterval = 5'000;
+    cfg.shard.seed = 77;
+    cfg.numShards = num_shards;
+    cfg.threads = threads;
+    return cfg;
+}
+
+std::vector<Addr>
+mixedTrace(uint64_t n, uint64_t seed)
+{
+    // Half uniform, half zipf-skewed, interleaved: exercises both the
+    // balanced and the hot-shard scatter shapes.
+    Rng rng(seed);
+    ZipfStream zipf(1 << 14, 0.9, 0, seed + 1);
+    std::vector<Addr> addrs(n);
+    for (uint64_t i = 0; i < n; ++i)
+        addrs[i] = (i & 1) ? rng.below(1 << 14) : zipf.next();
+    return addrs;
+}
+
+/** Per-shard, per-block hit counts: the hit/miss sequence at block
+ *  granularity, plus final stats and monitor curves. */
+struct ShardTrace
+{
+    std::vector<std::vector<uint64_t>> blockMisses; //!< [shard][block]
+    std::vector<TalusCache::PartStats> finalStats;  //!< [shard]
+    std::vector<MissCurve> finalCurves;             //!< [shard]
+    std::vector<uint64_t> reconfigs;                //!< [shard]
+    uint64_t totalHits = 0;
+};
+
+/** Drives the sharded engine over @p addrs in blocks. */
+ShardTrace
+runSharded(const ShardedTalusCache::Config& cfg,
+           const std::vector<Addr>& addrs, size_t block_size)
+{
+    ShardedTalusCache cache(cfg);
+    ShardTrace trace;
+    trace.blockMisses.resize(cfg.numShards);
+    std::vector<uint64_t> last_misses(cfg.numShards, 0);
+    for (size_t off = 0; off < addrs.size(); off += block_size) {
+        const size_t n = std::min(block_size, addrs.size() - off);
+        trace.totalHits += cache.accessBatch(
+            Span<const Addr>(addrs.data() + off, n), 0);
+        for (uint32_t s = 0; s < cfg.numShards; ++s) {
+            const uint64_t misses = cache.shardStats(s, 0).misses;
+            trace.blockMisses[s].push_back(misses - last_misses[s]);
+            last_misses[s] = misses;
+        }
+    }
+    for (uint32_t s = 0; s < cfg.numShards; ++s) {
+        trace.finalStats.push_back(cache.shardStats(s, 0));
+        trace.finalCurves.push_back(cache.shardCurve(s, 0));
+        trace.reconfigs.push_back(cache.shard(s).reconfigurations());
+    }
+    return trace;
+}
+
+/**
+ * The hand-built reference: N stand-alone serial TalusCache
+ * instances, each fed the router's sub-stream through the scalar
+ * access() path, one address at a time.
+ */
+ShardTrace
+runHandBuilt(const ShardedTalusCache::Config& cfg,
+             const std::vector<Addr>& addrs, size_t block_size)
+{
+    // The router the engine would build, reproduced via the public
+    // surface of a throwaway engine (seed derivation is internal).
+    ShardedTalusCache probe(cfg);
+    const ShardRouter& router = probe.router();
+
+    std::vector<std::unique_ptr<TalusCache>> serial;
+    for (uint32_t s = 0; s < cfg.numShards; ++s)
+        serial.push_back(std::make_unique<TalusCache>(
+            ShardedTalusCache::shardConfig(cfg, s)));
+
+    ShardTrace trace;
+    trace.blockMisses.resize(cfg.numShards);
+    std::vector<uint64_t> last_misses(cfg.numShards, 0);
+    for (size_t off = 0; off < addrs.size(); off += block_size) {
+        const size_t n = std::min(block_size, addrs.size() - off);
+        const auto per_shard =
+            router.scatter(Span<const Addr>(addrs.data() + off, n));
+        for (uint32_t s = 0; s < cfg.numShards; ++s)
+            for (Addr a : per_shard[s])
+                trace.totalHits += serial[s]->access(a, 0);
+        for (uint32_t s = 0; s < cfg.numShards; ++s) {
+            const uint64_t misses = serial[s]->stats(0).misses;
+            trace.blockMisses[s].push_back(misses - last_misses[s]);
+            last_misses[s] = misses;
+        }
+    }
+    for (uint32_t s = 0; s < cfg.numShards; ++s) {
+        trace.finalStats.push_back(serial[s]->stats(0));
+        trace.finalCurves.push_back(serial[s]->curve(0));
+        trace.reconfigs.push_back(serial[s]->reconfigurations());
+    }
+    return trace;
+}
+
+void
+expectTracesEqual(const ShardTrace& got, const ShardTrace& want)
+{
+    EXPECT_EQ(got.totalHits, want.totalHits);
+    ASSERT_EQ(got.blockMisses.size(), want.blockMisses.size());
+    for (size_t s = 0; s < want.blockMisses.size(); ++s) {
+        EXPECT_EQ(got.blockMisses[s], want.blockMisses[s])
+            << "hit/miss sequence diverged on shard " << s;
+        EXPECT_EQ(got.finalStats[s].accesses,
+                  want.finalStats[s].accesses);
+        EXPECT_EQ(got.finalStats[s].misses, want.finalStats[s].misses);
+        EXPECT_EQ(got.finalStats[s].targetLines,
+                  want.finalStats[s].targetLines);
+        EXPECT_DOUBLE_EQ(got.finalStats[s].rho, want.finalStats[s].rho);
+        EXPECT_EQ(got.reconfigs[s], want.reconfigs[s]);
+
+        const auto& gc = got.finalCurves[s].points();
+        const auto& wc = want.finalCurves[s].points();
+        ASSERT_EQ(gc.size(), wc.size());
+        for (size_t i = 0; i < wc.size(); ++i) {
+            EXPECT_DOUBLE_EQ(gc[i].size, wc[i].size);
+            EXPECT_DOUBLE_EQ(gc[i].misses, wc[i].misses);
+        }
+    }
+}
+
+class ShardedCacheDeterminism
+    : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ShardedCacheDeterminism, MatchesHandBuiltSerialShards)
+{
+    const uint32_t threads = GetParam();
+    const ShardedTalusCache::Config cfg = engineConfig(4, threads);
+    const std::vector<Addr> addrs = mixedTrace(60'000, 101);
+    // Block size deliberately not a divisor of the trace length or
+    // the reconfiguration interval.
+    const ShardTrace sharded = runSharded(cfg, addrs, 1009);
+    const ShardTrace reference = runHandBuilt(cfg, addrs, 1009);
+    expectTracesEqual(sharded, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ShardedCacheDeterminism,
+                         ::testing::Values(0u, 1u, 4u));
+
+TEST(ShardedCache, ThreadCountsAgreeWithEachOther)
+{
+    const std::vector<Addr> addrs = mixedTrace(40'000, 211);
+    const ShardTrace inline_run =
+        runSharded(engineConfig(3, 0), addrs, 777);
+    const ShardTrace one_thread =
+        runSharded(engineConfig(3, 1), addrs, 777);
+    const ShardTrace four_threads =
+        runSharded(engineConfig(3, 4), addrs, 777);
+    expectTracesEqual(one_thread, inline_run);
+    expectTracesEqual(four_threads, inline_run);
+}
+
+TEST(ShardedCache, ScalarAccessMatchesBatch)
+{
+    const ShardedTalusCache::Config cfg = engineConfig(4, 0);
+    const std::vector<Addr> addrs = mixedTrace(20'000, 307);
+
+    ShardedTalusCache scalar(cfg);
+    ShardedTalusCache batched(cfg);
+    uint64_t scalar_hits = 0;
+    for (Addr a : addrs)
+        scalar_hits += scalar.access(a, 0);
+    const uint64_t batched_hits =
+        batched.accessBatch(Span<const Addr>(addrs), 0);
+
+    EXPECT_EQ(batched_hits, scalar_hits);
+    for (uint32_t s = 0; s < cfg.numShards; ++s) {
+        EXPECT_EQ(batched.shardStats(s, 0).accesses,
+                  scalar.shardStats(s, 0).accesses);
+        EXPECT_EQ(batched.shardStats(s, 0).misses,
+                  scalar.shardStats(s, 0).misses);
+    }
+}
+
+TEST(ShardedCache, AggregateStatsSumShards)
+{
+    const ShardedTalusCache::Config cfg = engineConfig(4, 2);
+    ShardedTalusCache cache(cfg);
+    const std::vector<Addr> addrs = mixedTrace(30'000, 401);
+    const uint64_t hits =
+        cache.accessBatch(Span<const Addr>(addrs), 0);
+
+    const TalusCache::PartStats agg = cache.stats(0);
+    uint64_t accesses = 0, misses = 0, target = 0;
+    for (uint32_t s = 0; s < cfg.numShards; ++s) {
+        accesses += cache.shardStats(s, 0).accesses;
+        misses += cache.shardStats(s, 0).misses;
+        target += cache.shardStats(s, 0).targetLines;
+    }
+    EXPECT_EQ(agg.accesses, accesses);
+    EXPECT_EQ(agg.misses, misses);
+    EXPECT_EQ(agg.targetLines, target);
+    EXPECT_EQ(accesses, addrs.size());
+    EXPECT_EQ(misses, addrs.size() - hits);
+    EXPECT_NEAR(cache.missRatio(),
+                static_cast<double>(misses) /
+                    static_cast<double>(accesses),
+                1e-12);
+    EXPECT_EQ(cache.capacityLines(),
+              cfg.numShards * cache.shard(0).capacityLines());
+}
+
+TEST(ShardedCache, SingleShardMatchesPlainTalusCache)
+{
+    // One shard routes everything to shard 0, which must behave
+    // exactly like a stand-alone TalusCache with the derived config.
+    ShardedTalusCache::Config cfg = engineConfig(1, 2);
+    const std::vector<Addr> addrs = mixedTrace(25'000, 503);
+
+    ShardedTalusCache sharded(cfg);
+    TalusCache plain(ShardedTalusCache::shardConfig(cfg, 0));
+    const uint64_t sharded_hits =
+        sharded.accessBatch(Span<const Addr>(addrs), 0);
+    const uint64_t plain_hits =
+        plain.accessBatch(Span<const Addr>(addrs), 0);
+
+    EXPECT_EQ(sharded_hits, plain_hits);
+    EXPECT_EQ(sharded.shardStats(0, 0).misses, plain.stats(0).misses);
+    EXPECT_EQ(sharded.reconfigurations(), plain.reconfigurations());
+}
+
+TEST(ShardedCache, EmptyBatchAndResetAreSafe)
+{
+    ShardedTalusCache cache(engineConfig(2, 1));
+    EXPECT_EQ(cache.accessBatch(Span<const Addr>(), 0), 0u);
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.0);
+
+    const std::vector<Addr> addrs = mixedTrace(5'000, 601);
+    cache.accessBatch(Span<const Addr>(addrs), 0);
+    EXPECT_GT(cache.missRatio(), 0.0);
+    cache.resetStats();
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.0);
+}
+
+TEST(ShardedCache, InvalidConfigsThrowActionableErrors)
+{
+    ShardedTalusCache::Config cfg = engineConfig(4, 0);
+    cfg.numShards = 0;
+    EXPECT_THROW(ShardedTalusCache{cfg}, ConfigError);
+
+    // Absurd shard counts must fail validation, not OOM.
+    cfg = engineConfig(4, 0);
+    cfg.numShards = ShardedTalusCache::kMaxShards + 1;
+    EXPECT_THROW(ShardedTalusCache{cfg}, ConfigError);
+
+    cfg = engineConfig(4, 0);
+    cfg.threads = 4096;
+    EXPECT_THROW(ShardedTalusCache{cfg}, ConfigError);
+
+    // Per-shard config errors surface through the shard layer.
+    cfg = engineConfig(4, 0);
+    cfg.shard.margin = 2.0;
+    try {
+        ShardedTalusCache cache(cfg);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("per-shard config"),
+                  std::string::npos);
+    }
+}
+
+TEST(ShardedCache, ShardSeedsDiffer)
+{
+    const ShardedTalusCache::Config cfg = engineConfig(4, 0);
+    for (uint32_t a = 0; a < cfg.numShards; ++a)
+        for (uint32_t b = a + 1; b < cfg.numShards; ++b)
+            EXPECT_NE(ShardedTalusCache::shardConfig(cfg, a).seed,
+                      ShardedTalusCache::shardConfig(cfg, b).seed);
+}
+
+} // namespace
+} // namespace talus

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * util/span.h: construction from every supported container shape
+ * (including the const-element views the shard scatter path uses),
+ * element access, iteration, and subspan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "util/span.h"
+#include "util/types.h"
+
+namespace talus {
+namespace {
+
+TEST(Span, DefaultConstructedIsEmpty)
+{
+    const Span<int> span;
+    EXPECT_TRUE(span.empty());
+    EXPECT_EQ(span.size(), 0u);
+    EXPECT_EQ(span.data(), nullptr);
+    EXPECT_EQ(span.begin(), span.end());
+}
+
+TEST(Span, PointerAndLength)
+{
+    const int raw[] = {10, 20, 30, 40};
+    const Span<int> span(raw, 3);
+    EXPECT_FALSE(span.empty());
+    EXPECT_EQ(span.size(), 3u);
+    EXPECT_EQ(span.data(), raw);
+    EXPECT_EQ(span[0], 10);
+    EXPECT_EQ(span[2], 30);
+}
+
+TEST(Span, FromVector)
+{
+    const std::vector<int> v{1, 2, 3, 4, 5};
+    const Span<int> span(v);
+    EXPECT_EQ(span.size(), v.size());
+    EXPECT_EQ(span.data(), v.data());
+    EXPECT_EQ(span[4], 5);
+}
+
+TEST(Span, FromArray)
+{
+    const std::array<int, 3> a{{7, 8, 9}};
+    const Span<int> span(a);
+    EXPECT_EQ(span.size(), 3u);
+    EXPECT_EQ(span[1], 8);
+}
+
+TEST(Span, FromCArray)
+{
+    const int a[] = {4, 5, 6};
+    const Span<int> span(a);
+    EXPECT_EQ(span.size(), 3u);
+    EXPECT_EQ(span[2], 6);
+}
+
+TEST(Span, ConstElementViewOverMutableContainers)
+{
+    // The shard scatter path views std::vector<Addr> buffers through
+    // Span<const Addr>; all converting constructors must accept the
+    // non-const element type.
+    std::vector<Addr> v{1, 2, 3};
+    const Span<const Addr> from_vector(v);
+    EXPECT_EQ(from_vector.size(), 3u);
+    EXPECT_EQ(from_vector[1], 2u);
+
+    std::array<Addr, 2> a{{8, 9}};
+    const Span<const Addr> from_array(a);
+    EXPECT_EQ(from_array[0], 8u);
+
+    Addr raw[] = {5, 6};
+    const Span<const Addr> from_c_array(raw);
+    EXPECT_EQ(from_c_array[1], 6u);
+}
+
+TEST(Span, BeginEndSupportRangeFor)
+{
+    const std::vector<int> v{1, 2, 3, 4};
+    const Span<int> span(v);
+    int sum = 0;
+    for (int x : span)
+        sum += x;
+    EXPECT_EQ(sum, 10);
+    EXPECT_EQ(std::accumulate(span.begin(), span.end(), 0), 10);
+    EXPECT_EQ(span.end() - span.begin(),
+              static_cast<ptrdiff_t>(span.size()));
+}
+
+TEST(Span, Subspan)
+{
+    const std::vector<int> v{0, 1, 2, 3, 4, 5};
+    const Span<int> span(v);
+    const Span<int> mid = span.subspan(2, 3);
+    EXPECT_EQ(mid.size(), 3u);
+    EXPECT_EQ(mid[0], 2);
+    EXPECT_EQ(mid[2], 4);
+    EXPECT_TRUE(span.subspan(6, 0).empty());
+}
+
+} // namespace
+} // namespace talus
