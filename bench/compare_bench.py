@@ -41,6 +41,11 @@ DEFAULT_TRACKED = [
     # pool threads — which suffixes the names.
     "BM_ShardedBatchedAccess/shards:1/threads:0/real_time",
     "BM_ShardedBatchedAccess/shards:4/threads:0/real_time",
+    # Control plane (PR 5): the pure compute stage and the all-shard
+    # reconfiguration sweep. As above, only the inline-dispatch row of
+    # the sweep is tracked; the threaded rows depend on core count.
+    "BM_ControlPlaneStep",
+    "BM_ShardedReconfigure/shards:8/threads:0/real_time",
 ]
 
 

@@ -11,8 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "alloc/allocator_factory.h"
 #include "api/talus_cache.h"
 #include "cache/fully_assoc_lru.h"
+#include "control/control_plane.h"
+#include "control/control_step.h"
 #include "core/convex_hull.h"
 #include "core/shadow_router.h"
 #include "core/talus_config.h"
@@ -241,6 +244,77 @@ BM_ZipfNext(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfNext);
+
+/**
+ * One full control-plane compute stage: curve weighting, convex
+ * hulls, and the allocator, double-buffered through a ControlPlane —
+ * the entire off-hot-path cost of one reconfiguration decision for a
+ * two-partition cache with 64-point monitored curves.
+ */
+void
+BM_ControlPlaneStep(benchmark::State& state)
+{
+    ControlInput in;
+    in.numParts = 2;
+    in.llcLines = 1 << 17;
+    in.capacityLines = 1 << 17;
+    in.granule = (1 << 17) / 64;
+    Rng rng(29);
+    for (uint32_t part = 0; part < in.numParts; ++part) {
+        std::vector<CurvePoint> pts;
+        double value = 1.0;
+        for (int i = 0; i <= 64; ++i) {
+            pts.push_back({static_cast<double>(i * 2048), value});
+            value = std::max(0.0, value - rng.unit() * 0.05);
+        }
+        in.curves.push_back(MissCurve(std::move(pts)));
+        in.intervalAccesses.push_back(50'000 * (part + 1));
+    }
+    ControlPlane plane(makeAllocator("HillClimb"));
+    for (auto _ : state) {
+        plane.compute(in);
+        benchmark::DoNotOptimize(plane.commit().alloc.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControlPlaneStep);
+
+/**
+ * A full reconfiguration sweep across all shards of a sharded engine
+ * (snapshot + pure control step + apply per shard), dispatched via
+ * reconfigureAll(). The threads:0 row is the deterministic tracked
+ * one; threads:2/4 of the same sweep show that per-shard control
+ * steps no longer serialize — on multi-core hosts they overlap on
+ * the worker pool (UseRealTime: the work runs on pool threads).
+ */
+void
+BM_ShardedReconfigure(benchmark::State& state)
+{
+    const uint32_t shards = static_cast<uint32_t>(state.range(0));
+    const uint32_t threads = static_cast<uint32_t>(state.range(1));
+    ShardedTalusCache::Config cfg;
+    cfg.shard = facadeBenchConfig();
+    cfg.shard.llcLines = 16384 / shards;
+    cfg.shard.allocatorName = "HillClimb";
+    cfg.numShards = shards;
+    cfg.threads = threads;
+    ShardedTalusCache cache(cfg);
+    // Warm the monitors so every control step sees real curves.
+    const std::vector<Addr> addrs = facadeBenchAddrs();
+    cache.accessBatch(Span<const Addr>(addrs), 0);
+    for (auto _ : state) {
+        cache.reconfigureAll();
+        benchmark::DoNotOptimize(cache.reconfigurations());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(shards));
+}
+BENCHMARK(BM_ShardedReconfigure)
+    ->ArgNames({"shards", "threads"})
+    ->Args({8, 0})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->UseRealTime();
 
 /** The per-reconfiguration software work: hull + configuration. */
 void

@@ -12,8 +12,17 @@
  * thread counts over one Zipf-skewed workload, prints the measured
  * replay throughput, and checks the determinism guarantee on the fly.
  *
+ * The control plane rides along: --reconfig=N sets how often each
+ * shard's monitor -> hull -> allocate -> configure loop runs (in
+ * accesses), and the final section demonstrates the epoch-deferred
+ * mode — reconfigureAllAtEpoch() computes every shard's control step
+ * concurrently but applies each shard's new configuration at a fixed
+ * access-count boundary, so the result stays bit-exact for any
+ * thread count.
+ *
  * Build & run:  ./build/examples/sharded_serving
- *               [--shards=N] [--threads=N] [--accesses=N] [--csv]
+ *               [--shards=N] [--threads=N] [--accesses=N]
+ *               [--reconfig=N] [--csv]
  */
 
 #include <cstdio>
@@ -38,7 +47,8 @@ main(int argc, char** argv)
     cfg.shard.llcLines = 4096;
     cfg.shard.ways = 16;
     cfg.shard.allocatorName = "HillClimb";
-    cfg.shard.reconfigInterval = 50'000;
+    cfg.shard.reconfigInterval =
+        env.reconfig > 0 ? env.reconfig : 50'000;
     cfg.shard.seed = env.seed;
 
     ShardedReplayOptions replay;
@@ -105,5 +115,45 @@ main(int argc, char** argv)
                 "per-shard stats %s\n",
                 cfg.numShards,
                 deterministic ? "bit-exact" : "DIVERGED");
-    return deterministic ? 0 : 1;
+
+    // --- The epoch-deferred control plane, demonstrated. -----------
+    // reconfigureAllAtEpoch() ends every shard's monitoring interval
+    // and computes the new configurations concurrently, but each
+    // shard applies its result only when its own access count crosses
+    // the next multiple of the epoch length — a fixed access count,
+    // so 0-thread and 4-thread runs still agree bit-exactly.
+    ShardedReplayOptions deferred = replay;
+    deferred.reconfigEveryBlocks = 8;
+    deferred.applyEpochLen = 10'000;
+    bool deferred_deterministic = true;
+    uint64_t applied = 0;
+    {
+        cfg.shard.reconfigInterval = 0; // Control is explicit here.
+        cfg.threads = 0;
+        ShardedTalusCache inline_cache(cfg);
+        cfg.threads = 4;
+        ShardedTalusCache threaded_cache(cfg);
+        ZipfStream inline_stream(universe, 0.9, 0, env.seed + 7);
+        ZipfStream threaded_stream(universe, 0.9, 0, env.seed + 7);
+        runShardedReplay(inline_cache, inline_stream, deferred);
+        runShardedReplay(threaded_cache, threaded_stream, deferred);
+        for (uint32_t s = 0; s < cfg.numShards; ++s) {
+            const auto a = inline_cache.shardStats(s, 0);
+            const auto b = threaded_cache.shardStats(s, 0);
+            deferred_deterministic &=
+                a.accesses == b.accesses && a.misses == b.misses;
+        }
+        deferred_deterministic &= inline_cache.reconfigurations() ==
+                                  threaded_cache.reconfigurations();
+        applied = inline_cache.reconfigurations();
+    }
+    std::printf("epoch-deferred control plane (every %llu blocks, "
+                "epoch %llu accesses): %llu applied "
+                "reconfigurations, 0 vs 4 threads %s\n",
+                static_cast<unsigned long long>(
+                    deferred.reconfigEveryBlocks),
+                static_cast<unsigned long long>(deferred.applyEpochLen),
+                static_cast<unsigned long long>(applied),
+                deferred_deterministic ? "bit-exact" : "DIVERGED");
+    return (deterministic && deferred_deterministic) ? 0 : 1;
 }

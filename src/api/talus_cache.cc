@@ -144,7 +144,7 @@ TalusCache::TalusCache(const Config& config) : cfg_(config)
     }
 
     if (!cfg_.allocatorName.empty())
-        allocator_ = makeAllocator(cfg_.allocatorName);
+        plane_ = ControlPlane(makeAllocator(cfg_.allocatorName));
     granule_ = std::max<uint64_t>(1, cfg_.llcLines / 64);
     intervalAccesses_.assign(cfg_.numParts, 0);
 }
@@ -159,6 +159,11 @@ TalusCache::access(Addr addr, PartId part)
                                 : plain_->access(addr, part);
     intervalAccesses_[part]++;
     sinceReconfig_++;
+    accessCount_++;
+    // The deferred (older) configuration applies before any automatic
+    // reconfiguration that lands on the same access.
+    if (applyAt_ != 0 && accessCount_ >= applyAt_)
+        applyReconfigure();
     if (cfg_.reconfigInterval > 0 &&
         sinceReconfig_ >= cfg_.reconfigInterval)
         reconfigure();
@@ -175,12 +180,14 @@ TalusCache::accessBatch(Span<const Addr> addrs, PartId part)
     uint64_t left = addrs.size();
     while (left > 0) {
         // Stop each chunk exactly where the serial path would fire an
-        // automatic reconfiguration, so batching cannot slide the
-        // reconfiguration points.
+        // automatic reconfiguration or a scheduled epoch-deferred
+        // application, so batching cannot slide either point.
         uint64_t chunk = left;
         if (cfg_.reconfigInterval > 0)
             chunk = std::min<uint64_t>(
                 chunk, cfg_.reconfigInterval - sinceReconfig_);
+        if (applyAt_ != 0)
+            chunk = std::min<uint64_t>(chunk, applyAt_ - accessCount_);
         if (cfg_.talus) {
             TalusController* ctl = ctl_.get();
             for (uint64_t i = 0; i < chunk; ++i) {
@@ -198,8 +205,11 @@ TalusCache::accessBatch(Span<const Addr> addrs, PartId part)
         }
         intervalAccesses_[part] += chunk;
         sinceReconfig_ += chunk;
+        accessCount_ += chunk;
         p += chunk;
         left -= chunk;
+        if (applyAt_ != 0 && accessCount_ >= applyAt_)
+            applyReconfigure();
         if (cfg_.reconfigInterval > 0 &&
             sinceReconfig_ >= cfg_.reconfigInterval)
             reconfigure();
@@ -210,51 +220,82 @@ TalusCache::accessBatch(Span<const Addr> addrs, PartId part)
 void
 TalusCache::reconfigure()
 {
-    if (allocator_ == nullptr)
+    prepareReconfigure();
+    applyReconfigure();
+}
+
+ControlInput
+TalusCache::snapshotControl()
+{
+    ControlInput in;
+    in.numParts = cfg_.numParts;
+    in.llcLines = cfg_.llcLines;
+    in.capacityLines = cache().capacityLines();
+    in.granule = granule_;
+    in.allocateOnHulls = cfg_.allocateOnHulls;
+    in.unmanagedHaircut =
+        !cfg_.talus && cfg_.scheme == SchemeKind::Vantage;
+    in.curves.reserve(cfg_.numParts);
+    in.intervalAccesses.reserve(cfg_.numParts);
+    for (uint32_t p = 0; p < cfg_.numParts; ++p) {
+        in.curves.push_back(monitors_[p].snapshot());
+        in.intervalAccesses.push_back(intervalAccesses_[p]);
+        intervalAccesses_[p] = 0;
+    }
+    // The snapshot ends the monitoring interval: the automatic-
+    // reconfiguration clock restarts and the monitors age, whether
+    // the computed configuration is applied now or at a later epoch.
+    sinceReconfig_ = 0;
+    for (auto& mon : monitors_)
+        mon.decay();
+    return in;
+}
+
+void
+TalusCache::prepareReconfigure()
+{
+    if (!plane_.hasAllocator())
         talus_fatal("TalusCache::reconfigure() needs an allocator; set "
                     "Config::allocatorName (one of ",
                     joinNames(knownAllocators()),
                     ") or apply externally computed configurations "
                     "with applyCurves()");
-    sinceReconfig_ = 0;
+    plane_.compute(snapshotControl());
+}
+
+void
+TalusCache::applyReconfigure()
+{
+    if (!plane_.hasPending())
+        talus_fatal("TalusCache::applyReconfigure(): no prepared "
+                    "configuration is staged; call "
+                    "prepareReconfigure() first");
+    applyControl(plane_.commit());
+}
+
+void
+TalusCache::applyReconfigureAtEpoch(uint64_t epochLen)
+{
+    if (!plane_.hasPending())
+        talus_fatal("TalusCache::applyReconfigureAtEpoch(): no "
+                    "prepared configuration is staged; call "
+                    "prepareReconfigure() first");
+    if (epochLen == 0)
+        talus_fatal("TalusCache::applyReconfigureAtEpoch(): epochLen "
+                    "must be >= 1 access (the application epoch is a "
+                    "fixed access count)");
+    applyAt_ = (accessCount_ / epochLen + 1) * epochLen;
+}
+
+void
+TalusCache::applyControl(const ControlOutput& out)
+{
+    applyAt_ = 0;
     reconfigurations_++;
-
-    std::vector<MissCurve> curves;
-    std::vector<MissCurve> alloc_curves;
-    curves.reserve(cfg_.numParts);
-    alloc_curves.reserve(cfg_.numParts);
-    for (uint32_t p = 0; p < cfg_.numParts; ++p) {
-        MissCurve c = monitors_[p].curve();
-        // Weight each partition's curve by its interval access volume
-        // so the allocator compares misses, not ratios.
-        alloc_curves.push_back(c.scaled(
-            1.0, static_cast<double>(intervalAccesses_[p]) + 1.0));
-        curves.push_back(std::move(c));
-        intervalAccesses_[p] = 0;
-    }
-
-    // Pre-processing: Talus promises the convex hulls.
-    if (cfg_.allocateOnHulls)
-        alloc_curves = TalusController::convexHulls(alloc_curves);
-
-    // The cache may round capacity down to whole sets; never hand the
-    // allocator more lines than physically exist.
-    const uint64_t cap =
-        std::min<uint64_t>(cfg_.llcLines, cache().capacityLines());
-    const uint64_t usable =
-        (!cfg_.talus && cfg_.scheme == SchemeKind::Vantage)
-            ? cap * 9 / 10
-            : cap;
-    const std::vector<uint64_t> alloc =
-        allocator_->allocate(alloc_curves, usable, granule_);
-
     if (cfg_.talus)
-        ctl_->configure(curves, alloc);
+        ctl_->configure(out.curves, out.alloc);
     else if (cfg_.scheme != SchemeKind::Unpartitioned)
-        plain_->setTargets(alloc);
-
-    for (auto& mon : monitors_)
-        mon.decay();
+        plain_->setTargets(out.alloc);
     cache().nextInterval();
 }
 
@@ -324,11 +365,20 @@ TalusCache::curve(PartId part) const
 double
 TalusCache::missRatio() const
 {
-    const CacheStats& cs = cache().stats();
-    return cs.totalAccesses() > 0
-               ? static_cast<double>(cs.totalMisses()) /
-                     static_cast<double>(cs.totalAccesses())
-               : 0.0;
+    // Aggregate the same per-partition PartStats snapshots stats()
+    // serves, so missRatio() and stats() always describe the same
+    // resetStats() window — ShardedTalusCache::missRatio() mirrors
+    // this exactly one level up.
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    for (uint32_t p = 0; p < cfg_.numParts; ++p) {
+        const PartStats s = stats(p);
+        accesses += s.accesses;
+        misses += s.misses;
+    }
+    return accesses > 0 ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
 }
 
 void

@@ -20,9 +20,21 @@
  *
  * reconfigure() runs one iteration of the paper's software flow
  * (monitor curves -> hulls -> allocate -> configure) and also fires
- * automatically every Config::reconfigInterval accesses. Callers with
- * externally measured curves (sweeps, offline studies) can bypass the
- * built-in monitors/allocator with applyCurves().
+ * automatically every Config::reconfigInterval accesses. Since the
+ * control-plane extraction it is a thin synchronous wrapper over two
+ * stages the cache also exposes separately:
+ *
+ *  - prepareReconfigure() snapshots the monitors into an immutable
+ *    ControlInput and runs the pure ControlStep (hulls + allocation)
+ *    on the cache's ControlPlane, staging a new configuration
+ *    without touching the data path;
+ *  - applyReconfigure() commits the staged configuration now, or
+ *    applyReconfigureAtEpoch(n) defers it to the next access-count
+ *    epoch boundary (a fixed access count — deterministic, never
+ *    wall clock), where access()/accessBatch() apply it in-stream.
+ *
+ * Callers with externally measured curves (sweeps, offline studies)
+ * can bypass the built-in monitors/allocator with applyCurves().
  *
  * Invalid configurations are rejected at construction with an
  * actionable ConfigError instead of an assert, so embedding systems
@@ -37,8 +49,8 @@
 #include <string>
 #include <vector>
 
-#include "alloc/allocator.h"
 #include "api/config_error.h"
+#include "control/control_plane.h"
 #include "core/talus_controller.h"
 #include "monitor/combined_umon.h"
 #include "partition/partitioned_cache.h"
@@ -145,9 +157,73 @@ class TalusCache
      * rates under Talus, plain partition targets otherwise. Monitors
      * decay and the policy interval hook fires afterwards.
      *
-     * Fatal if the Config named no allocator.
+     * A thin synchronous wrapper: prepareReconfigure() followed by
+     * applyReconfigure(). Fatal if the Config named no allocator.
      */
     void reconfigure();
+
+    /**
+     * The off-hot-path compute stage alone: ends the monitoring
+     * interval (snapshots per-partition curves and interval access
+     * volumes into an immutable ControlInput, resets the interval
+     * counters, decays the monitors) and runs the pure ControlStep on
+     * the cache's ControlPlane, staging a new configuration. The data
+     * path is untouched until applyReconfigure() or the scheduled
+     * epoch boundary; preparing again before then overwrites the
+     * staged configuration (the latest decision wins).
+     *
+     * Because this only reads this cache's monitors and writes this
+     * cache's control plane, prepare stages for *different* caches
+     * (e.g. shards) can safely run concurrently.
+     *
+     * Fatal if the Config named no allocator.
+     */
+    void prepareReconfigure();
+
+    /**
+     * Commits the staged configuration to the data path now: shadow
+     * sizes + sampling rates under Talus, plain partition targets
+     * otherwise, then the policy interval hook. Cancels any scheduled
+     * epoch-deferred application. Fatal when nothing is staged.
+     */
+    void applyReconfigure();
+
+    /**
+     * Defers the staged configuration to the next epoch boundary:
+     * the first access at which accessCount() reaches a non-zero
+     * multiple of @p epochLen strictly greater than the current
+     * count. access()/accessBatch() apply it in-stream at exactly
+     * that boundary (batches chunk there, so the application point is
+     * bit-exact for any block size). Deterministic by construction:
+     * the boundary is a fixed access count, never wall clock. If the
+     * automatic reconfigInterval fires at the same access, the
+     * deferred (older) configuration is applied first.
+     *
+     * Latest decision wins: any full reconfiguration that runs
+     * *before* the boundary — a manual reconfigure() or the
+     * automatic reconfigInterval firing — supersedes the schedule
+     * (the newer configuration is applied and the stale scheduled
+     * application is canceled). Callers mixing the deferred API with
+     * reconfigInterval > 0 should pick epoch lengths shorter than
+     * the interval, or drive control entirely explicitly.
+     *
+     * Fatal when nothing is staged or @p epochLen is 0.
+     */
+    void applyReconfigureAtEpoch(uint64_t epochLen);
+
+    /** True when a prepared configuration awaits application. */
+    bool hasPendingControl() const { return plane_.hasPending(); }
+
+    /** Access count at which a scheduled deferred application fires;
+     *  0 when none is scheduled. */
+    uint64_t pendingApplyAt() const { return applyAt_; }
+
+    /** Total accesses this cache ever served (all partitions). */
+    uint64_t accessCount() const { return accessCount_; }
+
+    /** The control plane: allocator + staged/active control outputs
+     *  and their epoch tags. */
+    const ControlPlane& controlPlane() const { return plane_; }
 
     /**
      * Applies externally computed miss curves and logical allocations
@@ -184,7 +260,7 @@ class TalusCache
     uint64_t reconfigurations() const { return reconfigurations_; }
 
     /** True if an allocator was configured (reconfigure() is legal). */
-    bool hasAllocator() const { return allocator_ != nullptr; }
+    bool hasAllocator() const { return plane_.hasAllocator(); }
 
     /** The validated configuration this cache was built from. */
     const Config& config() const { return cfg_; }
@@ -197,15 +273,24 @@ class TalusCache
     const TalusController* controller() const { return ctl_.get(); }
 
   private:
+    /** Ends the monitoring interval and packages the control input. */
+    ControlInput snapshotControl();
+
+    /** Pushes one committed control output onto the data path. */
+    void applyControl(const ControlOutput& out);
+
     Config cfg_;
     std::vector<CombinedUMon> monitors_;
     std::unique_ptr<TalusController> ctl_;        //!< Talus mode.
     std::unique_ptr<PartitionedCacheBase> plain_; //!< Baseline mode.
-    std::unique_ptr<Allocator> allocator_;
+    ControlPlane plane_; //!< Allocator + staged/active control state.
     uint64_t granule_ = 1;
     std::vector<uint64_t> intervalAccesses_;
     uint64_t sinceReconfig_ = 0;
     uint64_t reconfigurations_ = 0;
+    uint64_t accessCount_ = 0; //!< Lifetime accesses (epoch clock).
+    uint64_t applyAt_ = 0; //!< Access count of the scheduled deferred
+                           //!< application; 0 = none scheduled.
 };
 
 } // namespace talus

@@ -1,0 +1,41 @@
+#include "control/control_plane.h"
+
+#include "util/log.h"
+
+namespace talus {
+
+uint64_t
+ControlPlane::compute(const ControlInput& input)
+{
+    if (allocator_ == nullptr)
+        talus_fatal("ControlPlane::compute() needs an allocator; "
+                    "construct the plane with one (e.g. via "
+                    "makeAllocator) or configure the cache externally "
+                    "with applyCurves()");
+    ControlOutput& staging = buffers_[active_ ^ 1];
+    runControlStep(input, *allocator_, staging);
+    // Epoch tags are the plane's job: monotonic over computed steps.
+    staging.epoch = ++computed_;
+    pending_ = true;
+    return staging.epoch;
+}
+
+const ControlOutput&
+ControlPlane::pending() const
+{
+    talus_assert(pending_, "no pending control output");
+    return buffers_[active_ ^ 1];
+}
+
+const ControlOutput&
+ControlPlane::commit()
+{
+    talus_assert(pending_, "ControlPlane::commit() without a pending "
+                           "output; call compute() first");
+    active_ ^= 1;
+    pending_ = false;
+    applied_++;
+    return buffers_[active_];
+}
+
+} // namespace talus

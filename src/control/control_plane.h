@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ControlPlane: the off-hot-path owner of the Talus reconfiguration
+ * loop's compute stage and its double-buffered output.
+ *
+ * One ControlPlane per self-managing cache. It owns the partitioning
+ * allocator and a pair of ControlOutput buffers:
+ *
+ *  - compute(input) runs the pure ControlStep into the *staging*
+ *    buffer and marks it pending. Computing again before the previous
+ *    result was applied simply overwrites the staging buffer — the
+ *    latest decision wins; the data path keeps reading the active
+ *    configuration untouched.
+ *  - commit() swaps staging and active and returns the newly active
+ *    output for the cache to apply. The swap is an index flip plus
+ *    vector moves — no reallocation in the steady state — so the
+ *    apply stage stays cheap enough to run at an access boundary.
+ *
+ * Every computed output carries a monotonically increasing epoch tag;
+ * epochsComputed()/epochsApplied() expose the plane's progress so
+ * callers (and tests) can tell a stale pending decision from a fresh
+ * one. The plane itself never touches a cache: snapshotting the input
+ * and applying the committed output are the owning cache's job, which
+ * is what keeps concurrent control steps for independent caches
+ * (shards) trivially race-free.
+ */
+
+#ifndef TALUS_CONTROL_CONTROL_PLANE_H
+#define TALUS_CONTROL_CONTROL_PLANE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "alloc/allocator.h"
+#include "control/control_step.h"
+
+namespace talus {
+
+/** Compute-and-stage owner of one cache's reconfiguration decisions. */
+class ControlPlane
+{
+  public:
+    /** A plane with no allocator: compute() is illegal (fatal). */
+    ControlPlane() = default;
+
+    /** Takes ownership of @p allocator (may be null: no compute). */
+    explicit ControlPlane(std::unique_ptr<Allocator> allocator)
+        : allocator_(std::move(allocator))
+    {
+    }
+
+    /** True when an allocator was configured (compute() is legal). */
+    bool hasAllocator() const { return allocator_ != nullptr; }
+
+    /** The owned allocator; null when none was configured. */
+    const Allocator* allocator() const { return allocator_.get(); }
+
+    /**
+     * Runs the pure control step on @p input into the staging buffer
+     * and marks it pending. Returns the epoch tag of the computed
+     * output. Fatal when no allocator was configured.
+     */
+    uint64_t compute(const ControlInput& input);
+
+    /** True when a computed output awaits commit(). */
+    bool hasPending() const { return pending_; }
+
+    /** The staged output awaiting commit. Fatal when none pending. */
+    const ControlOutput& pending() const;
+
+    /**
+     * Swaps the pending output into the active slot and returns it.
+     * Fatal when nothing is pending.
+     */
+    const ControlOutput& commit();
+
+    /** The last committed output (empty before the first commit). */
+    const ControlOutput& active() const { return buffers_[active_]; }
+
+    /** Control steps computed so far (also the latest epoch tag). */
+    uint64_t epochsComputed() const { return computed_; }
+
+    /** Outputs committed (applied) so far. */
+    uint64_t epochsApplied() const { return applied_; }
+
+  private:
+    std::unique_ptr<Allocator> allocator_;
+    ControlOutput buffers_[2];
+    uint32_t active_ = 0; //!< Index of the active (applied) buffer.
+    bool pending_ = false;
+    uint64_t computed_ = 0;
+    uint64_t applied_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_CONTROL_CONTROL_PLANE_H

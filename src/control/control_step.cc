@@ -1,0 +1,49 @@
+#include "control/control_step.h"
+
+#include <algorithm>
+
+#include "core/talus_controller.h"
+#include "util/log.h"
+
+namespace talus {
+
+void
+runControlStep(const ControlInput& in, Allocator& allocator,
+               ControlOutput& out)
+{
+    talus_assert(in.numParts >= 1, "control step needs >= 1 partition");
+    talus_assert(in.curves.size() == in.numParts,
+                 "control input has ", in.curves.size(),
+                 " curves for ", in.numParts, " partitions");
+    talus_assert(in.intervalAccesses.size() == in.numParts,
+                 "control input has ", in.intervalAccesses.size(),
+                 " interval counters for ", in.numParts, " partitions");
+    talus_assert(in.granule >= 1, "granule must be >= 1");
+
+    // Weight each partition's miss-ratio curve by its interval access
+    // volume so the allocator compares misses, not ratios; +1 keeps a
+    // silent partition from degenerating to an all-zero curve.
+    std::vector<MissCurve> alloc_curves;
+    alloc_curves.reserve(in.numParts);
+    for (uint32_t p = 0; p < in.numParts; ++p)
+        alloc_curves.push_back(in.curves[p].scaled(
+            1.0, static_cast<double>(in.intervalAccesses[p]) + 1.0));
+
+    // Pre-processing: Talus promises the convex hulls.
+    if (in.allocateOnHulls)
+        alloc_curves = TalusController::convexHulls(alloc_curves);
+
+    // The cache may round capacity down to whole sets; never hand the
+    // allocator more lines than physically exist.
+    const uint64_t cap =
+        std::min<uint64_t>(in.llcLines, in.capacityLines);
+    const uint64_t usable = in.unmanagedHaircut ? cap * 9 / 10 : cap;
+
+    out.epoch = 0; // The ControlPlane stamps epochs; standalone
+                   // steps carry no tag (and reused buffers none
+                   // stale).
+    out.alloc = allocator.allocate(alloc_curves, usable, in.granule);
+    out.curves = in.curves;
+}
+
+} // namespace talus

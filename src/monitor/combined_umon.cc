@@ -62,6 +62,12 @@ CombinedUMon::curve() const
     return MissCurve(std::move(pts)).monotoneClamped();
 }
 
+MissCurve
+CombinedUMon::snapshot() const
+{
+    return curve();
+}
+
 void
 CombinedUMon::decay()
 {

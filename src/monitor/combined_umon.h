@@ -48,6 +48,16 @@ class CombinedUMon
     /** Accesses sampled by the primary monitor. */
     uint64_t sampledAccesses() const { return primary_.sampledAccesses(); }
 
+    /**
+     * The control-plane snapshot hook: an immutable copy of the
+     * merged curve at an interval boundary, from which
+     * TalusCache::snapshotControl() builds each ControlInput.
+     * Read-only — the monitor keeps accumulating; the cache's own
+     * interval counters (not the monitor's sampled volume) provide
+     * the curve weights.
+     */
+    MissCurve snapshot() const;
+
     /** Inter-interval decay of both monitors. */
     void decay();
 

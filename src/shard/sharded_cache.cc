@@ -99,10 +99,29 @@ ShardedTalusCache::accessBatch(Span<const Addr> addrs, PartId part)
 }
 
 void
+ShardedTalusCache::reconfigureAll()
+{
+    // One control step per shard, claimed dynamically by the pool —
+    // the same dispatch shape as accessBatch. Each task touches only
+    // its own shard's monitors, control plane, and cache, so the
+    // steps are race-free by construction.
+    pool_.run(cfg_.numShards,
+              [this](uint32_t s) { shards_[s]->reconfigure(); });
+}
+
+void
+ShardedTalusCache::reconfigureAllAtEpoch(uint64_t epochLen)
+{
+    pool_.run(cfg_.numShards, [this, epochLen](uint32_t s) {
+        shards_[s]->prepareReconfigure();
+        shards_[s]->applyReconfigureAtEpoch(epochLen);
+    });
+}
+
+void
 ShardedTalusCache::reconfigure()
 {
-    for (auto& shard : shards_)
-        shard->reconfigure();
+    reconfigureAll();
 }
 
 TalusCache::PartStats
@@ -140,12 +159,16 @@ ShardedTalusCache::shardCurve(uint32_t shard, PartId part) const
 double
 ShardedTalusCache::missRatio() const
 {
+    // Aggregate the same PartStats snapshots stats() serves (which in
+    // turn aggregate each shard's stats()), instead of reaching into
+    // raw CacheStats: missRatio(), stats(), and shardStats() now all
+    // describe the same resetStats() window by construction.
     uint64_t accesses = 0;
     uint64_t misses = 0;
-    for (const auto& shard : shards_) {
-        const CacheStats& cs = shard->cache().stats();
-        accesses += cs.totalAccesses();
-        misses += cs.totalMisses();
+    for (PartId p = 0; p < cfg_.shard.numParts; ++p) {
+        const TalusCache::PartStats s = stats(p);
+        accesses += s.accesses;
+        misses += s.misses;
     }
     return accesses > 0 ? static_cast<double>(misses) /
                               static_cast<double>(accesses)

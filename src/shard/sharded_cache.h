@@ -106,7 +106,30 @@ class ShardedTalusCache
      */
     uint64_t accessBatch(Span<const Addr> addrs, PartId part = 0);
 
-    /** Runs one reconfiguration on every shard (serially). */
+    /**
+     * Runs one synchronous reconfiguration on every shard,
+     * dispatching the per-shard control steps (snapshot + pure
+     * ControlStep + apply) concurrently on the worker pool when
+     * Config::threads > 0. Shards share no state, so the result is
+     * bit-exact with reconfiguring each shard serially.
+     */
+    void reconfigureAll();
+
+    /**
+     * Epoch-deferred reconfiguration: computes every shard's control
+     * step concurrently now (ending each shard's monitoring
+     * interval), but leaves the data path untouched — each shard
+     * applies its new configuration in-stream when its own access
+     * count reaches the next multiple of @p epochLen (see
+     * TalusCache::applyReconfigureAtEpoch). Batches keep flowing
+     * between compute and apply; the application point is a fixed
+     * per-shard access count, so the result is bit-exact for any
+     * thread count and any batch blocking.
+     */
+    void reconfigureAllAtEpoch(uint64_t epochLen);
+
+    /** Alias of reconfigureAll(), kept for the TalusCache-shaped
+     *  surface. */
     void reconfigure();
 
     /**

@@ -59,7 +59,7 @@ BenchEnv::usage()
     return
         "usage: <bench> [--csv] [--full] [--scale=N] [--instr=N]\n"
         "               [--mixes=N] [--accesses=N] [--seed=N]\n"
-        "               [--shards=N] [--threads=N]\n"
+        "               [--shards=N] [--threads=N] [--reconfig=N]\n"
         "\n"
         "  --csv         emit CSV instead of aligned tables\n"
         "  --full        paper-true scale and run lengths (slow);\n"
@@ -77,6 +77,9 @@ BenchEnv::usage()
         "                (TALUS_SHARDS; 0 = bench default)\n"
         "  --threads=N   worker threads for sharded benches\n"
         "                (TALUS_THREADS; 0 = inline)\n"
+        "  --reconfig=N  accesses between control-plane\n"
+        "                reconfigurations (TALUS_RECONFIG;\n"
+        "                0 = bench default)\n"
         "  --help, -h    this text\n"
         "\n"
         "Environment variables provide the same knobs; flags win.\n";
@@ -89,7 +92,7 @@ BenchEnv::init(int argc, char** argv)
     BenchEnv env;
     bool full = envFlag("TALUS_FULL");
     std::optional<uint64_t> scale_f, instr_f, mixes_f, accesses_f,
-        seed_f, shards_f, threads_f;
+        seed_f, shards_f, threads_f, reconfig_f;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -107,7 +110,9 @@ BenchEnv::init(int argc, char** argv)
                    matchValueFlag(binary, arg, "seed", &seed_f) ||
                    matchValueFlag(binary, arg, "shards", &shards_f) ||
                    matchValueFlag(binary, arg, "threads",
-                                  &threads_f)) {
+                                  &threads_f) ||
+                   matchValueFlag(binary, arg, "reconfig",
+                                  &reconfig_f)) {
             // Parsed into its optional above.
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "%s: unrecognized flag '%s'\n\n%s",
@@ -142,13 +147,13 @@ BenchEnv::init(int argc, char** argv)
         envInt("TALUS_ACCESSES", full ? 4'000'000 : 400'000)));
     env.seed = seed_f.value_or(
         static_cast<uint64_t>(envInt("TALUS_SEED", 20150207)));
-    // Shard-layer knobs share the 32-bit ranges of their consumers
-    // (ShardedTalusCache::Config); reject out-of-range values — from
+    // Shard-layer and control-plane knobs are range-checked — from
     // the flag OR the env var — here, so they fail as usage errors,
-    // not as cache ConfigErrors (or uint32 wraparounds) later.
-    const auto shardKnob = [&](const std::optional<uint64_t>& flag,
-                               const char* env_name, uint64_t max,
-                               const char* range_msg) -> uint32_t {
+    // not as cache ConfigErrors (or integer wraparounds) later.
+    // Flags win; a negative env value must not wrap to a huge count.
+    const auto rangedKnob = [&](const std::optional<uint64_t>& flag,
+                                const char* env_name, uint64_t max,
+                                const char* range_msg) -> uint64_t {
         uint64_t value;
         if (flag.has_value()) {
             value = *flag;
@@ -166,14 +171,23 @@ BenchEnv::init(int argc, char** argv)
                          usage());
             std::exit(1);
         }
-        return static_cast<uint32_t>(value);
+        return value;
     };
-    env.shards = shardKnob(shards_f, "TALUS_SHARDS",
-                           ShardedTalusCache::kMaxShards,
-                           "--shards/TALUS_SHARDS must be <= 1024");
-    env.threads = shardKnob(threads_f, "TALUS_THREADS",
-                            ShardedTalusCache::kMaxShards,
-                            "--threads/TALUS_THREADS must be <= 1024");
+    // The shard knobs share the 32-bit ranges of their consumers
+    // (ShardedTalusCache::Config).
+    env.shards = static_cast<uint32_t>(
+        rangedKnob(shards_f, "TALUS_SHARDS",
+                   ShardedTalusCache::kMaxShards,
+                   "--shards/TALUS_SHARDS must be <= 1024"));
+    env.threads = static_cast<uint32_t>(
+        rangedKnob(threads_f, "TALUS_THREADS",
+                   ShardedTalusCache::kMaxShards,
+                   "--threads/TALUS_THREADS must be <= 1024"));
+    // The control-plane frequency knob is a full-width access count
+    // with no upper bound.
+    env.reconfig =
+        rangedKnob(reconfig_f, "TALUS_RECONFIG",
+                   std::numeric_limits<uint64_t>::max(), "unreachable");
     return env;
 }
 

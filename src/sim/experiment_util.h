@@ -32,13 +32,17 @@ struct BenchEnv
     uint32_t threads = 0;        //!< Worker threads for sharded
                                  //!< benches (TALUS_THREADS); 0 =
                                  //!< inline execution.
+    uint64_t reconfig = 0;       //!< Accesses between control-plane
+                                 //!< reconfigurations
+                                 //!< (TALUS_RECONFIG); 0 = bench
+                                 //!< default.
 
     /**
      * Parses the common bench command line over environment-variable
      * defaults (flags win over env vars). Accepted flags: --csv,
      * --full, --scale=N, --instr=N, --mixes=N, --accesses=N, --seed=N,
-     * --shards=N, --threads=N, and --help/-h (prints usage() and
-     * exits 0). Any other `--` argument is an error: usage goes to
+     * --shards=N, --threads=N, --reconfig=N, and --help/-h (prints
+     * usage() and exits 0). Any other `--` argument is an error: usage goes to
      * stderr and the process exits 1. Non-flag positional arguments
      * are left for the binary to interpret.
      */

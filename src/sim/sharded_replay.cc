@@ -19,6 +19,7 @@ runShardedReplay(ShardedTalusCache& cache, AccessStream& stream,
     ShardedReplayResult result;
     const auto start = std::chrono::steady_clock::now();
     uint64_t left = opts.accesses;
+    uint64_t blocks = 0;
     while (left > 0) {
         const uint64_t n = std::min<uint64_t>(opts.blockSize, left);
         stream.nextBlock(block.data(), n);
@@ -26,6 +27,17 @@ runShardedReplay(ShardedTalusCache& cache, AccessStream& stream,
             cache.accessBatch(Span<const Addr>(block.data(), n),
                               opts.part);
         left -= n;
+        blocks++;
+        // Explicit control-plane sweeps run between blocks — the
+        // serving shape: compute concurrently across shards, apply
+        // either now or at each shard's next epoch boundary.
+        if (opts.reconfigEveryBlocks > 0 &&
+            blocks % opts.reconfigEveryBlocks == 0) {
+            if (opts.applyEpochLen > 0)
+                cache.reconfigureAllAtEpoch(opts.applyEpochLen);
+            else
+                cache.reconfigureAll();
+        }
     }
     const auto end = std::chrono::steady_clock::now();
     result.accesses = opts.accesses;

@@ -30,6 +30,17 @@ struct ShardedReplayOptions
     uint64_t accesses = 1'000'000; //!< Total addresses to replay.
     uint64_t blockSize = 4096;     //!< Addresses per accessBatch call.
     PartId part = 0;               //!< Logical partition to replay as.
+
+    /**
+     * Blocks between explicit control-plane sweeps; 0 = never (the
+     * shards' own Config::reconfigInterval still applies). Each sweep
+     * calls ShardedTalusCache::reconfigureAll() — or, when
+     * applyEpochLen > 0, reconfigureAllAtEpoch(applyEpochLen), so the
+     * compute runs between blocks but every shard applies its new
+     * configuration at its next fixed access-count epoch boundary.
+     */
+    uint64_t reconfigEveryBlocks = 0;
+    uint64_t applyEpochLen = 0; //!< 0 = synchronous application.
 };
 
 /** What one sharded replay run measured. */

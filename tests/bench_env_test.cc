@@ -38,7 +38,7 @@ TEST(BenchEnv, ValueFlagsOverrideDefaults)
     const BenchEnv env = initWith({"--csv", "--scale=128", "--instr=5000",
                                    "--mixes=3", "--accesses=777",
                                    "--seed=42", "--shards=8",
-                                   "--threads=2"});
+                                   "--threads=2", "--reconfig=25000"});
     EXPECT_TRUE(env.csv);
     EXPECT_EQ(env.scale.linesPerMb(), 128u);
     EXPECT_EQ(env.instrPerApp, 5000u);
@@ -47,14 +47,17 @@ TEST(BenchEnv, ValueFlagsOverrideDefaults)
     EXPECT_EQ(env.seed, 42u);
     EXPECT_EQ(env.shards, 8u);
     EXPECT_EQ(env.threads, 2u);
+    EXPECT_EQ(env.reconfig, 25000u);
 }
 
 TEST(BenchEnv, ShardKnobsDefaultToZero)
 {
-    // 0 means "bench default" (shards) / inline execution (threads).
+    // 0 means "bench default" (shards, reconfig) / inline execution
+    // (threads).
     const BenchEnv env = initWith({});
     EXPECT_EQ(env.shards, 0u);
     EXPECT_EQ(env.threads, 0u);
+    EXPECT_EQ(env.reconfig, 0u);
 }
 
 TEST(BenchEnv, FullSelectsPaperScaleUnlessOverridden)
@@ -115,6 +118,12 @@ TEST(BenchEnvDeathTest, MalformedValueFailsWithUsage)
                 "unsigned integer");
     EXPECT_EXIT(initWith({"--threads=2000"}),
                 ::testing::ExitedWithCode(1), "must be <= 1024");
+    // The control-plane frequency knob shares the validation pattern:
+    // malformed or negative values are usage errors.
+    EXPECT_EXIT(initWith({"--reconfig=abc"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+    EXPECT_EXIT(initWith({"--reconfig=-5"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
 }
 
 TEST(BenchEnvDeathTest, EnvVarShardKnobsAreRangeCheckedToo)
@@ -134,6 +143,16 @@ TEST(BenchEnvDeathTest, EnvVarShardKnobsAreRangeCheckedToo)
     // the out-of-range env value.
     EXPECT_EQ(initWith({"--threads=3"}).threads, 3u);
     ::unsetenv("TALUS_THREADS");
+
+    // TALUS_RECONFIG follows the same rules: negatives are usage
+    // errors, valid values land in env.reconfig, flags win.
+    ::setenv("TALUS_RECONFIG", "-1", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "TALUS_RECONFIG must be >= 0");
+    ::setenv("TALUS_RECONFIG", "12345", 1);
+    EXPECT_EQ(initWith({}).reconfig, 12345u);
+    EXPECT_EQ(initWith({"--reconfig=99"}).reconfig, 99u);
+    ::unsetenv("TALUS_RECONFIG");
 }
 
 } // namespace

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * The control-plane extraction's anchors:
+ *
+ *  - runControlStep is pure: it reads only its input (which it never
+ *    mutates) and is deterministic, so per-shard steps can run
+ *    concurrently.
+ *  - ControlPlane double-buffers outputs with monotonic epoch tags;
+ *    the latest computed decision wins, commit() flips buffers.
+ *  - TalusCache::reconfigure() is exactly prepareReconfigure() +
+ *    applyReconfigure() — the staged path is bit-exact with the
+ *    synchronous wrapper.
+ *  - Epoch-deferred application fires at the scheduled fixed access
+ *    count and at no other point, independent of batch block sizes.
+ *  - missRatio() and stats() describe the same resetStats() window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator_factory.h"
+#include "api/talus.h"
+#include "control/control_plane.h"
+#include "control/control_step.h"
+#include "util/rng.h"
+
+namespace talus {
+namespace {
+
+/** A cliffy two-partition input with fixed knobs. */
+ControlInput
+sampleInput()
+{
+    ControlInput in;
+    in.numParts = 2;
+    in.llcLines = 4096;
+    in.capacityLines = 4096;
+    in.granule = 64;
+    in.allocateOnHulls = true;
+    in.curves = {
+        MissCurve({{0.0, 1.0}, {2048.0, 0.95}, {3072.0, 0.1},
+                   {4096.0, 0.1}}),
+        MissCurve({{0.0, 1.0}, {1024.0, 0.4}, {4096.0, 0.2}}),
+    };
+    in.intervalAccesses = {10'000, 30'000};
+    return in;
+}
+
+TalusCache::Config
+cacheConfig(uint64_t reconfig_interval = 0)
+{
+    TalusCache::Config cfg;
+    cfg.llcLines = 2048;
+    cfg.ways = 16;
+    cfg.numParts = 2;
+    cfg.allocatorName = "HillClimb";
+    cfg.reconfigInterval = reconfig_interval;
+    cfg.seed = 99;
+    return cfg;
+}
+
+std::vector<Addr>
+trace(uint64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> addrs(n);
+    for (Addr& a : addrs)
+        a = rng.below(1 << 13);
+    return addrs;
+}
+
+void
+expectSameState(const TalusCache& got, const TalusCache& want)
+{
+    ASSERT_EQ(got.numParts(), want.numParts());
+    EXPECT_EQ(got.reconfigurations(), want.reconfigurations());
+    EXPECT_EQ(got.accessCount(), want.accessCount());
+    for (uint32_t p = 0; p < want.numParts(); ++p) {
+        const auto g = got.stats(p);
+        const auto w = want.stats(p);
+        EXPECT_EQ(g.accesses, w.accesses) << "part " << p;
+        EXPECT_EQ(g.misses, w.misses) << "part " << p;
+        EXPECT_EQ(g.targetLines, w.targetLines) << "part " << p;
+        EXPECT_DOUBLE_EQ(g.rho, w.rho) << "part " << p;
+    }
+}
+
+// --- The pure step. ---------------------------------------------------
+
+TEST(ControlStep, IsDeterministicAndLeavesInputUntouched)
+{
+    const ControlInput in = sampleInput();
+    const ControlInput copy = in;
+    auto allocator_a = makeAllocator("HillClimb");
+    auto allocator_b = makeAllocator("HillClimb");
+
+    ControlOutput a, b;
+    runControlStep(in, *allocator_a, a);
+    runControlStep(in, *allocator_b, b);
+
+    EXPECT_EQ(a.alloc, b.alloc);
+    ASSERT_EQ(a.curves.size(), b.curves.size());
+
+    // The input is immutable: same curve points and volumes after.
+    ASSERT_EQ(in.curves.size(), copy.curves.size());
+    EXPECT_EQ(in.intervalAccesses, copy.intervalAccesses);
+    for (size_t p = 0; p < copy.curves.size(); ++p) {
+        const auto& gp = in.curves[p].points();
+        const auto& wp = copy.curves[p].points();
+        ASSERT_EQ(gp.size(), wp.size());
+        for (size_t i = 0; i < wp.size(); ++i) {
+            EXPECT_DOUBLE_EQ(gp[i].size, wp[i].size);
+            EXPECT_DOUBLE_EQ(gp[i].misses, wp[i].misses);
+        }
+    }
+}
+
+TEST(ControlStep, AllocatesWithinUsableCapacityAndEchoesCurves)
+{
+    const ControlInput in = sampleInput();
+    auto allocator = makeAllocator("HillClimb");
+    ControlOutput out;
+    runControlStep(in, *allocator, out);
+
+    ASSERT_EQ(out.alloc.size(), in.numParts);
+    uint64_t total = 0;
+    for (uint64_t a : out.alloc)
+        total += a;
+    EXPECT_LE(total, in.capacityLines);
+    EXPECT_GT(total, 0u);
+    // The raw (unweighted, unhulled) curves pass through for
+    // configure() to size shadow partitions from.
+    ASSERT_EQ(out.curves.size(), in.curves.size());
+    EXPECT_EQ(out.curves[0].points().size(),
+              in.curves[0].points().size());
+}
+
+TEST(ControlStep, UnmanagedHaircutShrinksTheAllocatedTotal)
+{
+    ControlInput in = sampleInput();
+    auto allocator = makeAllocator("HillClimb");
+    ControlOutput full, cut;
+    runControlStep(in, *allocator, full);
+    in.unmanagedHaircut = true;
+    runControlStep(in, *allocator, cut);
+
+    uint64_t full_total = 0, cut_total = 0;
+    for (uint64_t a : full.alloc)
+        full_total += a;
+    for (uint64_t a : cut.alloc)
+        cut_total += a;
+    EXPECT_LE(cut_total, in.capacityLines * 9 / 10);
+    EXPECT_LT(cut_total, full_total);
+}
+
+// --- The double-buffered plane. ---------------------------------------
+
+TEST(ControlPlaneBuffers, ComputeStagesAndCommitSwaps)
+{
+    ControlPlane plane(makeAllocator("HillClimb"));
+    ASSERT_TRUE(plane.hasAllocator());
+    EXPECT_FALSE(plane.hasPending());
+    EXPECT_EQ(plane.epochsComputed(), 0u);
+    EXPECT_EQ(plane.epochsApplied(), 0u);
+
+    const uint64_t e1 = plane.compute(sampleInput());
+    EXPECT_EQ(e1, 1u);
+    EXPECT_TRUE(plane.hasPending());
+    EXPECT_EQ(plane.pending().epoch, 1u);
+    EXPECT_EQ(plane.epochsComputed(), 1u);
+    EXPECT_EQ(plane.epochsApplied(), 0u);
+
+    const ControlOutput& applied = plane.commit();
+    EXPECT_EQ(applied.epoch, 1u);
+    EXPECT_FALSE(plane.hasPending());
+    EXPECT_EQ(plane.epochsApplied(), 1u);
+    EXPECT_EQ(plane.active().epoch, 1u);
+}
+
+TEST(ControlPlaneBuffers, LatestComputedDecisionWins)
+{
+    ControlPlane plane(makeAllocator("HillClimb"));
+    plane.compute(sampleInput());
+    plane.commit();
+
+    // Two computes without an intervening commit: the second
+    // overwrites the staging buffer; the active output is untouched.
+    ControlInput in = sampleInput();
+    plane.compute(in);
+    in.intervalAccesses = {30'000, 10'000}; // Flip the weights.
+    const uint64_t e3 = plane.compute(in);
+    EXPECT_EQ(e3, 3u);
+    EXPECT_EQ(plane.active().epoch, 1u);
+    EXPECT_EQ(plane.commit().epoch, 3u);
+    EXPECT_EQ(plane.epochsComputed(), 3u);
+    EXPECT_EQ(plane.epochsApplied(), 2u);
+}
+
+TEST(ControlPlaneDeathTest, MisuseIsActionable)
+{
+    ControlPlane empty;
+    EXPECT_FALSE(empty.hasAllocator());
+    EXPECT_EXIT(empty.compute(sampleInput()),
+                ::testing::ExitedWithCode(1), "needs an allocator");
+
+    TalusCache cache(cacheConfig());
+    EXPECT_EXIT(cache.applyReconfigure(), ::testing::ExitedWithCode(1),
+                "no prepared configuration");
+    EXPECT_EXIT(cache.applyReconfigureAtEpoch(1000),
+                ::testing::ExitedWithCode(1),
+                "no prepared configuration");
+    TalusCache cache2(cacheConfig());
+    cache2.prepareReconfigure();
+    EXPECT_EXIT(cache2.applyReconfigureAtEpoch(0),
+                ::testing::ExitedWithCode(1), "epochLen");
+}
+
+// --- The facade's staged path. ----------------------------------------
+
+TEST(ControlPlaneFacade, ReconfigureEqualsPreparePlusApply)
+{
+    TalusCache sync(cacheConfig());
+    TalusCache staged(cacheConfig());
+    const std::vector<Addr> addrs = trace(40'000, 7);
+
+    for (size_t i = 0; i < addrs.size(); ++i) {
+        const PartId part = i & 1;
+        sync.access(addrs[i], part);
+        staged.access(addrs[i], part);
+        if ((i + 1) % 10'000 == 0) {
+            sync.reconfigure();
+            staged.prepareReconfigure();
+            EXPECT_TRUE(staged.hasPendingControl());
+            staged.applyReconfigure();
+        }
+    }
+    expectSameState(staged, sync);
+    EXPECT_EQ(staged.controlPlane().epochsApplied(),
+              sync.controlPlane().epochsApplied());
+}
+
+TEST(ControlPlaneFacade, DeferredApplicationFiresExactlyAtTheEpoch)
+{
+    TalusCache cache(cacheConfig());
+    const std::vector<Addr> addrs = trace(25'000, 11);
+
+    // Warm up past one reconfiguration so rho is meaningful.
+    cache.accessBatch(Span<const Addr>(addrs.data(), 10'000), 0);
+    cache.reconfigure();
+    EXPECT_EQ(cache.reconfigurations(), 1u);
+
+    cache.prepareReconfigure();
+    cache.applyReconfigureAtEpoch(4096);
+    // accessCount is 10'000, so the next epoch boundary is 12'288.
+    EXPECT_EQ(cache.pendingApplyAt(), 12'288u);
+    EXPECT_TRUE(cache.hasPendingControl());
+
+    // Nothing applies until the boundary...
+    uint64_t count = cache.accessCount();
+    size_t i = 10'000;
+    while (count + 1 < 12'288) {
+        cache.access(addrs[i++], 0);
+        count++;
+        EXPECT_EQ(cache.reconfigurations(), 1u);
+    }
+    // ...and the boundary access applies it.
+    cache.access(addrs[i++], 0);
+    EXPECT_EQ(cache.reconfigurations(), 2u);
+    EXPECT_FALSE(cache.hasPendingControl());
+    EXPECT_EQ(cache.pendingApplyAt(), 0u);
+    EXPECT_EQ(cache.accessCount(), 12'288u);
+}
+
+TEST(ControlPlaneFacade, DeferredApplicationIsBlockSizeInvariant)
+{
+    // Same trace, same control schedule, three different batch
+    // blockings (including one big batch spanning the boundary):
+    // identical final state.
+    const std::vector<Addr> addrs = trace(30'000, 13);
+    const std::vector<size_t> blockings = {1, 997, 30'000};
+
+    std::vector<std::unique_ptr<TalusCache>> caches;
+    for (size_t b = 0; b < blockings.size(); ++b) {
+        auto cache = std::make_unique<TalusCache>(cacheConfig());
+        // Prepare on untouched monitors, then defer: the apply point
+        // (epoch 8192) lands mid-stream however the batches split.
+        cache->prepareReconfigure();
+        cache->applyReconfigureAtEpoch(8192);
+        const size_t block = blockings[b];
+        for (size_t off = 0; off < addrs.size(); off += block) {
+            const size_t n = std::min(block, addrs.size() - off);
+            cache->accessBatch(Span<const Addr>(addrs.data() + off, n),
+                               0);
+        }
+        caches.push_back(std::move(cache));
+    }
+    for (size_t b = 1; b < caches.size(); ++b)
+        expectSameState(*caches[b], *caches[0]);
+    EXPECT_EQ(caches[0]->reconfigurations(), 1u);
+}
+
+TEST(ControlPlaneFacade, AutoReconfigStillFiresWithDeferredPending)
+{
+    // A scheduled apply and the automatic interval landing on the
+    // same stream: the deferred (older) configuration applies first,
+    // then the interval fires as usual — reconfigurations counts
+    // both.
+    TalusCache cache(cacheConfig(10'000));
+    const std::vector<Addr> addrs = trace(20'000, 17);
+    cache.accessBatch(Span<const Addr>(addrs.data(), 5'000), 0);
+    cache.prepareReconfigure(); // Restarts the interval clock too.
+    cache.applyReconfigureAtEpoch(7'000);
+    EXPECT_EQ(cache.pendingApplyAt(), 7'000u);
+
+    cache.accessBatch(Span<const Addr>(addrs.data() + 5'000, 15'000),
+                      0);
+    // Deferred apply at 7'000 plus the automatic fire 10'000 accesses
+    // after the prepare (at count 15'000).
+    EXPECT_EQ(cache.reconfigurations(), 2u);
+    EXPECT_EQ(cache.accessCount(), 20'000u);
+}
+
+TEST(ControlPlaneFacade, FullReconfigureBeforeTheEpochCancelsSchedule)
+{
+    // Latest decision wins: a full reconfiguration running before the
+    // scheduled boundary (here the automatic interval) supersedes the
+    // stale scheduled application — it is canceled, not applied late.
+    TalusCache cache(cacheConfig(10'000));
+    const std::vector<Addr> addrs = trace(25'000, 23);
+    cache.accessBatch(Span<const Addr>(addrs.data(), 5'000), 0);
+    cache.prepareReconfigure(); // Interval clock restarts here.
+    cache.applyReconfigureAtEpoch(20'000);
+    EXPECT_EQ(cache.pendingApplyAt(), 20'000u);
+
+    // The automatic fire at count 15'000 lands first and wins.
+    cache.accessBatch(Span<const Addr>(addrs.data() + 5'000, 20'000),
+                      0);
+    EXPECT_EQ(cache.reconfigurations(), 2u); // 15'000 and 25'000.
+    EXPECT_EQ(cache.pendingApplyAt(), 0u);
+    EXPECT_FALSE(cache.hasPendingControl());
+}
+
+// --- Unified miss-ratio accounting (stats vs missRatio windows). ------
+
+TEST(ControlPlaneFacade, MissRatioAndStatsShareResetWindows)
+{
+    TalusCache cache(cacheConfig());
+    const std::vector<Addr> addrs = trace(30'000, 19);
+
+    cache.accessBatch(Span<const Addr>(addrs.data(), 10'000), 0);
+    cache.accessBatch(Span<const Addr>(addrs.data() + 10'000, 5'000),
+                      1);
+    cache.resetStats();
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.0);
+
+    cache.accessBatch(Span<const Addr>(addrs.data() + 15'000, 15'000),
+                      1);
+    uint64_t accesses = 0, misses = 0;
+    for (uint32_t p = 0; p < cache.numParts(); ++p) {
+        accesses += cache.stats(p).accesses;
+        misses += cache.stats(p).misses;
+    }
+    EXPECT_EQ(accesses, 15'000u);
+    EXPECT_DOUBLE_EQ(cache.missRatio(),
+                     static_cast<double>(misses) /
+                         static_cast<double>(accesses));
+}
+
+} // namespace
+} // namespace talus

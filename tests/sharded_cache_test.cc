@@ -307,5 +307,151 @@ TEST(ShardedCache, ShardSeedsDiffer)
                       ShardedTalusCache::shardConfig(cfg, b).seed);
 }
 
+// --- Control-plane dispatch (PR 5). -----------------------------------
+
+/** Compares two engines' per-shard stats and reconfiguration counts. */
+void
+expectShardStatesEqual(const ShardedTalusCache& got,
+                       const ShardedTalusCache& want)
+{
+    ASSERT_EQ(got.numShards(), want.numShards());
+    for (uint32_t s = 0; s < want.numShards(); ++s) {
+        const auto g = got.shardStats(s, 0);
+        const auto w = want.shardStats(s, 0);
+        EXPECT_EQ(g.accesses, w.accesses) << "shard " << s;
+        EXPECT_EQ(g.misses, w.misses) << "shard " << s;
+        EXPECT_EQ(g.targetLines, w.targetLines) << "shard " << s;
+        EXPECT_DOUBLE_EQ(g.rho, w.rho) << "shard " << s;
+        EXPECT_EQ(got.shard(s).reconfigurations(),
+                  want.shard(s).reconfigurations())
+            << "shard " << s;
+    }
+}
+
+/**
+ * Mid-batch automatic reconfiguration under sharding: blocks several
+ * times larger than reconfigInterval make every shard's interval fire
+ * inside accessBatch — on a worker thread when threads > 0. The
+ * per-shard control steps must be bit-exact across thread counts.
+ */
+class ShardedMidBatchReconfig : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ShardedMidBatchReconfig, BitExactAcrossThreadCounts)
+{
+    const std::vector<Addr> addrs = mixedTrace(50'000, 701);
+    // Blocks of 12'000 against a 5'000-access reconfigInterval:
+    // two-plus automatic control steps fire inside every batch.
+    const ShardTrace inline_run =
+        runSharded(engineConfig(4, 0), addrs, 12'000);
+    const ShardTrace threaded =
+        runSharded(engineConfig(4, GetParam()), addrs, 12'000);
+    expectTracesEqual(threaded, inline_run);
+    // The interval really did fire mid-batch on every shard.
+    for (uint32_t s = 0; s < 4; ++s)
+        EXPECT_GE(inline_run.reconfigs[s], 1u) << "shard " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ShardedMidBatchReconfig,
+                         ::testing::Values(1u, 4u));
+
+TEST(ShardedCache, PoolDispatchedControlStepsMatchInlineSteps)
+{
+    // Explicit reconfigureAll() on a threaded engine (control steps
+    // claimed by pool workers) vs reconfiguring every shard inline on
+    // the caller's thread: shards share no state, so the dispatch
+    // mechanism must not change any result.
+    ShardedTalusCache::Config cfg = engineConfig(4, 0);
+    cfg.shard.reconfigInterval = 0; // Control is explicit here.
+    const std::vector<Addr> addrs = mixedTrace(40'000, 811);
+
+    ShardedTalusCache pooled_cfg_engine = [&] {
+        ShardedTalusCache::Config c = cfg;
+        c.threads = 4;
+        return ShardedTalusCache(c);
+    }();
+    ShardedTalusCache inline_engine(cfg);
+
+    for (size_t off = 0; off < addrs.size(); off += 8'000) {
+        const size_t n = std::min<size_t>(8'000, addrs.size() - off);
+        pooled_cfg_engine.accessBatch(
+            Span<const Addr>(addrs.data() + off, n), 0);
+        inline_engine.accessBatch(
+            Span<const Addr>(addrs.data() + off, n), 0);
+        pooled_cfg_engine.reconfigureAll(); // WorkerPool dispatch.
+        for (uint32_t s = 0; s < cfg.numShards; ++s)
+            inline_engine.shard(s).reconfigure(); // Inline steps.
+    }
+    expectShardStatesEqual(pooled_cfg_engine, inline_engine);
+    EXPECT_EQ(pooled_cfg_engine.reconfigurations(),
+              inline_engine.reconfigurations());
+}
+
+TEST(ShardedCache, EpochDeferredReconfigureIsThreadCountInvariant)
+{
+    // Deferred mode: compute concurrently, apply at each shard's next
+    // fixed access-count boundary. Thread counts {0, 1, 4} must agree
+    // bit-exactly, and the applications must actually happen.
+    ShardedTalusCache::Config base = engineConfig(3, 0);
+    base.shard.reconfigInterval = 0;
+    const std::vector<Addr> addrs = mixedTrace(45'000, 907);
+
+    auto run = [&](uint32_t threads) {
+        ShardedTalusCache::Config cfg = base;
+        cfg.threads = threads;
+        ShardedTalusCache engine(cfg);
+        for (size_t off = 0; off < addrs.size(); off += 9'000) {
+            const size_t n =
+                std::min<size_t>(9'000, addrs.size() - off);
+            engine.accessBatch(Span<const Addr>(addrs.data() + off, n),
+                               0);
+            engine.reconfigureAllAtEpoch(4'000);
+        }
+        return engine.reconfigurations();
+    };
+
+    ShardedTalusCache::Config cfg0 = base;
+    ShardedTalusCache inline_engine(cfg0);
+    cfg0.threads = 4;
+    ShardedTalusCache threaded_engine(cfg0);
+    for (size_t off = 0; off < addrs.size(); off += 9'000) {
+        const size_t n = std::min<size_t>(9'000, addrs.size() - off);
+        inline_engine.accessBatch(Span<const Addr>(addrs.data() + off, n),
+                                  0);
+        threaded_engine.accessBatch(
+            Span<const Addr>(addrs.data() + off, n), 0);
+        inline_engine.reconfigureAllAtEpoch(4'000);
+        threaded_engine.reconfigureAllAtEpoch(4'000);
+    }
+    expectShardStatesEqual(threaded_engine, inline_engine);
+    EXPECT_GT(inline_engine.reconfigurations(), 0u);
+    EXPECT_EQ(run(1), inline_engine.reconfigurations());
+}
+
+TEST(ShardedCache, MissRatioAndStatsShareResetWindows)
+{
+    // missRatio() aggregates the same PartStats snapshots stats()
+    // serves, so both describe the post-resetStats() window — pinned
+    // here because the two used to read different accounting paths.
+    ShardedTalusCache cache(engineConfig(4, 2));
+    const std::vector<Addr> addrs = mixedTrace(30'000, 1009);
+
+    cache.accessBatch(
+        Span<const Addr>(addrs.data(), 20'000), 0);
+    cache.resetStats();
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.0);
+    EXPECT_EQ(cache.stats(0).accesses, 0u);
+
+    const uint64_t hits = cache.accessBatch(
+        Span<const Addr>(addrs.data() + 20'000, 10'000), 0);
+    const TalusCache::PartStats agg = cache.stats(0);
+    EXPECT_EQ(agg.accesses, 10'000u);
+    EXPECT_EQ(agg.misses, 10'000u - hits);
+    EXPECT_DOUBLE_EQ(cache.missRatio(),
+                     static_cast<double>(agg.misses) /
+                         static_cast<double>(agg.accesses));
+}
+
 } // namespace
 } // namespace talus
