@@ -12,6 +12,13 @@ run (a silently deleted/renamed hot-path bench must not pass the
 gate). Tracked benchmarks missing from the *baseline* only warn, so a
 new bench can land before the baseline is refreshed.
 
+Also enforces the no-negative-scaling invariant on the CURRENT run
+alone (no baseline needed): threaded sharded dispatch must not be
+slower than inline dispatch of the same configuration — the
+regression that motivated the persistent shard-pinned workers.
+Skipped with a warning on hosts with too few CPUs to make the
+threaded row meaningful; --skip-scaling-check disables it explicitly.
+
 The checked-in baseline (bench/BENCH_baseline.json) was recorded on one
 reference machine; absolute numbers vary across hosts, which is why the
 CI perf job is opt-in (workflow_dispatch) rather than part of every PR.
@@ -23,6 +30,7 @@ Refresh the baseline alongside any intentional perf-relevant change:
 
 import argparse
 import json
+import os
 import sys
 
 # Hot-path benchmarks the gate tracks by default; must stay in sync
@@ -46,6 +54,27 @@ DEFAULT_TRACKED = [
     # the sweep is tracked; the threaded rows depend on core count.
     "BM_ControlPlaneStep",
     "BM_ShardedReconfigure/shards:8/threads:0/real_time",
+    # Serving harness (PR 6): the closed-loop driver end to end
+    # (scatter, ring dispatch, gather, latency bookkeeping). Inline
+    # row only, as above. BM_ServingOpenLoop is deliberately NOT
+    # tracked: its wall time is dominated by the fixed arrival
+    # schedule, so items/s reflects the offered rate, not the code.
+    "BM_ServingClosedLoop/shards:4/threads:0/real_time",
+]
+
+# No-negative-scaling invariants, checked on the current run alone:
+# each (inline, threaded, min_cpus) row pair must satisfy
+# throughput(threaded) >= throughput(inline). min_cpus is the fewest
+# host CPUs at which expecting the threaded row to win is fair (the
+# caller thread mostly yields during a batch, so workers == cores is
+# enough). The pairs pin the fix for the ROADMAP's negative-scaling
+# bug: per-batch pool dispatch used to make threads:4 ~20% SLOWER
+# than threads:0.
+SCALING_INVARIANTS = [
+    ("BM_ShardedBatchedAccess/shards:4/threads:0/real_time",
+     "BM_ShardedBatchedAccess/shards:4/threads:4/real_time", 4),
+    ("BM_ServingClosedLoop/shards:4/threads:0/real_time",
+     "BM_ServingClosedLoop/shards:4/threads:4/real_time", 4),
 ]
 
 
@@ -70,6 +99,34 @@ def load(path):
     return out
 
 
+def check_scaling(curr, skip):
+    """No-negative-scaling: threaded rows must beat inline rows.
+
+    Returns the list of violated (inline, threaded, ratio) tuples.
+    Pairs whose rows are absent from the current run are ignored here
+    (the tracked-benchmark missing check already covers deletions of
+    the inline rows)."""
+    failures = []
+    cpus = os.cpu_count() or 1
+    for inline_name, threaded_name, min_cpus in SCALING_INVARIANTS:
+        if inline_name not in curr or threaded_name not in curr:
+            continue
+        if skip:
+            print(f"scaling check SKIPPED (--skip-scaling-check): "
+                  f"{threaded_name}")
+            continue
+        if cpus < min_cpus:
+            print(f"scaling check SKIPPED (host has {cpus} CPUs, "
+                  f"needs >= {min_cpus}): {threaded_name}")
+            continue
+        ratio = curr[threaded_name] / curr[inline_name]
+        flag = "" if ratio >= 1.0 else "  << NEGATIVE SCALING"
+        print(f"scaling {threaded_name}: {ratio:.2f}x of inline{flag}")
+        if ratio < 1.0:
+            failures.append((inline_name, threaded_name, ratio))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -78,6 +135,8 @@ def main():
                         help="max allowed fractional drop (default 0.15)")
     parser.add_argument("--benchmarks", default=",".join(DEFAULT_TRACKED),
                         help="comma-separated tracked benchmark names")
+    parser.add_argument("--skip-scaling-check", action="store_true",
+                        help="skip the no-negative-scaling invariant")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -108,17 +167,25 @@ def main():
         print(f"{name:<54} {base[name]:>12.3e}/s {curr[name]:>12.3e}/s "
               f"{ratio:>6.2f}x{flag}")
 
-    if failures or missing:
+    print()
+    scaling_failures = check_scaling(curr, args.skip_scaling_check)
+
+    if failures or missing or scaling_failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more "
               f"than {args.threshold:.0%}, {len(missing)} tracked "
-              f"benchmark(s) missing from the current run:")
+              f"benchmark(s) missing from the current run, "
+              f"{len(scaling_failures)} scaling invariant(s) "
+              f"violated:")
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x of baseline")
         for name in missing:
             print(f"  {name}: missing from current run")
+        for inline_name, threaded_name, ratio in scaling_failures:
+            print(f"  {threaded_name}: {ratio:.2f}x of {inline_name} "
+                  f"(threaded dispatch must not lose to inline)")
         return 1
     print(f"\nOK: no tracked benchmark regressed more than "
-          f"{args.threshold:.0%}")
+          f"{args.threshold:.0%}; scaling invariants hold")
     return 0
 
 

@@ -11,6 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "alloc/allocator_factory.h"
 #include "api/talus_cache.h"
 #include "cache/fully_assoc_lru.h"
@@ -25,8 +29,10 @@
 #include "monitor/stack_distance.h"
 #include "policy/policy_factory.h"
 #include "shard/sharded_cache.h"
+#include "sim/serving_harness.h"
 #include "util/h3_hash.h"
 #include "util/rng.h"
+#include "workload/access_stream.h"
 #include "workload/zipf_stream.h"
 
 using namespace talus;
@@ -222,6 +228,134 @@ BENCHMARK(BM_ShardedBatchedAccess)
     ->Args({8, 0})
     ->Args({4, 2})
     ->Args({4, 4})
+    ->UseRealTime();
+
+/**
+ * Replays a prebuilt power-of-two address buffer, cycling forever —
+ * generation is an indexed copy, so the serving benches measure the
+ * serving path, not workload math.
+ */
+class ReplayStream final : public AccessStream
+{
+  public:
+    explicit ReplayStream(std::vector<Addr> addrs)
+        : addrs_(std::move(addrs)), mask_(addrs_.size() - 1)
+    {
+    }
+
+    Addr next() override
+    {
+        const Addr a = addrs_[i_];
+        i_ = (i_ + 1) & mask_;
+        return a;
+    }
+
+    void nextBlock(Addr* out, uint64_t n) override
+    {
+        for (uint64_t k = 0; k < n; ++k) {
+            out[k] = addrs_[i_];
+            i_ = (i_ + 1) & mask_;
+        }
+    }
+
+    void reset() override { i_ = 0; }
+
+    std::unique_ptr<AccessStream> clone() const override
+    {
+        return std::make_unique<ReplayStream>(addrs_);
+    }
+
+    const char* kind() const override { return "replay"; }
+
+  private:
+    std::vector<Addr> addrs_;
+    size_t mask_;
+    size_t i_ = 0;
+};
+
+/**
+ * The serving harness's closed-loop driver over the sharded engine:
+ * back-to-back batches with per-batch latency sampling — the
+ * end-to-end serving hot path (scatter, ring dispatch, gather,
+ * percentile bookkeeping). The threads:0 row is the deterministic
+ * tracked one; the threads:4 row of the same sweep is what the
+ * no-negative-scaling invariant in compare_bench.py checks against
+ * BM_ShardedBatchedAccess. UseRealTime as in the other sharded
+ * sweeps: work runs on pinned worker threads.
+ */
+void
+BM_ServingClosedLoop(benchmark::State& state)
+{
+    constexpr uint64_t kAccessesPerRun = 1 << 15;
+    const uint32_t shards = static_cast<uint32_t>(state.range(0));
+    const uint32_t threads = static_cast<uint32_t>(state.range(1));
+    ShardedTalusCache::Config cfg;
+    cfg.shard = facadeBenchConfig();
+    cfg.shard.llcLines = 16384 / shards;
+    cfg.numShards = shards;
+    cfg.threads = threads;
+    ShardedTalusCache cache(cfg);
+    ReplayStream stream(facadeBenchAddrs());
+    ServingOptions serve;
+    serve.accesses = kAccessesPerRun;
+    serve.batchSize = 4096;
+    double p99_us = 0.0;
+    for (auto _ : state) {
+        const ServingResult r = runClosedLoop(cache, stream, serve);
+        benchmark::DoNotOptimize(r.hits);
+        p99_us = r.latency.p99 * 1e6;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kAccessesPerRun));
+    state.counters["p99_us"] = p99_us;
+}
+BENCHMARK(BM_ServingClosedLoop)
+    ->ArgNames({"shards", "threads"})
+    ->Args({4, 0})
+    ->Args({4, 4})
+    ->UseRealTime();
+
+/**
+ * The open-loop driver at a fixed offered rate well below any host's
+ * capacity: wall time is schedule-dominated (items/s ~= offered
+ * rate by construction), so the bench is NOT throughput-tracked —
+ * it exists to exercise the arrival scheduler and report the sojourn
+ * p99 as a counter.
+ */
+void
+BM_ServingOpenLoop(benchmark::State& state)
+{
+    constexpr uint64_t kAccessesPerRun = 1 << 15;
+    ShardedTalusCache::Config cfg;
+    cfg.shard = facadeBenchConfig();
+    cfg.shard.llcLines = 16384 / 4;
+    cfg.numShards = 4;
+    cfg.threads = static_cast<uint32_t>(state.range(0));
+    ShardedTalusCache cache(cfg);
+    ReplayStream stream(facadeBenchAddrs());
+    ServingOptions serve;
+    serve.accesses = kAccessesPerRun;
+    serve.batchSize = 4096;
+    serve.offeredRate = 2e6; // Accesses/s, far under capacity.
+    double p99_us = 0.0;
+    uint64_t late = 0;
+    for (auto _ : state) {
+        const ServingResult r = runOpenLoop(cache, stream, serve);
+        benchmark::DoNotOptimize(r.hits);
+        p99_us = r.latency.p99 * 1e6;
+        late += r.lateBatches;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kAccessesPerRun));
+    state.counters["p99_us"] = p99_us;
+    state.counters["late_batches"] =
+        static_cast<double>(late) /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ServingOpenLoop)
+    ->ArgName("threads")
+    ->Arg(0)
+    ->Arg(2)
     ->UseRealTime();
 
 void

@@ -11,10 +11,42 @@ ShardRouter::ShardRouter(uint32_t num_shards, uint64_t seed)
 }
 
 void
+ShardRouter::scatterFlat(Span<const Addr> addrs, ScatterPlan& plan) const
+{
+    const size_t n = addrs.size();
+    // Pass 1: route once per address (cache the result — H3 plus the
+    // multiply-shift is the expensive part) and count per shard.
+    plan.counts_.assign(numShards_, 0);
+    plan.routes_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t s = route(addrs[i]);
+        plan.routes_[i] = s;
+        plan.counts_[s]++;
+    }
+    // Prefix-sum the counts into per-shard base offsets.
+    plan.offsets_.resize(numShards_);
+    plan.cursors_.resize(numShards_);
+    uint64_t off = 0;
+    for (uint32_t s = 0; s < numShards_; ++s) {
+        plan.offsets_[s] = off;
+        plan.cursors_[s] = off;
+        off += plan.counts_[s];
+    }
+    // Pass 2: place each address at its shard's cursor. Ascending i
+    // keeps stream order within every shard.
+    plan.buf_.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        plan.buf_[plan.cursors_[plan.routes_[i]]++] = addrs[i];
+}
+
+void
 ShardRouter::scatter(Span<const Addr> addrs,
                      std::vector<std::vector<Addr>>& per_shard) const
 {
-    per_shard.resize(numShards_);
+    // Resize only on shard-count changes so a reused @p per_shard
+    // keeps every bucket's capacity across batches.
+    if (per_shard.size() != numShards_)
+        per_shard.resize(numShards_);
     for (std::vector<Addr>& bucket : per_shard)
         bucket.clear();
     for (Addr addr : addrs)

@@ -30,6 +30,52 @@
 
 namespace talus {
 
+/**
+ * Reusable output of a flat count-then-offset scatter: every
+ * sub-stream lives in ONE contiguous buffer, grouped by shard, with a
+ * prefix-sum offset table — no nested vector-of-vectors, so a batch
+ * in the steady state allocates nothing (all buffers only ever grow)
+ * and shard sub-streams are handed to workers as (pointer, count)
+ * views into the flat buffer.
+ */
+class ScatterPlan
+{
+  public:
+    /** Shards the last scatter was split across. */
+    uint32_t numShards() const
+    {
+        return static_cast<uint32_t>(counts_.size());
+    }
+
+    /** Addresses routed to @p shard in the last scatter. */
+    uint64_t count(uint32_t shard) const { return counts_[shard]; }
+
+    /** Base of @p shard's sub-stream (stream order preserved). */
+    const Addr* shardData(uint32_t shard) const
+    {
+        return buf_.data() + offsets_[shard];
+    }
+
+    /** @p shard's sub-stream as a span. */
+    Span<const Addr> shardSpan(uint32_t shard) const
+    {
+        return Span<const Addr>(shardData(shard), count(shard));
+    }
+
+    /** Total addresses in the last scatter. */
+    uint64_t total() const { return buf_.size(); }
+
+  private:
+    friend class ShardRouter;
+
+    std::vector<Addr> buf_;         //!< All addresses, grouped by shard.
+    std::vector<uint64_t> counts_;  //!< [shard] sub-stream length.
+    std::vector<uint64_t> offsets_; //!< [shard] start index into buf_.
+    std::vector<uint64_t> cursors_; //!< Pass-2 write cursors.
+    std::vector<uint32_t> routes_;  //!< [i] cached route of addrs[i],
+                                    //!< so pass 2 never re-hashes.
+};
+
 /** Deterministic H3-based address -> shard mapping. */
 class ShardRouter
 {
@@ -55,16 +101,34 @@ class ShardRouter
     }
 
     /**
-     * Splits @p addrs into per-shard buffers, preserving the original
-     * order within each shard — shard s receives exactly the
-     * sub-stream of addresses that route(addr) == s, in stream order.
-     * Reuses @p per_shard's element capacity across calls; the outer
-     * vector is resized to numShards().
+     * Flat count-then-offset scatter — the serving hot path. Pass 1
+     * routes every address once (caching the route) and counts per
+     * shard; pass 2 places each address at its shard's cursor in one
+     * contiguous buffer. Stream order is preserved within each shard,
+     * exactly like the nested scatter(). @p plan's buffers are reused
+     * across calls, so the steady state allocates nothing.
+     */
+    void scatterFlat(Span<const Addr> addrs, ScatterPlan& plan) const;
+
+    /**
+     * Nested-buffer scatter, preserving the original order within
+     * each shard — shard s receives exactly the sub-stream of
+     * addresses with route(addr) == s, in stream order. Reuses
+     * @p per_shard's buckets (the outer vector is resized only when
+     * the shard count changed), so it is allocation-free in steady
+     * state; new code on the hot path should still prefer
+     * scatterFlat(), which keeps all sub-streams in one buffer.
      */
     void scatter(Span<const Addr> addrs,
                  std::vector<std::vector<Addr>>& per_shard) const;
 
-    /** Convenience allocating form of scatter(). */
+    /**
+     * Allocating convenience form of scatter(). Compatibility shim
+     * for tests and offline tooling only: it allocates the outer
+     * vector and every bucket on each call, which is exactly the
+     * per-batch churn the serving path had to shed — never use it in
+     * a replay loop.
+     */
     std::vector<std::vector<Addr>> scatter(Span<const Addr> addrs) const;
 
     /** Number of shards routed across. */

@@ -1,0 +1,166 @@
+#include "shard/shard_workers.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+// One spin iteration's "do nothing, politely": on x86 PAUSE backs off
+// the core's speculation and frees the sibling hyperthread; elsewhere
+// the closest equivalent (or nothing — the loop itself is the wait).
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Empty polls before a worker stops spinning and starts yielding
+// (~a microsecond of PAUSE loops: long enough to bridge the gap
+// between back-to-back batches, short enough not to burn a core), and
+// yields before it parks on its condition variable. The caller's
+// completion wait uses the same spin budget but never parks — the
+// next thing it does is return to the producer loop anyway.
+constexpr int kSpinPolls = 4096;
+constexpr int kYieldPolls = 64;
+
+} // namespace
+
+PinnedWorkers::PinnedWorkers(uint32_t threads, uint32_t num_shards,
+                             Executor exec)
+    : exec_(std::move(exec))
+{
+    talus_assert(exec_ != nullptr, "PinnedWorkers needs an executor");
+    if (threads == 0)
+        return;
+    // dispatch() waits for full drain before returning, so a ring
+    // never holds more than its owner's shard fan-in.
+    const uint32_t fan_in = (num_shards + threads - 1) / threads;
+    workers_.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t)
+        workers_.push_back(
+            std::make_unique<Worker>(fan_in > 0 ? fan_in : 1));
+    touched_.assign(threads, 0);
+    threads_.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t)
+        threads_.emplace_back([this, t] { workerLoop(*workers_[t]); });
+}
+
+PinnedWorkers::~PinnedWorkers()
+{
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->cv.notify_one();
+    }
+    for (std::thread& t : threads_)
+        t.join();
+}
+
+void
+PinnedWorkers::dispatch(const ShardTask* tasks, uint32_t count)
+{
+    if (count == 0)
+        return;
+    if (threads_.empty()) {
+        // Inline mode: submission order on the caller's thread — the
+        // bit-exactness reference.
+        for (uint32_t i = 0; i < count; ++i)
+            exec_(tasks[i]);
+        return;
+    }
+
+    const bool was_dispatching =
+        dispatching_.exchange(true, std::memory_order_acquire);
+    talus_assert(!was_dispatching,
+                 "PinnedWorkers::dispatch() is not reentrant: one "
+                 "dispatch at a time, from one thread");
+
+    pending_.store(count, std::memory_order_relaxed);
+    std::fill(touched_.begin(), touched_.end(), uint8_t{0});
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint32_t w = ownerOf(tasks[i].shard);
+        // Cannot fail: rings are sized for the per-worker shard
+        // fan-in and dispatch() drains fully before returning.
+        const bool pushed = workers_[w]->ring.tryPush(tasks[i]);
+        talus_assert(pushed, "SPSC ring overflow on worker ", w,
+                     " — overlapping dispatch()?");
+        touched_[w] = 1;
+    }
+
+    // Wake only workers that both got work and actually parked. The
+    // seq_cst fence pairs with the one in workerLoop(): either we see
+    // parked == true here (and notify under the mutex), or the worker
+    // sees our pushes in its post-flag recheck — a push can never
+    // slip between its last look at the ring and its sleep.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (uint32_t w = 0; w < workers_.size(); ++w) {
+        if (touched_[w] &&
+            workers_[w]->parked.load(std::memory_order_relaxed)) {
+            std::lock_guard<std::mutex> lock(workers_[w]->mu);
+            workers_[w]->cv.notify_one();
+        }
+    }
+
+    // Completion wait: spin, then yield (on oversubscribed hosts the
+    // yields are what let the workers run at all). The acquire pairs
+    // with each worker's release fetch_sub, so every task's writes —
+    // per-shard hit slots, cache state — are visible on return.
+    int idle = 0;
+    while (pending_.load(std::memory_order_acquire) != 0) {
+        if (++idle < kSpinPolls)
+            cpuRelax();
+        else
+            std::this_thread::yield();
+    }
+    dispatching_.store(false, std::memory_order_release);
+}
+
+void
+PinnedWorkers::workerLoop(Worker& w)
+{
+    ShardTask task;
+    int idle = 0;
+    while (true) {
+        if (w.ring.tryPop(task)) {
+            idle = 0;
+            exec_(task);
+            pending_.fetch_sub(1, std::memory_order_release);
+            continue;
+        }
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        ++idle;
+        if (idle < kSpinPolls) {
+            cpuRelax();
+        } else if (idle < kSpinPolls + kYieldPolls) {
+            std::this_thread::yield();
+        } else {
+            // Park. Flag first, fence, then one last ring check: the
+            // producer's fence-then-flag-read (dispatch()) guarantees
+            // that if it skipped the notify, our recheck sees its
+            // push.
+            w.parked.store(true, std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            if (w.ring.empty() &&
+                !stop_.load(std::memory_order_acquire)) {
+                std::unique_lock<std::mutex> lock(w.mu);
+                w.cv.wait(lock, [this, &w] {
+                    return stop_.load(std::memory_order_acquire) ||
+                           !w.ring.empty();
+                });
+            }
+            w.parked.store(false, std::memory_order_relaxed);
+            idle = 0;
+        }
+    }
+}
+
+} // namespace talus

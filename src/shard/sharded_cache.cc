@@ -66,14 +66,21 @@ ShardedTalusCache::ShardedTalusCache(const Config& config)
       router_(cfg_.numShards,
               cfg_.routerSeed.value_or(cfg_.shard.seed ^
                                        kRouterSeedSalt)),
-      pool_(cfg_.threads)
+      pool_(cfg_.threads),
+      // The executor runs on the shard's pinned worker thread; each
+      // shard writes only its own padded hit slot, so per-batch
+      // outputs never contend for a cache line.
+      workers_(cfg_.threads, cfg_.numShards, [this](const ShardTask& t) {
+          shardHits_[t.shard].value = shards_[t.shard]->accessBatch(
+              Span<const Addr>(t.data, t.count), t.part);
+      })
 {
     shards_.reserve(cfg_.numShards);
     for (uint32_t s = 0; s < cfg_.numShards; ++s)
         shards_.push_back(
             std::make_unique<TalusCache>(shardConfig(cfg_, s)));
-    scatter_.resize(cfg_.numShards);
-    shardHits_.assign(cfg_.numShards, 0);
+    tasks_.reserve(cfg_.numShards);
+    shardHits_.resize(cfg_.numShards);
 }
 
 bool
@@ -87,24 +94,39 @@ ShardedTalusCache::accessBatch(Span<const Addr> addrs, PartId part)
 {
     if (addrs.empty())
         return 0;
-    router_.scatter(addrs, scatter_);
-    pool_.run(cfg_.numShards, [this, part](uint32_t s) {
-        shardHits_[s] =
-            shards_[s]->accessBatch(Span<const Addr>(scatter_[s]), part);
-    });
+    // Flat scatter, then one ShardTask per non-empty shard. Skipping
+    // empty shards is bit-exact (TalusCache::accessBatch on an empty
+    // span is a no-op) and matters on skewed traces, where small
+    // batches leave most shards without work.
+    router_.scatterFlat(addrs, plan_);
+    tasks_.clear();
+    for (uint32_t s = 0; s < cfg_.numShards; ++s) {
+        const uint64_t n = plan_.count(s);
+        if (n == 0) {
+            shardHits_[s].value = 0;
+            continue;
+        }
+        tasks_.push_back(ShardTask{s, plan_.shardData(s), n, part});
+    }
+    workers_.dispatch(tasks_.data(),
+                      static_cast<uint32_t>(tasks_.size()));
     uint64_t hits = 0;
-    for (uint64_t h : shardHits_)
-        hits += h;
+    for (const PaddedHits& h : shardHits_)
+        hits += h.value;
     return hits;
 }
 
 void
 ShardedTalusCache::reconfigureAll()
 {
-    // One control step per shard, claimed dynamically by the pool —
-    // the same dispatch shape as accessBatch. Each task touches only
-    // its own shard's monitors, control plane, and cache, so the
-    // steps are race-free by construction.
+    // One control step per shard, claimed dynamically by the
+    // WorkerPool. Control stays on the generic pool (not the pinned
+    // data-path workers): steps are rare and heavyweight, so the
+    // pool's handshake cost is irrelevant and its dynamic claiming
+    // load-balances the uneven per-shard compute. Each task touches
+    // only its own shard's monitors, control plane, and cache, and
+    // the caller serializes against accessBatch, so the steps are
+    // race-free by construction.
     pool_.run(cfg_.numShards,
               [this](uint32_t s) { shards_[s]->reconfigure(); });
 }

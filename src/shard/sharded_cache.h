@@ -7,11 +7,21 @@
  * address space across numShards fully independent TalusCache
  * instances (each with its own monitors, allocator, and
  * reconfiguration loop — miss curves stay per shard, via
- * shardCurve()), and batches execute scatter-dispatch-gather:
- * the batch is split into per-shard sub-streams in stream order, each
- * shard's sub-stream is driven through TalusCache::accessBatch (on a
- * WorkerPool when Config::threads > 0), and the hit counts are
- * summed.
+ * shardCurve()), and batches execute scatter-dispatch-gather: the
+ * batch is split into per-shard sub-streams in stream order (a flat
+ * count-then-offset scatter into one reused buffer), each shard's
+ * sub-stream is driven through TalusCache::accessBatch, and the hit
+ * counts are summed from cache-line-padded per-shard slots.
+ *
+ * With Config::threads > 0 the data path runs on persistent
+ * shard-pinned workers (shard/shard_workers.h): each worker owns a
+ * fixed subset of shards and is fed ShardTask descriptors through a
+ * bounded SPSC ring, so a batch costs one ring push per non-empty
+ * shard — no mutex, and no wakeup when batches arrive back-to-back.
+ * The control plane (reconfigureAll / reconfigureAllAtEpoch) keeps
+ * dispatching on the generic WorkerPool: control steps are rare and
+ * heavyweight, so handshake cost is irrelevant there, and the pool's
+ * dynamic claiming load-balances the uneven per-shard compute.
  *
  * Determinism invariant — the subsystem's test anchor: because shards
  * share no state, every shard's hit/miss sequence, monitor state, and
@@ -33,6 +43,7 @@
 
 #include "api/talus_cache.h"
 #include "shard/shard_router.h"
+#include "shard/shard_workers.h"
 #include "shard/worker_pool.h"
 #include "util/span.h"
 
@@ -98,11 +109,13 @@ class ShardedTalusCache
 
     /**
      * Scatter-dispatch-gather batch execution: splits @p addrs into
-     * per-shard sub-streams (preserving stream order within each
-     * shard), drives every shard's sub-stream through
-     * TalusCache::accessBatch — in parallel when Config::threads > 0
-     * — and returns the total hit count. Bit-exact with routing each
-     * address through access() serially, for any thread count.
+     * per-shard sub-streams (flat count-then-offset scatter,
+     * preserving stream order within each shard), drives every
+     * non-empty shard's sub-stream through TalusCache::accessBatch —
+     * on that shard's pinned worker when Config::threads > 0 — and
+     * returns the total hit count. Steady state allocates nothing.
+     * Bit-exact with routing each address through access() serially,
+     * for any thread count.
      */
     uint64_t accessBatch(Span<const Addr> addrs, PartId part = 0);
 
@@ -161,7 +174,7 @@ class ShardedTalusCache
     uint32_t numParts() const { return cfg_.shard.numParts; }
 
     /** Worker threads driving batches (0 = inline). */
-    uint32_t threads() const { return pool_.threadCount(); }
+    uint32_t threads() const { return workers_.threadCount(); }
 
     /** Total capacity in lines, summed over shards. */
     uint64_t capacityLines() const;
@@ -180,16 +193,32 @@ class ShardedTalusCache
     const Config& config() const { return cfg_; }
 
   private:
+    /**
+     * One shard's per-batch hit count, padded to a cache line: the
+     * slots are written concurrently by different workers every
+     * batch, so adjacent uint64_t entries would false-share one line
+     * and ping it between cores on every sub-batch completion.
+     */
+    struct alignas(64) PaddedHits
+    {
+        uint64_t value = 0;
+    };
+
     Config cfg_;
     ShardRouter router_;
     std::vector<std::unique_ptr<TalusCache>> shards_;
-    WorkerPool pool_;
-    // Scatter/gather scratch, reused across accessBatch calls so the
-    // steady state allocates nothing. accessBatch is single-caller
-    // (like TalusCache, the engine is externally synchronized); the
-    // worker pool only ever runs one batch at a time.
-    std::vector<std::vector<Addr>> scatter_;
-    std::vector<uint64_t> shardHits_;
+    WorkerPool pool_; //!< Control-plane dispatch only (reconfigure*).
+    // Scatter/dispatch/gather scratch, reused across accessBatch
+    // calls so the steady state allocates nothing. accessBatch is
+    // single-caller (like TalusCache, the engine is externally
+    // synchronized).
+    ScatterPlan plan_;
+    std::vector<ShardTask> tasks_;
+    std::vector<PaddedHits> shardHits_;
+    // Data-path workers. Declared last: its destructor joins the
+    // worker threads, which must happen while shards_ and the scratch
+    // buffers above are still alive.
+    PinnedWorkers workers_;
 };
 
 } // namespace talus

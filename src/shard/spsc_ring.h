@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SpscRing: a bounded single-producer single-consumer ring buffer.
+ *
+ * The serving engine's dispatch fabric: the batch-submitting thread
+ * (the single producer) feeds work descriptors to each persistent
+ * shard-pinned worker (the single consumer of its own ring), so a
+ * batch costs one ring push per shard instead of a mutex-guarded
+ * generation handshake. With exactly one thread on each side, the
+ * ring needs no locks and no CAS loops — just two monotonically
+ * increasing cursors with release/acquire publication:
+ *
+ *  - the producer writes the slot, then release-stores tail_: the
+ *    consumer's acquire-load of tail_ makes the slot contents (and
+ *    everything the producer wrote before the push, e.g. the scatter
+ *    buffers a descriptor points into) visible;
+ *  - the consumer reads the slot, then release-stores head_: the
+ *    producer's acquire-load of head_ proves the slot is free to
+ *    overwrite.
+ *
+ * Cursors are 64-bit and never wrap in practice (2^64 pushes); the
+ * slot index is cursor & mask, so capacity must be a power of two
+ * (the constructor rounds up). Each side keeps a cached copy of the
+ * other side's cursor and only re-reads the shared atomic when the
+ * cache says full/empty, which keeps steady-state pushes and pops
+ * free of cross-core coherence traffic. head_ and tail_ live on
+ * separate cache lines for the same reason.
+ *
+ * Contract: exactly one producer thread may call tryPush() and
+ * exactly one consumer thread may call tryPop(); empty() is safe from
+ * either side (it is exact on the consumer side, a racy snapshot
+ * elsewhere). tests/spsc_ring_test.cc stress-checks the wrap-around
+ * and full/empty boundaries under ThreadSanitizer.
+ */
+
+#ifndef TALUS_SHARD_SPSC_RING_H
+#define TALUS_SHARD_SPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/log.h"
+
+namespace talus {
+
+/** Bounded lock-free SPSC ring buffer of trivially copyable work
+ *  items. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /**
+     * Builds a ring holding at least @p min_capacity items (rounded
+     * up to the next power of two for mask indexing).
+     */
+    explicit SpscRing(uint32_t min_capacity)
+    {
+        talus_assert(min_capacity >= 1,
+                     "an SPSC ring needs at least one slot");
+        size_t cap = 1;
+        while (cap < min_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    /**
+     * Producer side: enqueues @p value unless the ring is full.
+     * Returns true on success. Publishes with release semantics, so
+     * everything the producer wrote before the push is visible to the
+     * consumer that pops it.
+     */
+    bool tryPush(const T& value)
+    {
+        const uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - headCache_ == slots_.size()) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (tail - headCache_ == slots_.size())
+                return false; // Genuinely full.
+        }
+        slots_[tail & mask_] = value;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: dequeues into @p out unless the ring is empty.
+     * Returns true on success.
+     */
+    bool tryPop(T& out)
+    {
+        const uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return false; // Genuinely empty.
+        }
+        out = slots_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * True when no item is ready. Exact from the consumer thread;
+     * from any other thread it is a racy (but safely loaded)
+     * snapshot — good enough for "should I wake the consumer?"
+     * heuristics.
+     */
+    bool empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    /** Slots in the ring (the rounded-up power of two). */
+    size_t capacity() const { return slots_.size(); }
+
+    /** Items currently queued (racy snapshot off the hot path). */
+    size_t size() const
+    {
+        const uint64_t head = head_.load(std::memory_order_acquire);
+        const uint64_t tail = tail_.load(std::memory_order_acquire);
+        return static_cast<size_t>(tail - head);
+    }
+
+  private:
+    std::vector<T> slots_;
+    size_t mask_ = 0;
+
+    // Producer-owned line: the producer's cursor plus its cached view
+    // of the consumer's cursor (refreshed only when the ring looks
+    // full). alignas keeps the two sides off each other's cache line.
+    alignas(64) std::atomic<uint64_t> tail_{0};
+    uint64_t headCache_ = 0;
+
+    // Consumer-owned line, mirror-image of the above.
+    alignas(64) std::atomic<uint64_t> head_{0};
+    uint64_t tailCache_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_SHARD_SPSC_RING_H

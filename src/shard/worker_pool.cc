@@ -1,6 +1,19 @@
 #include "shard/worker_pool.h"
 
+#include "util/log.h"
+
 namespace talus {
+
+namespace {
+
+/** Clears the reentrancy flag on every exit path of run(). */
+struct RunningGuard
+{
+    std::atomic<bool>& flag;
+    ~RunningGuard() { flag.store(false, std::memory_order_release); }
+};
+
+} // namespace
 
 WorkerPool::WorkerPool(uint32_t threads)
 {
@@ -25,6 +38,15 @@ WorkerPool::run(uint32_t num_tasks, const std::function<void(uint32_t)>& fn)
 {
     if (num_tasks == 0)
         return;
+    // The header's "not reentrant" contract, enforced: a second run()
+    // racing this one — from another thread, or from fn itself —
+    // would reset nextTask_/tasksDone_ under a live batch.
+    const bool was_running =
+        running_.exchange(true, std::memory_order_acquire);
+    talus_assert(!was_running,
+                 "WorkerPool::run() is not reentrant: one run() at a "
+                 "time, from one thread");
+    RunningGuard guard{running_};
     if (workers_.empty()) {
         for (uint32_t t = 0; t < num_tasks; ++t)
             fn(t);

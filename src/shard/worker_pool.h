@@ -49,7 +49,9 @@ class WorkerPool
      * once, and returns when all have finished. With worker threads,
      * tasks are claimed dynamically (any worker may run any index);
      * with threads == 0 they run inline in index order. Not
-     * reentrant: one run() at a time, from one thread.
+     * reentrant: one run() at a time, from one thread — concurrent or
+     * nested calls (including fn itself calling run()) trap on a
+     * talus_assert instead of silently corrupting batch state.
      */
     void run(uint32_t num_tasks, const std::function<void(uint32_t)>& fn);
 
@@ -80,6 +82,10 @@ class WorkerPool
     bool stop_ = false;
     std::atomic<uint32_t> nextTask_{0};
     std::atomic<uint32_t> tasksDone_{0};
+    /** Reentrancy trap: set for the duration of every run() call
+     *  (inline mode included) so a concurrent or nested run() —
+     *  which the batch state cannot survive — fails loudly. */
+    std::atomic<bool> running_{false};
 };
 
 } // namespace talus

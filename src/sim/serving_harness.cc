@@ -1,0 +1,165 @@
+#include "sim/serving_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+toSeconds(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+/** Nearest-rank percentile of an ascending-sorted sample vector. */
+double
+percentile(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t n = sorted.size();
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    const size_t idx = rank > 0 ? rank - 1 : 0;
+    return sorted[std::min(idx, n - 1)];
+}
+
+/** Batches needed to cover @p accesses at @p batch_size each. */
+uint64_t
+batchCount(uint64_t accesses, uint64_t batch_size)
+{
+    return (accesses + batch_size - 1) / batch_size;
+}
+
+} // namespace
+
+LatencyStats
+summarizeLatencies(std::vector<double>& samples_seconds)
+{
+    LatencyStats stats;
+    if (samples_seconds.empty())
+        return stats;
+    std::sort(samples_seconds.begin(), samples_seconds.end());
+    stats.p50 = percentile(samples_seconds, 0.50);
+    stats.p95 = percentile(samples_seconds, 0.95);
+    stats.p99 = percentile(samples_seconds, 0.99);
+    stats.max = samples_seconds.back();
+    double sum = 0.0;
+    for (double s : samples_seconds)
+        sum += s;
+    stats.mean = sum / static_cast<double>(samples_seconds.size());
+    return stats;
+}
+
+ServingResult
+runClosedLoop(ShardedTalusCache& cache, AccessStream& stream,
+              const ServingOptions& opts)
+{
+    talus_assert(opts.batchSize >= 1, "batchSize must be >= 1");
+    std::vector<Addr> block(opts.batchSize);
+
+    // Warmup batches: executed, not measured.
+    for (uint64_t b = 0; b < opts.warmupBatches; ++b) {
+        stream.nextBlock(block.data(), opts.batchSize);
+        cache.accessBatch(Span<const Addr>(block.data(), opts.batchSize),
+                          opts.part);
+    }
+
+    ServingResult result;
+    const uint64_t batches = batchCount(opts.accesses, opts.batchSize);
+    std::vector<double> samples;
+    samples.reserve(batches);
+
+    const Clock::time_point start = Clock::now();
+    uint64_t left = opts.accesses;
+    while (left > 0) {
+        const uint64_t n = std::min<uint64_t>(opts.batchSize, left);
+        stream.nextBlock(block.data(), n);
+        const Clock::time_point t0 = Clock::now();
+        result.hits += cache.accessBatch(
+            Span<const Addr>(block.data(), n), opts.part);
+        samples.push_back(toSeconds(Clock::now() - t0));
+        left -= n;
+        result.batches++;
+    }
+    result.seconds = toSeconds(Clock::now() - start);
+    result.accesses = opts.accesses;
+    result.latency = summarizeLatencies(samples);
+    return result;
+}
+
+ServingResult
+runOpenLoop(ShardedTalusCache& cache, AccessStream& stream,
+            const ServingOptions& opts)
+{
+    talus_assert(opts.batchSize >= 1, "batchSize must be >= 1");
+    talus_assert(opts.offeredRate > 0.0,
+                 "open-loop serving needs offeredRate > 0 (got ",
+                 opts.offeredRate, ")");
+    std::vector<Addr> block(opts.batchSize);
+
+    for (uint64_t b = 0; b < opts.warmupBatches; ++b) {
+        stream.nextBlock(block.data(), opts.batchSize);
+        cache.accessBatch(Span<const Addr>(block.data(), opts.batchSize),
+                          opts.part);
+    }
+
+    ServingResult result;
+    result.offeredRate = opts.offeredRate;
+    const uint64_t batches = batchCount(opts.accesses, opts.batchSize);
+    std::vector<double> samples;
+    samples.reserve(batches);
+
+    // Fixed inter-arrival schedule: batch k arrives at
+    // start + k * interval, independent of completions — arrivals
+    // never wait for the server, so queueing delay lands in the
+    // samples instead of being silently omitted.
+    const Clock::duration interval =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                static_cast<double>(opts.batchSize) /
+                opts.offeredRate));
+
+    const Clock::time_point start = Clock::now();
+    uint64_t left = opts.accesses;
+    for (uint64_t k = 0; left > 0; ++k) {
+        const uint64_t n = std::min<uint64_t>(opts.batchSize, left);
+        // Generate before arrival: the workload generator is the
+        // client, not part of the measured service path.
+        stream.nextBlock(block.data(), n);
+        const Clock::time_point arrival = start + interval * k;
+        Clock::time_point now = Clock::now();
+        if (now < arrival) {
+            // Sleep out the bulk of the wait, spin the last stretch
+            // (sleep_for routinely overshoots by tens of µs, which
+            // would smear the schedule at high offered rates).
+            constexpr auto kSpinWindow =
+                std::chrono::microseconds(100);
+            if (arrival - now > kSpinWindow)
+                std::this_thread::sleep_for(arrival - now - kSpinWindow);
+            while ((now = Clock::now()) < arrival) {
+            }
+        } else {
+            result.lateBatches++;
+        }
+        result.hits += cache.accessBatch(
+            Span<const Addr>(block.data(), n), opts.part);
+        samples.push_back(toSeconds(Clock::now() - arrival));
+        left -= n;
+        result.batches++;
+    }
+    result.seconds = toSeconds(Clock::now() - start);
+    result.accesses = opts.accesses;
+    result.latency = summarizeLatencies(samples);
+    return result;
+}
+
+} // namespace talus

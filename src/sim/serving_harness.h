@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Serving harness: closed- and open-loop load drivers with per-batch
+ * latency percentiles.
+ *
+ * Aggregate throughput alone hides what a serving system's users
+ * actually feel, which is why production cache load tools (Apache
+ * Traffic Server's jtest and http_load are the exemplars) report
+ * latency distributions under a controlled offered load. This
+ * harness drives an AccessStream workload through a
+ * ShardedTalusCache in batches and measures both, two ways:
+ *
+ *  - Closed loop (runClosedLoop): the next batch is submitted the
+ *    moment the previous one completes — one outstanding request,
+ *    zero think time. Measures peak sustainable throughput; the
+ *    latency samples are pure service times.
+ *
+ *  - Open loop (runOpenLoop): batches *arrive* on a fixed schedule
+ *    (ServingOptions::offeredRate accesses/second, one batch every
+ *    batchSize/offeredRate seconds) regardless of completion, as
+ *    independent clients would. Each sample is the batch's sojourn
+ *    time — completion minus scheduled arrival — so when the engine
+ *    falls behind, queueing delay shows up in the tail percentiles
+ *    instead of silently stretching the run. This is the
+ *    coordinated-omission-free measurement closed loops cannot give.
+ *
+ * Latency is wall-clock around the accessBatch call only; workload
+ * generation (AccessStream::nextBlock) happens before a batch is
+ * considered arrived. Throughput is accesses over the whole measured
+ * window. Results are deterministic in hits/misses for any thread
+ * count (the engine's bit-exactness guarantee); the timing numbers
+ * are whatever the host delivers.
+ */
+
+#ifndef TALUS_SIM_SERVING_HARNESS_H
+#define TALUS_SIM_SERVING_HARNESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/sharded_cache.h"
+#include "util/types.h"
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Knobs for one serving-harness run. */
+struct ServingOptions
+{
+    uint64_t accesses = 1'000'000; //!< Measured accesses (post-warmup).
+    uint64_t batchSize = 4096;     //!< Addresses per batch.
+    PartId part = 0;               //!< Logical partition to serve as.
+
+    /**
+     * Open loop only: offered load in accesses/second; batches are
+     * scheduled every batchSize/offeredRate seconds. Must be > 0 for
+     * runOpenLoop; ignored by runClosedLoop.
+     */
+    double offeredRate = 0.0;
+
+    /**
+     * Batches executed before the measured window (cache and monitor
+     * warmup). They consume stream addresses but contribute nothing
+     * to the reported counts, times, or percentiles.
+     */
+    uint64_t warmupBatches = 0;
+};
+
+/** Per-batch latency distribution, in seconds. */
+struct LatencyStats
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+};
+
+/** What one serving-harness run measured. */
+struct ServingResult
+{
+    uint64_t accesses = 0; //!< Addresses served in the window.
+    uint64_t hits = 0;     //!< Hits across all shards.
+    uint64_t batches = 0;  //!< Batches in the window.
+    double seconds = 0.0;  //!< Measured-window wall time.
+    double offeredRate = 0.0; //!< Accesses/s offered (0 = closed loop).
+    /** Batches whose service started after their scheduled arrival
+     *  (open loop only): the engine was behind schedule. */
+    uint64_t lateBatches = 0;
+    LatencyStats latency; //!< Per-batch service (closed) or sojourn
+                          //!< (open) times.
+
+    /** Misses / accesses; 0 before any access. */
+    double missRatio() const
+    {
+        return accesses > 0 ? static_cast<double>(accesses - hits) /
+                                  static_cast<double>(accesses)
+                            : 0.0;
+    }
+
+    /** Achieved throughput; 0 when the window was too fast to time. */
+    double accessesPerSecond() const
+    {
+        return seconds > 0.0 ? static_cast<double>(accesses) / seconds
+                             : 0.0;
+    }
+};
+
+/**
+ * Closed-loop driver: back-to-back batches, one outstanding request.
+ * The stream is consumed (not reset).
+ */
+ServingResult runClosedLoop(ShardedTalusCache& cache,
+                            AccessStream& stream,
+                            const ServingOptions& opts);
+
+/**
+ * Open-loop driver: batches arrive every batchSize/offeredRate
+ * seconds from run start; latency samples are sojourn times
+ * (completion minus scheduled arrival). Fatal if opts.offeredRate
+ * is not positive. The stream is consumed (not reset).
+ */
+ServingResult runOpenLoop(ShardedTalusCache& cache,
+                          AccessStream& stream,
+                          const ServingOptions& opts);
+
+/**
+ * Percentiles of @p samples_seconds (sorted in place; empty input
+ * yields all-zero stats). Percentile q is the ceil(q*n)-th smallest
+ * sample — the nearest-rank definition load tools report.
+ */
+LatencyStats summarizeLatencies(std::vector<double>& samples_seconds);
+
+} // namespace talus
+
+#endif // TALUS_SIM_SERVING_HARNESS_H

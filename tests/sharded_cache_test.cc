@@ -176,6 +176,46 @@ TEST_P(ShardedCacheDeterminism, MatchesHandBuiltSerialShards)
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ShardedCacheDeterminism,
                          ::testing::Values(0u, 1u, 4u));
 
+TEST(ShardedCache, MoreShardsThanThreadsMatchesHandBuilt)
+{
+    // 7 shards on 3 workers: every worker owns 2–3 shards (shard %
+    // threads pinning), so per-worker FIFO order across multiple
+    // owned shards is what keeps this bit-exact.
+    const ShardedTalusCache::Config cfg = engineConfig(7, 3);
+    const std::vector<Addr> addrs = mixedTrace(50'000, 1103);
+    const ShardTrace sharded = runSharded(cfg, addrs, 997);
+    const ShardTrace reference = runHandBuilt(cfg, addrs, 997);
+    expectTracesEqual(sharded, reference);
+}
+
+TEST(ShardedCache, MoreThreadsThanShardsMatchesHandBuilt)
+{
+    // 2 shards on 5 workers: three workers own nothing and must park
+    // without ever being woken; the dispatch path may only notify the
+    // owners of touched shards.
+    const ShardedTalusCache::Config cfg = engineConfig(2, 5);
+    const std::vector<Addr> addrs = mixedTrace(40'000, 1201);
+    const ShardTrace sharded = runSharded(cfg, addrs, 1013);
+    const ShardTrace reference = runHandBuilt(cfg, addrs, 1013);
+    expectTracesEqual(sharded, reference);
+}
+
+TEST(ShardedCache, TinyBatchesLeavingShardsEmptyStayExact)
+{
+    // Batches of 3 addresses over 8 shards: most shards are empty in
+    // every batch, so the skip-empty-shard fast path and the hit-slot
+    // zeroing for skipped shards are both on trial. Covers inline,
+    // fewer-workers-than-shards, and more-workers-than-shards.
+    const std::vector<Addr> addrs = mixedTrace(3'000, 1301);
+    const ShardTrace reference =
+        runHandBuilt(engineConfig(8, 0), addrs, 3);
+    for (uint32_t threads : {0u, 3u, 12u}) {
+        const ShardTrace sharded =
+            runSharded(engineConfig(8, threads), addrs, 3);
+        expectTracesEqual(sharded, reference);
+    }
+}
+
 TEST(ShardedCache, ThreadCountsAgreeWithEachOther)
 {
     const std::vector<Addr> addrs = mixedTrace(40'000, 211);

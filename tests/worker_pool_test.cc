@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -99,6 +100,57 @@ TEST(WorkerPool, MoreThreadsThanTasks)
     std::atomic<uint32_t> ran{0};
     pool.run(2, [&](uint32_t) { ran.fetch_add(1); });
     EXPECT_EQ(ran.load(), 2u);
+}
+
+TEST(WorkerPool, StragglerQuiescenceStress)
+{
+    // The bug class this targets: a worker still draining batch G's
+    // task counter while the caller has already started batch G+1.
+    // Mix task counts (including counts below, equal to, and above
+    // the thread count), vary per-task work so some workers straggle,
+    // and occasionally let the pool go fully idle so the next run()
+    // has to wake parked threads. Each batch checksums into its own
+    // slot, so cross-batch corruption shows up as a wrong sum.
+    for (uint32_t threads : {1u, 2u, 3u, 5u}) {
+        WorkerPool pool(threads);
+        constexpr uint32_t kBatches = 300;
+        for (uint32_t b = 0; b < kBatches; ++b) {
+            const uint32_t num_tasks = 1 + (b * 7 + threads) % 13;
+            std::vector<std::atomic<uint64_t>> sums(num_tasks);
+            for (auto& s : sums)
+                s.store(0);
+            pool.run(num_tasks, [&](uint32_t t) {
+                // Straggler: task 0 of every 8th batch spins longer.
+                uint64_t acc = b * 1000 + t;
+                const int spins =
+                    (t == 0 && b % 8 == 0) ? 20'000 : 100;
+                for (int i = 0; i < spins; ++i)
+                    acc = acc * 2862933555777941757ull + 3037000493ull;
+                sums[t].fetch_add(b * 1000 + t);
+            });
+            for (uint32_t t = 0; t < num_tasks; ++t)
+                ASSERT_EQ(sums[t].load(), b * 1000 + t)
+                    << "threads=" << threads << " batch=" << b
+                    << " task=" << t;
+            // Let workers park occasionally so run() exercises the
+            // wake-from-idle path, not just the hot handoff.
+            if (b % 64 == 63)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+        }
+    }
+}
+
+TEST(WorkerPoolDeathTest, RunIsNotReentrant)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // threads == 0 keeps the death test fork()-safe (no pool threads
+    // in the parent snapshot) while still exercising the guard: the
+    // inline path holds the running flag while executing tasks.
+    WorkerPool pool(0);
+    EXPECT_DEATH(
+        pool.run(1, [&](uint32_t) { pool.run(1, [](uint32_t) {}); }),
+        "not reentrant");
 }
 
 TEST(WorkerPool, DestructionWithIdleWorkersIsClean)
