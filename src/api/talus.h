@@ -8,9 +8,10 @@
  * pulls in the facade itself (api/talus_cache.h), the sharded
  * serving engine built on top of it (shard/sharded_cache.h), the
  * miss-curve and convex-hull types its methods speak, paper-MB
- * scaling, and the synthetic workload suite used by the examples.
- * Components embedding only the cache can include api/talus_cache.h
- * directly.
+ * scaling, the synthetic workload suite used by the examples, and
+ * the scenario zoo (trace replay, phase-change generators, the
+ * analytical miss-curve oracle). Components embedding only the cache
+ * can include api/talus_cache.h directly.
  */
 
 #ifndef TALUS_API_TALUS_H
@@ -20,8 +21,11 @@
 #include "api/talus_cache.h"
 #include "core/convex_hull.h"
 #include "core/miss_curve.h"
+#include "model/analytical_lru.h"
 #include "shard/sharded_cache.h"
 #include "sim/scale.h"
+#include "trace/trace_stream.h"
+#include "workload/scenarios.h"
 #include "workload/spec_suite.h"
 
 #endif // TALUS_API_TALUS_H

@@ -1,0 +1,115 @@
+#include "model/analytical_lru.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+/** Expected resident lines at characteristic time @p t. */
+double
+expectedOccupancy(const std::vector<double>& probs, double t)
+{
+    double occ = 0;
+    for (double p : probs)
+        occ += 1.0 - std::exp(-p * t);
+    return occ;
+}
+
+} // namespace
+
+std::vector<double>
+zipfPopularity(uint64_t n, double alpha)
+{
+    talus_assert(n >= 1, "popularity needs at least one item");
+    talus_assert(alpha >= 0, "zipf alpha must be >= 0");
+    std::vector<double> probs(n);
+    double sum = 0;
+    for (uint64_t r = 0; r < n; ++r) {
+        probs[r] = 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+        sum += probs[r];
+    }
+    for (double& p : probs)
+        p /= sum;
+    return probs;
+}
+
+std::vector<double>
+uniformPopularity(uint64_t n)
+{
+    talus_assert(n >= 1, "popularity needs at least one item");
+    return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+double
+cheCharacteristicTime(const std::vector<double>& probs,
+                      double cache_lines)
+{
+    const double n = static_cast<double>(probs.size());
+    talus_assert(cache_lines > 0 && cache_lines < n,
+                 "characteristic time needs 0 < c < #items");
+    // Occupancy is strictly increasing in T, from 0 to n: bisect.
+    // Upper bound by doubling; the loop terminates because occupancy
+    // -> n > cache_lines.
+    double lo = 0, hi = n;
+    while (expectedOccupancy(probs, hi) < cache_lines)
+        hi *= 2;
+    for (int it = 0; it < 100; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (expectedOccupancy(probs, mid) < cache_lines)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+analyticalLruHitRatio(const std::vector<double>& probs,
+                      double cache_lines)
+{
+    const double n = static_cast<double>(probs.size());
+    if (cache_lines <= 0)
+        return 0.0;
+    if (cache_lines >= n)
+        return 1.0; // Everything fits; only cold misses, rate -> 0.
+    const double t = cheCharacteristicTime(probs, cache_lines);
+    double hit = 0;
+    for (double p : probs)
+        hit += p * (1.0 - std::exp(-p * t));
+    return hit;
+}
+
+MissCurve
+analyticalLruMissCurve(const std::vector<double>& probs,
+                       const std::vector<uint64_t>& sizes)
+{
+    talus_assert(!sizes.empty(), "curve needs at least one size");
+    std::vector<CurvePoint> pts;
+    pts.reserve(sizes.size());
+    for (uint64_t s : sizes) {
+        const double fs = static_cast<double>(s);
+        pts.push_back({fs, 1.0 - analyticalLruHitRatio(probs, fs)});
+    }
+    return MissCurve(std::move(pts));
+}
+
+double
+maxAbsDeviation(const MissCurve& a, const MissCurve& b, double from,
+                double to, uint32_t samples)
+{
+    talus_assert(samples >= 2, "need at least the two endpoints");
+    talus_assert(to >= from, "bad probe range");
+    double worst = 0;
+    for (uint32_t i = 0; i < samples; ++i) {
+        const double s =
+            from + (to - from) * i / static_cast<double>(samples - 1);
+        worst = std::max(worst, std::abs(a.at(s) - b.at(s)));
+    }
+    return worst;
+}
+
+} // namespace talus

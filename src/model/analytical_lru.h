@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytical LRU miss-curve model: a closed-form oracle for the
+ * UMON-measured curves on known access distributions.
+ *
+ * For an independent-reference (IRM) stream — each access drawn IID
+ * from a fixed popularity vector p, which is exactly what ZipfStream
+ * and UniformRandom produce — a fully associative LRU cache of c
+ * lines has a well-known fast analytical model, the characteristic-
+ * time ("Che") approximation: item i is resident with probability
+ * 1 - exp(-p_i * T(c)), where T(c) is the unique solution of
+ *
+ *     sum_i (1 - exp(-p_i * T)) = c.
+ *
+ * The hit ratio is then sum_i p_i * (1 - exp(-p_i * T(c))). The
+ * approximation is asymptotically exact for large caches and is, in
+ * practice, within a couple of miss-ratio points for everything we
+ * generate (cf. PAPERS.md, "A Fast Analytical Model of Fully
+ * Associative Caches" — the same spirit: replace simulation with a
+ * cheap closed form). For the uniform distribution it degenerates to
+ * the exact linear curve miss(c) = 1 - c/W.
+ *
+ * This is the cross-validation oracle for the scenario zoo: a
+ * CombinedUMon snapshot measured on a Zipf or uniform stream must
+ * agree with the analytical curve within a stated tolerance (see
+ * README "Scenario zoo"), which catches both monitor regressions and
+ * generator distribution bugs without a reference simulation.
+ */
+
+#ifndef TALUS_MODEL_ANALYTICAL_LRU_H
+#define TALUS_MODEL_ANALYTICAL_LRU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/miss_curve.h"
+
+namespace talus {
+
+/** Zipf(alpha) popularity over @p n items: p_r ∝ 1/(r+1)^alpha. */
+std::vector<double> zipfPopularity(uint64_t n, double alpha);
+
+/** Uniform popularity over @p n items: p_i = 1/n. */
+std::vector<double> uniformPopularity(uint64_t n);
+
+/**
+ * The characteristic time T(c): unique root of
+ * sum_i (1 - exp(-p_i T)) = c. @p probs must sum to ~1 with every
+ * entry > 0; @p cache_lines must satisfy 0 < c < probs.size().
+ */
+double cheCharacteristicTime(const std::vector<double>& probs,
+                             double cache_lines);
+
+/**
+ * Analytical LRU hit ratio of a @p cache_lines-line fully
+ * associative cache under IRM popularity @p probs. Returns 0 at
+ * c == 0 and 1 for c >= probs.size() (everything fits).
+ */
+double analyticalLruHitRatio(const std::vector<double>& probs,
+                             double cache_lines);
+
+/**
+ * Analytical LRU miss-ratio curve sampled at @p sizes (lines):
+ * point k is (sizes[k], 1 - hitRatio(sizes[k])). Sizes need not be
+ * sorted or distinct — MissCurve canonicalizes.
+ */
+MissCurve analyticalLruMissCurve(const std::vector<double>& probs,
+                                 const std::vector<uint64_t>& sizes);
+
+/**
+ * Largest absolute vertical gap between two curves, probed at
+ * @p samples evenly spaced sizes in [@p from, @p to] (inclusive).
+ * The cross-validation metric: model-vs-UMON agreement is
+ * maxAbsDeviation <= tolerance over the monitor's covered range.
+ */
+double maxAbsDeviation(const MissCurve& a, const MissCurve& b,
+                       double from, double to, uint32_t samples = 64);
+
+} // namespace talus
+
+#endif // TALUS_MODEL_ANALYTICAL_LRU_H

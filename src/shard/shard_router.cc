@@ -53,12 +53,4 @@ ShardRouter::scatter(Span<const Addr> addrs,
         per_shard[route(addr)].push_back(addr);
 }
 
-std::vector<std::vector<Addr>>
-ShardRouter::scatter(Span<const Addr> addrs) const
-{
-    std::vector<std::vector<Addr>> per_shard;
-    scatter(addrs, per_shard);
-    return per_shard;
-}
-
 } // namespace talus

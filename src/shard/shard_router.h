@@ -122,15 +122,6 @@ class ShardRouter
     void scatter(Span<const Addr> addrs,
                  std::vector<std::vector<Addr>>& per_shard) const;
 
-    /**
-     * Allocating convenience form of scatter(). Compatibility shim
-     * for tests and offline tooling only: it allocates the outer
-     * vector and every bucket on each call, which is exactly the
-     * per-batch churn the serving path had to shed — never use it in
-     * a replay loop.
-     */
-    std::vector<std::vector<Addr>> scatter(Span<const Addr> addrs) const;
-
     /** Number of shards routed across. */
     uint32_t numShards() const { return numShards_; }
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "shard/sharded_cache.h"
+#include "trace/trace_file.h"
 #include "util/env.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -60,6 +61,7 @@ BenchEnv::usage()
         "usage: <bench> [--csv] [--full] [--scale=N] [--instr=N]\n"
         "               [--mixes=N] [--accesses=N] [--seed=N]\n"
         "               [--shards=N] [--threads=N] [--reconfig=N]\n"
+        "               [--trace=PATH]\n"
         "\n"
         "  --csv         emit CSV instead of aligned tables\n"
         "  --full        paper-true scale and run lengths (slow);\n"
@@ -80,6 +82,9 @@ BenchEnv::usage()
         "  --reconfig=N  accesses between control-plane\n"
         "                reconfigurations (TALUS_RECONFIG;\n"
         "                0 = bench default)\n"
+        "  --trace=PATH  replay the trace file at PATH (binary or\n"
+        "                CSV; see tools/trace_convert) instead of a\n"
+        "                synthetic workload (TALUS_TRACE)\n"
         "  --help, -h    this text\n"
         "\n"
         "Environment variables provide the same knobs; flags win.\n";
@@ -93,6 +98,7 @@ BenchEnv::init(int argc, char** argv)
     bool full = envFlag("TALUS_FULL");
     std::optional<uint64_t> scale_f, instr_f, mixes_f, accesses_f,
         seed_f, shards_f, threads_f, reconfig_f;
+    std::optional<std::string> trace_f;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -102,6 +108,14 @@ BenchEnv::init(int argc, char** argv)
             env.csv = true;
         } else if (arg == "--full") {
             full = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_f = arg.substr(std::string("--trace=").size());
+            if (trace_f->empty()) {
+                std::fprintf(stderr,
+                             "%s: flag --trace needs a file path\n\n%s",
+                             binary, usage());
+                std::exit(1);
+            }
         } else if (matchValueFlag(binary, arg, "scale", &scale_f) ||
                    matchValueFlag(binary, arg, "instr", &instr_f) ||
                    matchValueFlag(binary, arg, "mixes", &mixes_f) ||
@@ -188,6 +202,23 @@ BenchEnv::init(int argc, char** argv)
     env.reconfig =
         rangedKnob(reconfig_f, "TALUS_RECONFIG",
                    std::numeric_limits<uint64_t>::max(), "unreachable");
+    // The trace knob is validated like the shard knobs — from the
+    // flag OR the env var — so a missing or corrupt trace file is a
+    // usage error here, not a mid-run fatal after minutes of warmup.
+    {
+        const char* env_trace = std::getenv("TALUS_TRACE");
+        env.tracePath = trace_f.has_value()
+                            ? *trace_f
+                            : (env_trace != nullptr ? env_trace : "");
+        if (!env.tracePath.empty()) {
+            const std::string error = validateTraceFile(env.tracePath);
+            if (!error.empty()) {
+                std::fprintf(stderr, "%s: --trace/TALUS_TRACE: %s\n\n%s",
+                             binary, error.c_str(), usage());
+                std::exit(1);
+            }
+        }
+    }
     return env;
 }
 

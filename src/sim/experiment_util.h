@@ -36,15 +36,22 @@ struct BenchEnv
                                  //!< reconfigurations
                                  //!< (TALUS_RECONFIG); 0 = bench
                                  //!< default.
+    std::string tracePath;       //!< Trace file to replay instead of
+                                 //!< a synthetic workload
+                                 //!< (TALUS_TRACE); "" = none.
 
     /**
      * Parses the common bench command line over environment-variable
      * defaults (flags win over env vars). Accepted flags: --csv,
      * --full, --scale=N, --instr=N, --mixes=N, --accesses=N, --seed=N,
-     * --shards=N, --threads=N, --reconfig=N, and --help/-h (prints
-     * usage() and exits 0). Any other `--` argument is an error: usage goes to
-     * stderr and the process exits 1. Non-flag positional arguments
-     * are left for the binary to interpret.
+     * --shards=N, --threads=N, --reconfig=N, --trace=PATH, and
+     * --help/-h (prints usage() and exits 0). Any other `--` argument
+     * is an error: usage goes to stderr and the process exits 1.
+     * --trace/TALUS_TRACE is validated like the shard knobs: a
+     * missing, unreadable, or corrupt trace file is a usage error
+     * (the validateTraceFile() message is printed), so replay runs
+     * fail before any simulation starts. Non-flag positional
+     * arguments are left for the binary to interpret.
      */
     static BenchEnv init(int argc, char** argv);
 

@@ -1,0 +1,374 @@
+#include "trace/trace_file.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <vector>
+
+#include "util/log.h"
+
+namespace talus {
+
+const char kTraceMagic[8] = {'T', 'A', 'L', 'U', 'S', 'T', 'R', '1'};
+
+namespace {
+
+/** Records moved per fread/fwrite; 64K records = 512KB of I/O. */
+constexpr uint64_t kIoChunkRecords = 1 << 16;
+
+void
+putLe64(uint8_t* b, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+getLe64(const uint8_t* b)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+/** File size in bytes, or -1 if @p path cannot be stat'ed. */
+int64_t
+fileBytes(const std::string& path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<int64_t>(st.st_size);
+}
+
+/**
+ * Parses one CSV line as a decimal uint64. Returns false (with a
+ * reason in @p error) on anything but pure digits; trailing '\n' and
+ * '\r' are stripped first.
+ */
+bool
+parseCsvLine(const char* line, Addr* out, std::string* error)
+{
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r'))
+        len--;
+    if (len == 0) {
+        *error = "empty line";
+        return false;
+    }
+    uint64_t v = 0;
+    for (size_t i = 0; i < len; ++i) {
+        const char c = line[i];
+        if (c < '0' || c > '9') {
+            *error = std::string("non-digit character '") + c + "'";
+            return false;
+        }
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (v > (~0ull - digit) / 10) {
+            *error = "value exceeds 64 bits";
+            return false;
+        }
+        v = v * 10 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+/** Longest line we accept: 20 digits + CRLF + NUL, rounded up. */
+constexpr size_t kCsvLineBuf = 64;
+
+} // namespace
+
+// ------------------------------------------------------- TraceWriter
+
+TraceWriter::TraceWriter(const std::string& path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        talus_fatal("cannot create trace file '", path,
+                    "': ", std::strerror(errno));
+    uint8_t header[kTraceHeaderBytes];
+    std::memcpy(header, kTraceMagic, 8);
+    putLe64(header + 8, 0); // Count patched in close().
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        talus_fatal("cannot write trace header to '", path, "'");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const Addr* addrs, uint64_t n)
+{
+    talus_assert(file_ != nullptr, "append on a closed TraceWriter");
+    // 64KB encode buffer on the stack: big enough to amortize fwrite,
+    // small enough for any thread stack.
+    uint8_t buf[1u << 16];
+    const uint64_t per_chunk = sizeof(buf) / 8;
+    for (uint64_t off = 0; off < n;) {
+        const uint64_t take = std::min(per_chunk, n - off);
+        for (uint64_t i = 0; i < take; ++i)
+            putLe64(buf + 8 * i, addrs[off + i]);
+        if (std::fwrite(buf, 8, take, file_) != take)
+            talus_fatal("short write to trace file '", path_, "'");
+        off += take;
+    }
+    count_ += n;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    uint8_t le[8];
+    putLe64(le, count_);
+    if (std::fseek(file_, 8, SEEK_SET) != 0 ||
+        std::fwrite(le, 1, 8, file_) != 8 || std::fflush(file_) != 0)
+        talus_fatal("cannot finalize trace file '", path_, "'");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+// ------------------------------------------------------- TraceReader
+
+TraceReader::TraceReader(const std::string& path) : path_(path)
+{
+    const std::string error = validateTraceFile(path);
+    if (!error.empty())
+        talus_fatal(error);
+    if (!isBinaryTraceFile(path))
+        talus_fatal("'", path,
+                    "' is not a binary trace (no TALUSTR1 magic); "
+                    "convert it with trace_convert first or open it "
+                    "as CSV");
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        talus_fatal("cannot open trace file '", path,
+                    "': ", std::strerror(errno));
+    uint8_t header[kTraceHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header))
+        talus_fatal("cannot read trace header from '", path, "'");
+    count_ = getLe64(header + 8);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+uint64_t
+TraceReader::read(Addr* out, uint64_t max)
+{
+    const uint64_t want = std::min(max, count_ - cursor_);
+    uint8_t buf[1u << 16];
+    const uint64_t per_chunk = sizeof(buf) / 8;
+    uint64_t got = 0;
+    while (got < want) {
+        const uint64_t take = std::min(per_chunk, want - got);
+        if (std::fread(buf, 8, take, file_) != take)
+            talus_fatal("trace file '", path_,
+                        "' truncated mid-read (changed since open?)");
+        for (uint64_t i = 0; i < take; ++i)
+            out[got + i] = getLe64(buf + 8 * i);
+        got += take;
+    }
+    cursor_ += got;
+    return got;
+}
+
+void
+TraceReader::rewind()
+{
+    if (std::fseek(file_, static_cast<long>(kTraceHeaderBytes),
+                   SEEK_SET) != 0)
+        talus_fatal("cannot rewind trace file '", path_, "'");
+    cursor_ = 0;
+}
+
+// ---------------------------------------------------- CsvTraceWriter
+
+CsvTraceWriter::CsvTraceWriter(const std::string& path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr)
+        talus_fatal("cannot create CSV trace file '", path,
+                    "': ", std::strerror(errno));
+}
+
+CsvTraceWriter::~CsvTraceWriter()
+{
+    close();
+}
+
+void
+CsvTraceWriter::append(const Addr* addrs, uint64_t n)
+{
+    talus_assert(file_ != nullptr, "append on a closed CsvTraceWriter");
+    for (uint64_t i = 0; i < n; ++i) {
+        if (std::fprintf(file_, "%llu\n",
+                         static_cast<unsigned long long>(addrs[i])) < 0)
+            talus_fatal("short write to CSV trace file '", path_, "'");
+    }
+    count_ += n;
+}
+
+void
+CsvTraceWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    if (std::fflush(file_) != 0)
+        talus_fatal("cannot finalize CSV trace file '", path_, "'");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+// ---------------------------------------------------- CsvTraceReader
+
+CsvTraceReader::CsvTraceReader(const std::string& path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "r");
+    if (file_ == nullptr)
+        talus_fatal("cannot open CSV trace file '", path,
+                    "': ", std::strerror(errno));
+}
+
+CsvTraceReader::~CsvTraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+uint64_t
+CsvTraceReader::read(Addr* out, uint64_t max)
+{
+    char line[kCsvLineBuf];
+    uint64_t got = 0;
+    while (got < max && std::fgets(line, sizeof(line), file_)) {
+        line_++;
+        std::string error;
+        if (!parseCsvLine(line, &out[got], &error))
+            talus_fatal("CSV trace '", path_, "' line ", line_, ": ",
+                        error);
+        got++;
+    }
+    return got;
+}
+
+void
+CsvTraceReader::rewind()
+{
+    if (std::fseek(file_, 0, SEEK_SET) != 0)
+        talus_fatal("cannot rewind CSV trace file '", path_, "'");
+    line_ = 0;
+}
+
+// ------------------------------------------------- format utilities
+
+bool
+isBinaryTraceFile(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    char magic[8];
+    const bool is_binary = std::fread(magic, 1, 8, f) == 8 &&
+                           std::memcmp(magic, kTraceMagic, 8) == 0;
+    std::fclose(f);
+    return is_binary;
+}
+
+std::string
+validateTraceFile(const std::string& path)
+{
+    const int64_t bytes = fileBytes(path);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (bytes < 0 || f == nullptr) {
+        if (f != nullptr)
+            std::fclose(f);
+        return "cannot open trace file '" + path +
+               "': " + std::strerror(errno);
+    }
+    uint8_t header[kTraceHeaderBytes];
+    const size_t head = std::fread(header, 1, sizeof(header), f);
+    if (head >= 8 && std::memcmp(header, kTraceMagic, 8) == 0) {
+        // Binary: the header count must match the file size exactly.
+        std::fclose(f);
+        if (head < kTraceHeaderBytes)
+            return "trace file '" + path +
+                   "' is corrupt: magic present but header truncated";
+        const uint64_t count = getLe64(header + 8);
+        const uint64_t expect = kTraceHeaderBytes + 8 * count;
+        if (static_cast<uint64_t>(bytes) != expect)
+            return "trace file '" + path + "' is corrupt: header says " +
+                   std::to_string(count) + " records (" +
+                   std::to_string(expect) + " bytes) but the file has " +
+                   std::to_string(bytes) + " bytes";
+        return "";
+    }
+    // CSV: every line must be a decimal uint64.
+    if (std::fseek(f, 0, SEEK_SET) != 0) {
+        std::fclose(f);
+        return "cannot rewind trace file '" + path + "'";
+    }
+    char line[kCsvLineBuf];
+    uint64_t line_no = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        line_no++;
+        Addr addr;
+        std::string error;
+        if (!parseCsvLine(line, &addr, &error)) {
+            std::fclose(f);
+            return "trace file '" + path + "' is neither binary (no "
+                   "TALUSTR1 magic) nor valid CSV: line " +
+                   std::to_string(line_no) + ": " + error;
+        }
+    }
+    std::fclose(f);
+    return "";
+}
+
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string& path)
+{
+    if (isBinaryTraceFile(path))
+        return std::make_unique<TraceReader>(path);
+    return std::make_unique<CsvTraceReader>(path);
+}
+
+uint64_t
+convertCsvToBinary(const std::string& csv_path,
+                   const std::string& bin_path)
+{
+    CsvTraceReader in(csv_path);
+    TraceWriter out(bin_path);
+    std::vector<Addr> buf(kIoChunkRecords);
+    uint64_t got;
+    while ((got = in.read(buf.data(), buf.size())) > 0)
+        out.append(buf.data(), got);
+    out.close();
+    return out.numRecords();
+}
+
+uint64_t
+convertBinaryToCsv(const std::string& bin_path,
+                   const std::string& csv_path)
+{
+    TraceReader in(bin_path);
+    CsvTraceWriter out(csv_path);
+    std::vector<Addr> buf(kIoChunkRecords);
+    uint64_t got;
+    while ((got = in.read(buf.data(), buf.size())) > 0)
+        out.append(buf.data(), got);
+    out.close();
+    return out.numRecords();
+}
+
+} // namespace talus

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Trace files: a compact binary access-trace format plus a CSV twin,
+ * both streamed so multi-GB traces never fully materialize in memory.
+ *
+ * Binary format v1 (fixed little-endian, independent of host order):
+ *
+ *   bytes 0..7   magic "TALUSTR1"
+ *   bytes 8..15  uint64 record count
+ *   then count * 8-byte line addresses (util/types.h Addr), in
+ *   stream order.
+ *
+ * The count is patched into the header when the writer closes, so
+ * writing streams too; a file whose size is not exactly
+ * 16 + 8*count is detected as truncated/corrupt at open.
+ *
+ * CSV format: one decimal line address per line, '\n'-terminated, no
+ * header. Decimal uint64 is exact, so binary -> CSV -> binary is
+ * byte-identical, and CSV -> binary -> CSV is byte-identical for
+ * canonical CSV (what CsvTraceWriter emits).
+ *
+ * Readers share the TraceSource interface so TraceStream
+ * (trace/trace_stream.h) can replay either format; openTraceSource()
+ * sniffs the binary magic to pick one. validateTraceFile() is the
+ * non-fatal front door for configuration surfaces (BenchEnv --trace=)
+ * that must reject a missing or corrupt file with an actionable
+ * message instead of dying mid-run.
+ */
+
+#ifndef TALUS_TRACE_TRACE_FILE_H
+#define TALUS_TRACE_TRACE_FILE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/types.h"
+
+namespace talus {
+
+/** Magic bytes opening every binary trace file. */
+extern const char kTraceMagic[8]; // "TALUSTR1"
+
+/** Bytes before the first record of a binary trace. */
+constexpr uint64_t kTraceHeaderBytes = 16;
+
+/** A streamed, rewindable source of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Fills @p out with up to @p max records, returning how many were
+     * produced; 0 means end of trace. Fatal on a malformed or
+     * truncated file (open-time validation catches these for binary
+     * traces; CSV parse errors can only surface while streaming).
+     */
+    virtual uint64_t read(Addr* out, uint64_t max) = 0;
+
+    /** Restarts the source at the first record. */
+    virtual void rewind() = 0;
+};
+
+/** Streamed binary trace writer. */
+class TraceWriter
+{
+  public:
+    /** Opens @p path for writing; fatal if it cannot be created. */
+    explicit TraceWriter(const std::string& path);
+
+    /** Closes the file (patching the header) if still open. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /** Appends one record. */
+    void append(Addr addr) { append(&addr, 1); }
+
+    /** Appends @p n records from @p addrs. */
+    void append(const Addr* addrs, uint64_t n);
+
+    /** Records written so far. */
+    uint64_t numRecords() const { return count_; }
+
+    /**
+     * Flushes, patches the record count into the header, and closes.
+     * Idempotent; the destructor calls it. Fatal on I/O errors, so a
+     * close that returns produced a valid file.
+     */
+    void close();
+
+  private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/** Streamed binary trace reader. */
+class TraceReader : public TraceSource
+{
+  public:
+    /**
+     * Opens and validates @p path: magic, and file size consistent
+     * with the header's record count. Fatal on any mismatch — use
+     * validateTraceFile() first where dying is not acceptable.
+     */
+    explicit TraceReader(const std::string& path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader&) = delete;
+    TraceReader& operator=(const TraceReader&) = delete;
+
+    /** Total records in the trace (from the validated header). */
+    uint64_t numRecords() const { return count_; }
+
+    uint64_t read(Addr* out, uint64_t max) override;
+    void rewind() override;
+
+  private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+    uint64_t count_ = 0;
+    uint64_t cursor_ = 0; //!< Records consumed since rewind.
+};
+
+/** Streamed CSV trace writer (canonical form: "<decimal>\n"). */
+class CsvTraceWriter
+{
+  public:
+    /** Opens @p path for writing; fatal if it cannot be created. */
+    explicit CsvTraceWriter(const std::string& path);
+    ~CsvTraceWriter();
+
+    CsvTraceWriter(const CsvTraceWriter&) = delete;
+    CsvTraceWriter& operator=(const CsvTraceWriter&) = delete;
+
+    /** Appends one record. */
+    void append(Addr addr) { append(&addr, 1); }
+
+    /** Appends @p n records from @p addrs. */
+    void append(const Addr* addrs, uint64_t n);
+
+    /** Records written so far. */
+    uint64_t numRecords() const { return count_; }
+
+    /** Flushes and closes; idempotent; fatal on I/O errors. */
+    void close();
+
+  private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/** Streamed CSV trace reader. */
+class CsvTraceReader : public TraceSource
+{
+  public:
+    /** Opens @p path; fatal if it cannot be read. */
+    explicit CsvTraceReader(const std::string& path);
+    ~CsvTraceReader() override;
+
+    CsvTraceReader(const CsvTraceReader&) = delete;
+    CsvTraceReader& operator=(const CsvTraceReader&) = delete;
+
+    /** Fatal on the first malformed line (reported with its number). */
+    uint64_t read(Addr* out, uint64_t max) override;
+    void rewind() override;
+
+  private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+    uint64_t line_ = 0; //!< Lines consumed since rewind (for errors).
+};
+
+/** True if @p path starts with the binary trace magic. */
+bool isBinaryTraceFile(const std::string& path);
+
+/**
+ * Validates @p path as a trace file without dying: returns "" when
+ * the file is a well-formed binary trace (magic + size check, O(1))
+ * or a parseable CSV trace (every line checked, O(n)), otherwise an
+ * actionable message naming the file and the defect.
+ */
+std::string validateTraceFile(const std::string& path);
+
+/**
+ * Opens @p path as a TraceSource, sniffing the format by magic.
+ * Fatal on a missing or (for binary) corrupt file.
+ */
+std::unique_ptr<TraceSource> openTraceSource(const std::string& path);
+
+/**
+ * Converts a CSV trace to binary, streamed; returns records written.
+ * Fatal on malformed input or I/O errors.
+ */
+uint64_t convertCsvToBinary(const std::string& csv_path,
+                            const std::string& bin_path);
+
+/**
+ * Converts a binary trace to canonical CSV, streamed; returns records
+ * written. Fatal on a corrupt input or I/O errors.
+ */
+uint64_t convertBinaryToCsv(const std::string& bin_path,
+                            const std::string& csv_path);
+
+} // namespace talus
+
+#endif // TALUS_TRACE_TRACE_FILE_H

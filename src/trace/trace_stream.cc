@@ -1,0 +1,77 @@
+#include "trace/trace_stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace talus {
+
+TraceStream::TraceStream(const std::string& path,
+                         uint64_t buffer_records)
+    : path_(path), source_(openTraceSource(path))
+{
+    talus_assert(buffer_records >= 1, "trace buffer needs capacity");
+    buf_.resize(buffer_records);
+    // Probe the first refill now so an empty trace fails at
+    // construction, not on the millionth next().
+    bufLen_ = source_->read(buf_.data(), buf_.size());
+    if (bufLen_ == 0)
+        talus_fatal("trace file '", path,
+                    "' is empty: nothing to replay");
+}
+
+void
+TraceStream::refill()
+{
+    bufLen_ = source_->read(buf_.data(), buf_.size());
+    bufPos_ = 0;
+    if (bufLen_ == 0) {
+        // End of trace: wrap to the first record. The constructor
+        // proved the trace is non-empty, so this refill succeeds.
+        source_->rewind();
+        wraps_++;
+        bufLen_ = source_->read(buf_.data(), buf_.size());
+        talus_assert(bufLen_ > 0, "trace emptied underneath us");
+    }
+}
+
+Addr
+TraceStream::next()
+{
+    if (bufPos_ == bufLen_)
+        refill();
+    return buf_[bufPos_++];
+}
+
+void
+TraceStream::nextBlock(Addr* out, uint64_t n)
+{
+    uint64_t got = 0;
+    while (got < n) {
+        if (bufPos_ == bufLen_)
+            refill();
+        const uint64_t take = std::min(n - got, bufLen_ - bufPos_);
+        std::memcpy(out + got, buf_.data() + bufPos_,
+                    take * sizeof(Addr));
+        bufPos_ += take;
+        got += take;
+    }
+}
+
+void
+TraceStream::reset()
+{
+    source_->rewind();
+    bufLen_ = source_->read(buf_.data(), buf_.size());
+    bufPos_ = 0;
+    wraps_ = 0;
+}
+
+std::unique_ptr<AccessStream>
+TraceStream::clone() const
+{
+    return std::make_unique<TraceStream>(path_, buf_.size());
+}
+
+} // namespace talus

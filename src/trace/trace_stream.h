@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TraceStream: replaying a recorded access trace as an AccessStream.
+ *
+ * This is the adapter that lets a production access log drive the
+ * whole engine unchanged: anything that consumes an AccessStream —
+ * sim/sharded_replay, sim/serving_harness, the examples — can replay
+ * a trace file instead of a synthetic generator. The file is read
+ * through a streamed TraceSource (trace/trace_file.h) into a bounded
+ * refill buffer, so a multi-GB trace costs a fixed few hundred KB of
+ * memory no matter how long the replay runs.
+ *
+ * AccessStream is an *infinite* sequence, so a finite trace wraps:
+ * when the file is exhausted the source rewinds and replay continues
+ * from the first record (wraps() counts the laps). reset() restarts
+ * at the first record; clone() opens an independent handle on the
+ * same file. Both formats (binary and canonical CSV) are accepted —
+ * the format is sniffed by magic.
+ */
+
+#ifndef TALUS_TRACE_TRACE_STREAM_H
+#define TALUS_TRACE_TRACE_STREAM_H
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_file.h"
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Replays a trace file as an infinite, wrapping AccessStream. */
+class TraceStream : public AccessStream
+{
+  public:
+    /**
+     * Opens @p path (binary or CSV, sniffed). Fatal on a missing,
+     * corrupt, or empty trace — an empty file cannot produce next().
+     *
+     * @param path Trace file to replay.
+     * @param buffer_records Refill-buffer capacity in records.
+     */
+    explicit TraceStream(const std::string& path,
+                         uint64_t buffer_records = 1 << 14);
+
+    Addr next() override;
+    void nextBlock(Addr* out, uint64_t n) override;
+    void reset() override;
+    std::unique_ptr<AccessStream> clone() const override;
+    const char* kind() const override { return "trace"; }
+
+    /** The file being replayed. */
+    const std::string& path() const { return path_; }
+
+    /** Completed passes over the trace (0 until the first wrap). */
+    uint64_t wraps() const { return wraps_; }
+
+  private:
+    /** Refills the buffer, wrapping at end of trace. */
+    void refill();
+
+    std::string path_;
+    std::unique_ptr<TraceSource> source_;
+    std::vector<Addr> buf_;
+    uint64_t bufLen_ = 0; //!< Valid records in buf_.
+    uint64_t bufPos_ = 0; //!< Next record to hand out.
+    uint64_t wraps_ = 0;
+};
+
+} // namespace talus
+
+#endif // TALUS_TRACE_TRACE_STREAM_H

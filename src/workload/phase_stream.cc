@@ -1,0 +1,94 @@
+#include "workload/phase_stream.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace talus {
+
+PhaseStream::PhaseStream(std::vector<Phase> phases)
+    : phases_(std::move(phases))
+{
+    talus_assert(!phases_.empty(), "a phase stream needs phases");
+    for (const Phase& p : phases_) {
+        talus_assert(p.stream != nullptr, "phase '", p.label,
+                     "' has no stream");
+        talus_assert(p.accesses >= 1, "phase '", p.label,
+                     "' must last at least one access");
+        scheduleLen_ += p.accesses;
+    }
+}
+
+uint32_t
+PhaseStream::currentPhase() const
+{
+    // The serving cursor advances lazily (on the next pull), so at an
+    // exact boundary the upcoming access comes from the next phase.
+    return posInPhase_ == phases_[cur_].accesses
+               ? (cur_ + 1) % static_cast<uint32_t>(phases_.size())
+               : cur_;
+}
+
+uint32_t
+PhaseStream::phaseAt(uint64_t n) const
+{
+    uint64_t in_lap = n % scheduleLen_;
+    for (uint32_t i = 0; i < phases_.size(); ++i) {
+        if (in_lap < phases_[i].accesses)
+            return i;
+        in_lap -= phases_[i].accesses;
+    }
+    talus_panic("phaseAt fell off the schedule");
+}
+
+Addr
+PhaseStream::next()
+{
+    if (posInPhase_ == phases_[cur_].accesses) {
+        cur_ = (cur_ + 1) % phases_.size();
+        posInPhase_ = 0;
+    }
+    posInPhase_++;
+    return phases_[cur_].stream->next();
+}
+
+void
+PhaseStream::nextBlock(Addr* out, uint64_t n)
+{
+    // Chunk at phase boundaries so each child's own nextBlock fast
+    // path runs; bit-exact with next() because every child's
+    // nextBlock is (workload_test pins both contracts).
+    uint64_t got = 0;
+    while (got < n) {
+        if (posInPhase_ == phases_[cur_].accesses) {
+            cur_ = (cur_ + 1) % phases_.size();
+            posInPhase_ = 0;
+        }
+        const uint64_t take =
+            std::min(n - got, phases_[cur_].accesses - posInPhase_);
+        phases_[cur_].stream->nextBlock(out + got, take);
+        posInPhase_ += take;
+        got += take;
+    }
+}
+
+void
+PhaseStream::reset()
+{
+    for (Phase& p : phases_)
+        p.stream->reset();
+    cur_ = 0;
+    posInPhase_ = 0;
+}
+
+std::unique_ptr<AccessStream>
+PhaseStream::clone() const
+{
+    std::vector<Phase> copies;
+    copies.reserve(phases_.size());
+    for (const Phase& p : phases_)
+        copies.push_back({p.label, p.stream->clone(), p.accesses});
+    return std::make_unique<PhaseStream>(std::move(copies));
+}
+
+} // namespace talus

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PhaseStream: time-composed workloads — the transitions where cache
+ * cliffs actually bite.
+ *
+ * Every other generator in this directory is statically parameterized:
+ * its distribution never changes, so it can only show a cliff that is
+ * already there. Production traffic is not like that — flash crowds,
+ * scan storms, diurnal load shifts, and tenant churn *move* the miss
+ * curve under the cache, and Talus's pitch is holding performance
+ * flat through exactly those transitions. PhaseStream models them by
+ * composing child streams on a deterministic access-count schedule:
+ * phase i serves its child for `accesses` accesses, then the next
+ * phase takes over; after the last phase the schedule cycles.
+ *
+ * Child streams are NOT reset between laps of the schedule — a
+ * returning phase continues its child where it left off, the way a
+ * diurnal workload resumes the same popularity distribution each
+ * morning. reset() restarts the schedule and every child, so the
+ * whole composition is replayable; determinism is inherited from the
+ * children (the schedule itself is pure counting, no randomness).
+ *
+ * Scenario factories for the standard transitions live in
+ * workload/scenarios.h.
+ */
+
+#ifndef TALUS_WORKLOAD_PHASE_STREAM_H
+#define TALUS_WORKLOAD_PHASE_STREAM_H
+
+#include <string>
+#include <vector>
+
+#include "workload/access_stream.h"
+
+namespace talus {
+
+/** Cycles through child streams on an access-count schedule. */
+class PhaseStream : public AccessStream
+{
+  public:
+    /** One schedule entry. */
+    struct Phase
+    {
+        std::string label; //!< Name for reports ("calm", "storm", ...).
+        std::unique_ptr<AccessStream> stream;
+        uint64_t accesses; //!< Length of the phase (>= 1).
+    };
+
+    /** @param phases The schedule, in order (>= 1 phase). */
+    explicit PhaseStream(std::vector<Phase> phases);
+
+    Addr next() override;
+    void nextBlock(Addr* out, uint64_t n) override;
+    void reset() override;
+    std::unique_ptr<AccessStream> clone() const override;
+    const char* kind() const override { return "phase"; }
+
+    /** Phases in the schedule. */
+    uint32_t numPhases() const
+    {
+        return static_cast<uint32_t>(phases_.size());
+    }
+
+    /** Label of phase @p i. */
+    const std::string& phaseLabel(uint32_t i) const
+    {
+        return phases_[i].label;
+    }
+
+    /** Length of phase @p i, in accesses. */
+    uint64_t phaseAccesses(uint32_t i) const
+    {
+        return phases_[i].accesses;
+    }
+
+    /** Accesses in one full lap of the schedule. */
+    uint64_t scheduleAccesses() const { return scheduleLen_; }
+
+    /** Index of the phase the next access will come from. */
+    uint32_t currentPhase() const;
+
+    /** Index of the phase access number @p n (0-based) falls in. */
+    uint32_t phaseAt(uint64_t n) const;
+
+  private:
+    std::vector<Phase> phases_;
+    uint64_t scheduleLen_ = 0;
+    uint32_t cur_ = 0;        //!< Phase serving the next access.
+    uint64_t posInPhase_ = 0; //!< Accesses already served by cur_.
+};
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_PHASE_STREAM_H

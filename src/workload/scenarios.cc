@@ -1,0 +1,138 @@
+#include "workload/scenarios.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+#include "workload/cyclic_scan.h"
+#include "workload/mix_stream.h"
+#include "workload/zipf_stream.h"
+
+namespace talus {
+
+namespace {
+
+/**
+ * Derives child seed @p k from a spec seed. mix64 decorrelates the
+ * children; the result is still a pure function of (seed, k), so
+ * equal specs build bit-identical streams.
+ */
+uint64_t
+childSeed(uint64_t seed, uint64_t k)
+{
+    return mix64(seed + 0x9E3779B97F4A7C15ull * (k + 1));
+}
+
+/** A fresh Zipf stream for one schedule phase. */
+std::unique_ptr<AccessStream>
+zipf(uint64_t lines, double alpha, uint32_t addr_space, uint64_t seed)
+{
+    return std::make_unique<ZipfStream>(lines, alpha, addr_space, seed);
+}
+
+} // namespace
+
+std::unique_ptr<PhaseStream>
+makeDiurnalStream(const DiurnalSpec& spec)
+{
+    talus_assert(spec.dayLines >= 1 && spec.nightLines >= 1,
+                 "diurnal working sets must be non-empty");
+    // Day and night share one address space, so the night set is the
+    // hot prefix of the day set — the same popular keys, narrower
+    // tail, like real overnight traffic.
+    std::vector<PhaseStream::Phase> phases;
+    phases.push_back({"day",
+                      zipf(spec.dayLines, spec.alpha, spec.addrSpace,
+                           childSeed(spec.seed, 0)),
+                      spec.phaseAccesses});
+    phases.push_back({"night",
+                      zipf(spec.nightLines, spec.alpha, spec.addrSpace,
+                           childSeed(spec.seed, 1)),
+                      spec.phaseAccesses});
+    return std::make_unique<PhaseStream>(std::move(phases));
+}
+
+std::unique_ptr<PhaseStream>
+makeFlashCrowdStream(const FlashCrowdSpec& spec)
+{
+    talus_assert(spec.crowdFraction > 0 && spec.crowdFraction < 1,
+                 "crowd fraction must be in (0, 1)");
+    auto base = [&](uint64_t k) {
+        return zipf(spec.baseLines, spec.alpha, spec.addrSpace,
+                    childSeed(spec.seed, k));
+    };
+    // The crowd is NEW content (the viral objects did not exist
+    // yesterday), so it lives in its own address space. Within the
+    // crowd, popularity is itself heavily skewed — one object
+    // dominates even the viral set.
+    std::vector<MixStream::Component> burst;
+    burst.push_back({base(1), 1.0 - spec.crowdFraction});
+    burst.push_back({zipf(spec.crowdLines, 1.0, spec.addrSpace + 1,
+                          childSeed(spec.seed, 2)),
+                     spec.crowdFraction});
+
+    std::vector<PhaseStream::Phase> phases;
+    phases.push_back({"quiet", base(0), spec.quietAccesses});
+    phases.push_back({"crowd",
+                      std::make_unique<MixStream>(
+                          std::move(burst), childSeed(spec.seed, 3)),
+                      spec.crowdAccesses});
+    phases.push_back({"recovery", base(4), spec.quietAccesses});
+    return std::make_unique<PhaseStream>(std::move(phases));
+}
+
+std::unique_ptr<PhaseStream>
+makeScanStormStream(const ScanStormSpec& spec)
+{
+    talus_assert(spec.scanFraction > 0 && spec.scanFraction < 1,
+                 "scan fraction must be in (0, 1)");
+    auto base = [&](uint64_t k) {
+        return zipf(spec.baseLines, spec.alpha, spec.addrSpace,
+                    childSeed(spec.seed, k));
+    };
+    std::vector<MixStream::Component> storm;
+    storm.push_back({base(1), 1.0 - spec.scanFraction});
+    storm.push_back(
+        {std::make_unique<CyclicScan>(spec.scanLines,
+                                      spec.addrSpace + 1),
+         spec.scanFraction});
+
+    std::vector<PhaseStream::Phase> phases;
+    phases.push_back({"calm", base(0), spec.calmAccesses});
+    phases.push_back({"storm",
+                      std::make_unique<MixStream>(
+                          std::move(storm), childSeed(spec.seed, 2)),
+                      spec.stormAccesses});
+    phases.push_back({"after", base(3), spec.calmAccesses});
+    return std::make_unique<PhaseStream>(std::move(phases));
+}
+
+std::unique_ptr<PhaseStream>
+makeTenantChurnStream(const TenantChurnSpec& spec)
+{
+    // Tenant t's private key space and per-phase stream. Each roster
+    // phase gets fresh child streams (seeded per phase) mixed evenly;
+    // a tenant's *popularity distribution* persists across phases
+    // because it is a property of (lines, alpha, addr space), which
+    // is what cache contents care about.
+    auto tenant = [&](uint32_t t, uint64_t k) {
+        return zipf(spec.tenantLines, spec.alpha, spec.addrSpace + t,
+                    childSeed(spec.seed, 16 * k + t));
+    };
+    auto roster = [&](std::vector<uint32_t> tenants, uint64_t k) {
+        std::vector<MixStream::Component> parts;
+        for (uint32_t t : tenants)
+            parts.push_back({tenant(t, k), 1.0});
+        return std::make_unique<MixStream>(std::move(parts),
+                                           childSeed(spec.seed, 64 + k));
+    };
+
+    std::vector<PhaseStream::Phase> phases;
+    phases.push_back({"tenants-AB", roster({0, 1}, 0),
+                      spec.phaseAccesses});
+    phases.push_back({"arrive-C", roster({0, 1, 2}, 1),
+                      spec.phaseAccesses});
+    phases.push_back({"depart-A", roster({1, 2}, 2),
+                      spec.phaseAccesses});
+    return std::make_unique<PhaseStream>(std::move(phases));
+}
+
+} // namespace talus

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The scenario zoo: phase-change workload generators for the traffic
+ * patterns that create and move cache-performance cliffs in
+ * production serving systems.
+ *
+ * Each factory composes the existing generators (Zipf, uniform, scan,
+ * mix) on a PhaseStream schedule and is fully deterministic given its
+ * spec's seed — child seeds are derived from it, so two streams built
+ * from equal specs are bit-identical. All footprints are in cache
+ * lines; address spaces separate "who" owns the keys (tenants, the
+ * viral object set, the scanner) so working sets interact only
+ * through cache pressure, exactly like distinct key spaces behind one
+ * cache tier.
+ *
+ * The catalog:
+ *
+ *  - Diurnal shift: traffic alternates between a broad daytime
+ *    working set and a narrow nighttime one. The miss curve's knee
+ *    moves twice a cycle; a statically-provisioned cache sits on the
+ *    wrong side of a cliff half the time.
+ *
+ *  - Flash crowd: a small set of viral keys abruptly takes over most
+ *    of the traffic, then decays. Models the cliff *appearing* under
+ *    a previously comfortable cache.
+ *
+ *  - Scan storm: a sequential scan (batch job, crawler, table scan)
+ *    runs over a Zipf base. Scans are LRU's pathological case — the
+ *    cliff scenario of the paper's Fig. 1 — arriving and leaving.
+ *
+ *  - Tenant churn: tenants with private key spaces arrive and
+ *    depart, shifting both total pressure and its composition.
+ */
+
+#ifndef TALUS_WORKLOAD_SCENARIOS_H
+#define TALUS_WORKLOAD_SCENARIOS_H
+
+#include <memory>
+
+#include "workload/phase_stream.h"
+
+namespace talus {
+
+/** Daytime-broad / nighttime-narrow alternation. */
+struct DiurnalSpec
+{
+    uint64_t dayLines = 1 << 14;   //!< Daytime working set.
+    uint64_t nightLines = 1 << 11; //!< Nighttime working set.
+    double alpha = 0.9;            //!< Zipf skew of both.
+    uint64_t phaseAccesses = 400'000; //!< Length of each half-cycle.
+    uint32_t addrSpace = 0;
+    uint64_t seed = 0xD1DA;
+};
+
+/** Quiet Zipf traffic, then a viral burst, then quiet again. */
+struct FlashCrowdSpec
+{
+    uint64_t baseLines = 1 << 14;  //!< Steady-state working set.
+    double alpha = 0.9;            //!< Skew of the base traffic.
+    uint64_t crowdLines = 1 << 7;  //!< The viral object set (small).
+    double crowdFraction = 0.8;    //!< Traffic share of the crowd.
+    uint64_t quietAccesses = 400'000; //!< Before (and after) the burst.
+    uint64_t crowdAccesses = 200'000; //!< Burst length.
+    uint32_t addrSpace = 0; //!< Base keys; the crowd uses addrSpace+1.
+    uint64_t seed = 0xF1A5;
+};
+
+/** Zipf base with a periodic sequential-scan storm. */
+struct ScanStormSpec
+{
+    uint64_t baseLines = 1 << 12;  //!< Zipf working set.
+    double alpha = 0.9;            //!< Skew of the base traffic.
+    uint64_t scanLines = 1 << 13;  //!< Lines the storm sweeps.
+    double scanFraction = 0.5;     //!< Traffic share of the scan
+                                   //!< during the storm.
+    uint64_t calmAccesses = 400'000;  //!< Between storms.
+    uint64_t stormAccesses = 200'000; //!< Storm length.
+    uint32_t addrSpace = 0; //!< Base keys; the scan uses addrSpace+1.
+    uint64_t seed = 0x5C4A;
+};
+
+/** Tenants with private key spaces arriving and departing. */
+struct TenantChurnSpec
+{
+    uint64_t tenantLines = 1 << 12; //!< Working set per tenant.
+    double alpha = 0.9;             //!< Skew per tenant.
+    uint64_t phaseAccesses = 300'000; //!< Length of each roster phase.
+    uint32_t addrSpace = 0; //!< Tenant t uses addrSpace + t.
+    uint64_t seed = 0x7E4A;
+};
+
+/** Phase schedule: day -> night -> (cycle). */
+std::unique_ptr<PhaseStream> makeDiurnalStream(const DiurnalSpec& spec);
+
+/** Phase schedule: quiet -> crowd -> quiet -> (cycle). */
+std::unique_ptr<PhaseStream>
+makeFlashCrowdStream(const FlashCrowdSpec& spec);
+
+/** Phase schedule: calm -> storm -> calm -> (cycle). */
+std::unique_ptr<PhaseStream>
+makeScanStormStream(const ScanStormSpec& spec);
+
+/**
+ * Phase schedule over three tenants A, B, C:
+ * {A,B} -> {A,B,C} (C arrives) -> {B,C} (A departs) -> (cycle).
+ * Resident tenants split traffic evenly.
+ */
+std::unique_ptr<PhaseStream>
+makeTenantChurnStream(const TenantChurnSpec& spec);
+
+} // namespace talus
+
+#endif // TALUS_WORKLOAD_SCENARIOS_H

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "sim/experiment_util.h"
+#include "trace/trace_file.h"
 
 namespace talus {
 namespace {
@@ -153,6 +156,98 @@ TEST(BenchEnvDeathTest, EnvVarShardKnobsAreRangeCheckedToo)
     EXPECT_EQ(initWith({}).reconfig, 12345u);
     EXPECT_EQ(initWith({"--reconfig=99"}).reconfig, 99u);
     ::unsetenv("TALUS_RECONFIG");
+}
+
+/** Writes a small valid binary trace and returns its path. */
+std::string
+writeValidTrace(const std::string& name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    TraceWriter writer(path);
+    for (Addr a = 0; a < 16; ++a)
+        writer.append(a * 64);
+    writer.close();
+    return path;
+}
+
+TEST(BenchEnv, TraceDefaultsToEmpty)
+{
+    EXPECT_TRUE(initWith({}).tracePath.empty());
+}
+
+TEST(BenchEnv, TraceFlagAcceptsValidFiles)
+{
+    // Binary format.
+    const std::string bin = writeValidTrace("bench_env_ok.trace");
+    EXPECT_EQ(initWith({("--trace=" + bin).c_str()}).tracePath, bin);
+
+    // CSV format, via the same flag (sniffed by content).
+    const std::string csv = ::testing::TempDir() + "bench_env_ok.csv";
+    {
+        CsvTraceWriter writer(csv);
+        writer.append(1);
+        writer.append(2);
+        writer.close();
+    }
+    EXPECT_EQ(initWith({("--trace=" + csv).c_str()}).tracePath, csv);
+}
+
+TEST(BenchEnv, TraceEnvVarProvidesDefaultAndFlagWins)
+{
+    const std::string env_trace =
+        writeValidTrace("bench_env_env.trace");
+    const std::string flag_trace =
+        writeValidTrace("bench_env_flag.trace");
+    ::setenv("TALUS_TRACE", env_trace.c_str(), 1);
+    EXPECT_EQ(initWith({}).tracePath, env_trace);
+    EXPECT_EQ(initWith({("--trace=" + flag_trace).c_str()}).tracePath,
+              flag_trace);
+    ::unsetenv("TALUS_TRACE");
+}
+
+TEST(BenchEnvDeathTest, TraceFlagValidatesTheFile)
+{
+    // An empty value is a usage error, like --trace alone would be.
+    EXPECT_EXIT(initWith({"--trace="}), ::testing::ExitedWithCode(1),
+                "needs a file path");
+
+    // A missing file fails at init, not minutes into a replay.
+    EXPECT_EXIT(initWith({"--trace=/nonexistent/no.trace"}),
+                ::testing::ExitedWithCode(1), "--trace/TALUS_TRACE");
+
+    // A corrupt binary trace (truncated record region) is rejected
+    // with the validator's message.
+    const std::string path =
+        ::testing::TempDir() + "bench_env_corrupt.trace";
+    {
+        TraceWriter writer(path);
+        for (Addr a = 0; a < 8; ++a)
+            writer.append(a);
+        writer.close();
+    }
+    {
+        std::FILE* f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        // Claim more records than the file holds.
+        ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+        const unsigned char big[8] = {0xFF, 0xFF, 0, 0, 0, 0, 0, 0};
+        ASSERT_EQ(std::fwrite(big, 1, 8, f), 8u);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(initWith({("--trace=" + path).c_str()}),
+                ::testing::ExitedWithCode(1), "--trace/TALUS_TRACE");
+}
+
+TEST(BenchEnvDeathTest, TraceEnvVarIsValidatedToo)
+{
+    // The TALUS_TRACE path hits the same validation as the flag.
+    ::setenv("TALUS_TRACE", "/nonexistent/no.trace", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "--trace/TALUS_TRACE");
+    // ...and a valid --trace flag sidesteps the broken env value.
+    const std::string good = writeValidTrace("bench_env_good.trace");
+    EXPECT_EQ(initWith({("--trace=" + good).c_str()}).tracePath, good);
+    ::unsetenv("TALUS_TRACE");
 }
 
 } // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the analytical LRU miss-curve oracle (model/).
+ *
+ * The Che characteristic-time model is exact for uniform popularity
+ * (miss = 1 - c/W) and a tight approximation for Zipf, so the tests
+ * pin it three ways: against closed forms, against structural
+ * properties (monotonicity, range), and — the scenario-zoo contract —
+ * against CombinedUMon snapshots measured on the matching generator,
+ * within the tolerance the README documents (0.05 miss ratio).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/analytical_lru.h"
+#include "monitor/combined_umon.h"
+#include "workload/uniform_random.h"
+#include "workload/zipf_stream.h"
+
+namespace talus {
+namespace {
+
+/** The documented model-vs-UMON agreement bound (README). */
+constexpr double kOracleTolerance = 0.05;
+
+std::vector<uint64_t>
+sizeGrid(uint64_t max, uint64_t step)
+{
+    std::vector<uint64_t> sizes;
+    for (uint64_t s = 0; s <= max; s += step)
+        sizes.push_back(s);
+    return sizes;
+}
+
+// -------------------------------------------------------- closed forms
+
+TEST(AnalyticalLru, PopularityVectorsAreNormalized)
+{
+    for (const auto& p :
+         {zipfPopularity(1000, 0.9), uniformPopularity(1000),
+          zipfPopularity(64, 0.0)}) {
+        ASSERT_EQ(p.size(), p.size());
+        double sum = 0;
+        for (double x : p) {
+            EXPECT_GT(x, 0.0);
+            sum += x;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+    // Zipf with alpha=0 degenerates to uniform.
+    const auto z0 = zipfPopularity(100, 0.0);
+    const auto u = uniformPopularity(100);
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_NEAR(z0[i], u[i], 1e-12);
+}
+
+TEST(AnalyticalLru, UniformCurveIsTheExactLinearRamp)
+{
+    // Under uniform IRM, LRU's miss ratio is exactly 1 - c/W.
+    const uint64_t W = 4096;
+    const auto probs = uniformPopularity(W);
+    for (uint64_t c : {256u, 1024u, 2048u, 3072u, 4000u}) {
+        const double miss =
+            1.0 - analyticalLruHitRatio(probs, static_cast<double>(c));
+        EXPECT_NEAR(miss, 1.0 - static_cast<double>(c) / W, 0.02)
+            << "c=" << c;
+    }
+}
+
+TEST(AnalyticalLru, BoundaryBehavior)
+{
+    const auto probs = zipfPopularity(1024, 0.9);
+    EXPECT_DOUBLE_EQ(analyticalLruHitRatio(probs, 0), 0.0);
+    EXPECT_DOUBLE_EQ(analyticalLruHitRatio(probs, 1024), 1.0);
+    EXPECT_DOUBLE_EQ(analyticalLruHitRatio(probs, 5000), 1.0);
+}
+
+TEST(AnalyticalLru, CharacteristicTimeSolvesTheOccupancyEquation)
+{
+    const auto probs = zipfPopularity(2048, 0.8);
+    for (double c : {64.0, 512.0, 1500.0}) {
+        const double T = cheCharacteristicTime(probs, c);
+        double occupancy = 0;
+        for (double p : probs)
+            occupancy += 1.0 - std::exp(-p * T);
+        EXPECT_NEAR(occupancy, c, 1e-6 * c) << "c=" << c;
+    }
+}
+
+TEST(AnalyticalLru, CurveIsMonotoneNonIncreasingInRange)
+{
+    const auto probs = zipfPopularity(4096, 0.9);
+    const MissCurve curve =
+        analyticalLruMissCurve(probs, sizeGrid(4096, 64));
+    EXPECT_TRUE(curve.isNonIncreasing(1e-9));
+    EXPECT_DOUBLE_EQ(curve.at(0), 1.0);
+    EXPECT_NEAR(curve.at(4096), 0.0, 1e-9);
+}
+
+TEST(AnalyticalLru, MaxAbsDeviationMeasuresTheGap)
+{
+    const auto probs = uniformPopularity(1024);
+    const MissCurve a =
+        analyticalLruMissCurve(probs, sizeGrid(1024, 32));
+    EXPECT_NEAR(maxAbsDeviation(a, a, 0, 1024), 0.0, 1e-12);
+
+    // A curve shifted by a constant deviates by exactly that much.
+    const MissCurve b = a.scaled(1.0, 0.5);
+    EXPECT_NEAR(maxAbsDeviation(a, b, 64, 1024), a.at(64) * 0.5, 1e-9);
+}
+
+// ---------------------------------------- cross-validation vs the UMON
+
+/**
+ * Measures a CombinedUMon snapshot over @p stream and checks it
+ * against the analytical curve within kOracleTolerance across the
+ * monitor's primary range.
+ */
+void
+expectUmonMatchesModel(AccessStream& stream,
+                       const std::vector<double>& probs,
+                       uint64_t llc_lines)
+{
+    CombinedUMon::Config cfg;
+    cfg.llcLines = llc_lines;
+    CombinedUMon mon(cfg);
+    for (int i = 0; i < 2'000'000; ++i)
+        mon.access(stream.next());
+    const MissCurve measured = mon.snapshot();
+
+    const MissCurve model =
+        analyticalLruMissCurve(probs, sizeGrid(llc_lines, 64));
+    const double dev =
+        maxAbsDeviation(measured, model, 0, llc_lines);
+    EXPECT_LE(dev, kOracleTolerance);
+}
+
+TEST(AnalyticalLruVsUmon, UniformWithinTolerance)
+{
+    const uint64_t W = 4096, llc = 2048;
+    UniformRandom stream(W, 0, 0x11AD);
+    expectUmonMatchesModel(stream, uniformPopularity(W), llc);
+}
+
+TEST(AnalyticalLruVsUmon, ZipfWithinTolerance)
+{
+    const uint64_t W = 1 << 14, llc = 2048;
+    const double alpha = 0.9;
+    ZipfStream stream(W, alpha, 0, 0x21AD);
+    expectUmonMatchesModel(stream, zipfPopularity(W, alpha), llc);
+}
+
+TEST(AnalyticalLruVsUmon, FlatterZipfWithinTolerance)
+{
+    const uint64_t W = 8192, llc = 2048;
+    const double alpha = 0.6;
+    ZipfStream stream(W, alpha, 0, 0x31AD);
+    expectUmonMatchesModel(stream, zipfPopularity(W, alpha), llc);
+}
+
+} // namespace
+} // namespace talus

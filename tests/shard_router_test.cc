@@ -57,7 +57,8 @@ TEST(ShardRouter, ScatterPartitionsAndPreservesOrder)
 {
     const ShardRouter router(4, 0x50C4);
     const std::vector<Addr> addrs = uniformAddrs(20'000, 7);
-    const auto per_shard = router.scatter(Span<const Addr>(addrs));
+    std::vector<std::vector<Addr>> per_shard;
+    router.scatter(Span<const Addr>(addrs), per_shard);
 
     ASSERT_EQ(per_shard.size(), 4u);
     uint64_t total = 0;

@@ -109,10 +109,11 @@ runHandBuilt(const ShardedTalusCache::Config& cfg,
     ShardTrace trace;
     trace.blockMisses.resize(cfg.numShards);
     std::vector<uint64_t> last_misses(cfg.numShards, 0);
+    std::vector<std::vector<Addr>> per_shard;
     for (size_t off = 0; off < addrs.size(); off += block_size) {
         const size_t n = std::min(block_size, addrs.size() - off);
-        const auto per_shard =
-            router.scatter(Span<const Addr>(addrs.data() + off, n));
+        router.scatter(Span<const Addr>(addrs.data() + off, n),
+                       per_shard);
         for (uint32_t s = 0; s < cfg.numShards; ++s)
             for (Addr a : per_shard[s])
                 trace.totalHits += serial[s]->access(a, 0);

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the trace layer: binary/CSV round trips (byte-exact,
+ * including empty and single-record files), open-time validation,
+ * TraceStream's AccessStream contract (determinism, reset, clone,
+ * nextBlock-vs-next bit-exactness, wrapping), and bit-exact replay
+ * through the sharded engine for inline and threaded dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_cache.h"
+#include "sim/sharded_replay.h"
+#include "tests/test_util.h"
+#include "trace/trace_file.h"
+#include "trace/trace_stream.h"
+#include "util/rng.h"
+#include "workload/zipf_stream.h"
+
+namespace talus {
+namespace {
+
+std::string
+tmpPath(const std::string& name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Whole file as raw bytes, for byte-exactness checks. */
+std::string
+fileBytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Writes @p addrs as a binary trace and returns the path. */
+std::string
+writeBinary(const std::string& name, const std::vector<Addr>& addrs)
+{
+    const std::string path = tmpPath(name);
+    TraceWriter writer(path);
+    writer.append(addrs.data(), addrs.size());
+    writer.close();
+    return path;
+}
+
+/** Drains a TraceSource completely. */
+std::vector<Addr>
+drain(TraceSource& source)
+{
+    std::vector<Addr> out;
+    Addr buf[256];
+    while (const uint64_t n = source.read(buf, 256))
+        out.insert(out.end(), buf, buf + n);
+    return out;
+}
+
+// ------------------------------------------------------- file formats
+
+TEST(TraceFile, BinaryWriteReadRoundTrip)
+{
+    const std::vector<Addr> addrs = {0, 1, 64, 0xFFFF'FFFF'FFFF'FFFFull,
+                                     42, 42, 1ull << 40};
+    const std::string path = writeBinary("rt.trace", addrs);
+
+    EXPECT_TRUE(isBinaryTraceFile(path));
+    EXPECT_EQ(validateTraceFile(path), "");
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.numRecords(), addrs.size());
+    EXPECT_EQ(drain(reader), addrs);
+
+    // rewind() restarts at the first record.
+    reader.rewind();
+    EXPECT_EQ(drain(reader), addrs);
+}
+
+TEST(TraceFile, BinaryToCsvToBinaryIsByteExact)
+{
+    const std::vector<Addr> addrs =
+        test::randomTrace(5000, 1ull << 48, 0xBEEF);
+    const std::string bin1 = writeBinary("b1.trace", addrs);
+    const std::string csv = tmpPath("b1.csv");
+    const std::string bin2 = tmpPath("b2.trace");
+
+    EXPECT_EQ(convertBinaryToCsv(bin1, csv), addrs.size());
+    EXPECT_EQ(convertCsvToBinary(csv, bin2), addrs.size());
+    EXPECT_EQ(fileBytes(bin1), fileBytes(bin2));
+}
+
+TEST(TraceFile, CsvToBinaryToCsvIsByteExactForCanonicalCsv)
+{
+    const std::vector<Addr> addrs =
+        test::randomTrace(3000, 1ull << 40, 0xCAFE);
+    const std::string csv1 = tmpPath("c1.csv");
+    {
+        CsvTraceWriter writer(csv1);
+        writer.append(addrs.data(), addrs.size());
+        writer.close();
+    }
+    EXPECT_FALSE(isBinaryTraceFile(csv1));
+    EXPECT_EQ(validateTraceFile(csv1), "");
+
+    const std::string bin = tmpPath("c1.trace");
+    const std::string csv2 = tmpPath("c2.csv");
+    EXPECT_EQ(convertCsvToBinary(csv1, bin), addrs.size());
+    EXPECT_EQ(convertBinaryToCsv(bin, csv2), addrs.size());
+    EXPECT_EQ(fileBytes(csv1), fileBytes(csv2));
+}
+
+TEST(TraceFile, EmptyTraceRoundTripsInBothDirections)
+{
+    const std::string bin1 = writeBinary("empty.trace", {});
+    EXPECT_EQ(validateTraceFile(bin1), "");
+    {
+        TraceReader reader(bin1);
+        EXPECT_EQ(reader.numRecords(), 0u);
+        Addr a;
+        EXPECT_EQ(reader.read(&a, 1), 0u);
+    }
+
+    const std::string csv = tmpPath("empty.csv");
+    const std::string bin2 = tmpPath("empty2.trace");
+    EXPECT_EQ(convertBinaryToCsv(bin1, csv), 0u);
+    EXPECT_EQ(fileBytes(csv), "");
+    EXPECT_EQ(validateTraceFile(csv), "");
+    EXPECT_EQ(convertCsvToBinary(csv, bin2), 0u);
+    EXPECT_EQ(fileBytes(bin1), fileBytes(bin2));
+}
+
+TEST(TraceFile, SingleRecordRoundTrip)
+{
+    const std::string bin1 = writeBinary("one.trace", {7});
+    const std::string csv = tmpPath("one.csv");
+    const std::string bin2 = tmpPath("one2.trace");
+    EXPECT_EQ(convertBinaryToCsv(bin1, csv), 1u);
+    EXPECT_EQ(fileBytes(csv), "7\n");
+    EXPECT_EQ(convertCsvToBinary(csv, bin2), 1u);
+    EXPECT_EQ(fileBytes(bin1), fileBytes(bin2));
+}
+
+TEST(TraceFile, RandomizedRoundTripProperty)
+{
+    // Many random lengths and address widths: the conversion pipeline
+    // must be lossless and byte-exact for all of them.
+    Rng rng(0x7EA7);
+    for (int trial = 0; trial < 8; ++trial) {
+        const uint64_t len = rng.below(2000);
+        std::vector<Addr> addrs;
+        addrs.reserve(len);
+        for (uint64_t i = 0; i < len; ++i)
+            addrs.push_back(rng.next64() >> rng.below(64));
+        const std::string tag = std::to_string(trial);
+        const std::string bin1 =
+            writeBinary("prop" + tag + ".trace", addrs);
+        const std::string csv = tmpPath("prop" + tag + ".csv");
+        const std::string bin2 = tmpPath("prop" + tag + "b.trace");
+        ASSERT_EQ(convertBinaryToCsv(bin1, csv), len);
+        ASSERT_EQ(convertCsvToBinary(csv, bin2), len);
+        ASSERT_EQ(fileBytes(bin1), fileBytes(bin2)) << "trial " << trial;
+
+        TraceReader reader(bin2);
+        ASSERT_EQ(drain(reader), addrs) << "trial " << trial;
+    }
+}
+
+TEST(TraceFile, OpenTraceSourceSniffsTheFormat)
+{
+    const std::vector<Addr> addrs = {3, 1, 4, 1, 5, 9, 2, 6};
+    const std::string bin = writeBinary("sniff.trace", addrs);
+    const std::string csv = tmpPath("sniff.csv");
+    convertBinaryToCsv(bin, csv);
+
+    EXPECT_EQ(drain(*openTraceSource(bin)), addrs);
+    EXPECT_EQ(drain(*openTraceSource(csv)), addrs);
+}
+
+// -------------------------------------------------------- validation
+
+TEST(TraceFile, ValidateRejectsMissingFile)
+{
+    const std::string err = validateTraceFile("/nonexistent/x.trace");
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("/nonexistent/x.trace"), std::string::npos);
+}
+
+TEST(TraceFile, ValidateRejectsTruncatedBinary)
+{
+    const std::string path =
+        writeBinary("trunc.trace", {1, 2, 3, 4, 5, 6, 7, 8});
+    // Chop off the last record: size no longer matches the header.
+    ASSERT_EQ(::truncate(path.c_str(),
+                         static_cast<off_t>(kTraceHeaderBytes + 7 * 8)),
+              0);
+    EXPECT_NE(validateTraceFile(path), "");
+    EXPECT_DEATH(TraceReader reader(path), "");
+}
+
+TEST(TraceFile, ValidateRejectsMalformedCsv)
+{
+    const std::string path = tmpPath("bad.csv");
+    {
+        std::ofstream out(path);
+        out << "123\n-5\n99\n";
+    }
+    const std::string err = validateTraceFile(path);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("line 2"), std::string::npos);
+
+    // Overflow past uint64 is malformed too, not silently wrapped.
+    {
+        std::ofstream out(path);
+        out << "99999999999999999999999\n";
+    }
+    EXPECT_NE(validateTraceFile(path), "");
+}
+
+// -------------------------------------------------------- TraceStream
+
+TEST(TraceStream, DeterministicResettableAndCloneable)
+{
+    const std::string path = writeBinary(
+        "stream.trace", test::randomTrace(4000, 1 << 20, 0x51EA));
+    TraceStream s(path);
+    EXPECT_STREQ(s.kind(), "trace");
+
+    const auto first = test::collect(s, 1000);
+    s.reset();
+    const auto second = test::collect(s, 1000);
+    EXPECT_EQ(first, second);
+
+    auto cloned = s.clone();
+    const auto third = test::collect(*cloned, 1000);
+    EXPECT_EQ(first, third);
+}
+
+TEST(TraceStream, NextBlockMatchesNext)
+{
+    const std::string path = writeBinary(
+        "block.trace", test::randomTrace(1000, 1 << 16, 0xB10C));
+    TraceStream s(path, /*buffer_records=*/128); // Force refills.
+
+    auto serial = s.clone();
+    std::vector<Addr> expect;
+    for (int i = 0; i < 3000; ++i)
+        expect.push_back(serial->next());
+
+    // Uneven block sizes so block and buffer boundaries interleave.
+    std::vector<Addr> got(3000);
+    uint64_t off = 0;
+    for (uint64_t n : {1ull, 7ull, 256ull, 1000ull, 1736ull}) {
+        s.nextBlock(got.data() + off, n);
+        off += n;
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(TraceStream, WrapsAtEndOfTraceAndCountsLaps)
+{
+    const std::vector<Addr> addrs = test::randomTrace(100, 1000, 0x3A9);
+    const std::string path = writeBinary("wrap.trace", addrs);
+    TraceStream s(path, /*buffer_records=*/32);
+
+    const auto seen = test::collect(s, 250);
+    for (int i = 0; i < 250; ++i)
+        EXPECT_EQ(seen[i], addrs[i % 100]) << "access " << i;
+    EXPECT_EQ(s.wraps(), 2u);
+
+    s.reset();
+    EXPECT_EQ(s.wraps(), 0u);
+    EXPECT_EQ(test::collect(s, 100), addrs);
+}
+
+TEST(TraceStreamDeathTest, EmptyTraceIsFatalAtConstruction)
+{
+    const std::string path = writeBinary("noaddrs.trace", {});
+    EXPECT_DEATH(TraceStream stream(path), "");
+}
+
+// ------------------------------------------- replay through the engine
+
+TEST(TraceReplay, BitExactThroughShardedEngineAcrossThreadCounts)
+{
+    // A recorded trace replayed through the sharded engine must give
+    // identical per-shard stats for inline and threaded dispatch —
+    // the engine's determinism guarantee extended to trace inputs.
+    const std::string path = tmpPath("engine.trace");
+    {
+        ZipfStream zipf(1 << 12, 0.9, 0, 0x7A1);
+        std::vector<Addr> block(20'000);
+        zipf.nextBlock(block.data(), block.size());
+        TraceWriter writer(path);
+        writer.append(block.data(), block.size());
+        writer.close();
+    }
+
+    ShardedTalusCache::Config cfg;
+    cfg.numShards = 4;
+    cfg.shard.llcLines = 512;
+    cfg.shard.ways = 16;
+    cfg.shard.allocatorName = "HillClimb";
+    cfg.shard.seed = 0xD15C;
+
+    ShardedReplayOptions opts;
+    opts.accesses = 50'000; // Wraps the 20k-record trace twice.
+    opts.blockSize = 4096;
+    opts.reconfigEveryBlocks = 2;
+    opts.applyEpochLen = 4096;
+
+    std::vector<std::vector<TalusCache::PartStats>> stats;
+    for (uint32_t threads : {0u, 1u, 4u}) {
+        cfg.threads = threads;
+        ShardedTalusCache cache(cfg);
+        TraceStream stream(path);
+        runShardedReplay(cache, stream, opts);
+        std::vector<TalusCache::PartStats> per_shard;
+        for (uint32_t s = 0; s < cfg.numShards; ++s)
+            per_shard.push_back(cache.shardStats(s, 0));
+        stats.push_back(std::move(per_shard));
+    }
+    for (size_t t = 1; t < stats.size(); ++t) {
+        for (uint32_t s = 0; s < cfg.numShards; ++s) {
+            EXPECT_EQ(stats[t][s].accesses, stats[0][s].accesses)
+                << "threads variant " << t << " shard " << s;
+            EXPECT_EQ(stats[t][s].misses, stats[0][s].misses)
+                << "threads variant " << t << " shard " << s;
+        }
+    }
+}
+
+} // namespace
+} // namespace talus

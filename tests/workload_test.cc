@@ -20,7 +20,9 @@
 #include "workload/cyclic_scan.h"
 #include "workload/filtered_stream.h"
 #include "workload/mix_stream.h"
+#include "workload/phase_stream.h"
 #include "workload/prefetched_stream.h"
+#include "workload/scenarios.h"
 #include "workload/spec_suite.h"
 #include "workload/stack_dist_stream.h"
 #include "workload/uniform_random.h"
@@ -375,6 +377,185 @@ TEST(SpecSuite, BuildsEveryAppStream)
         for (int i = 0; i < 1000; ++i)
             stream->next();
     }
+}
+
+// ------------------------------------------------------- PhaseStream
+
+/** A 3-phase composition with short phases for boundary tests. */
+std::unique_ptr<PhaseStream>
+smallPhaseStream()
+{
+    std::vector<PhaseStream::Phase> phases;
+    phases.push_back(
+        {"a", std::make_unique<CyclicScan>(16, 0), 100});
+    phases.push_back(
+        {"b", std::make_unique<UniformRandom>(64, 1, 7), 50});
+    phases.push_back(
+        {"c", std::make_unique<ZipfStream>(128, 0.9, 2, 9), 75});
+    return std::make_unique<PhaseStream>(std::move(phases));
+}
+
+TEST(PhaseStream, DeterministicAndResettable)
+{
+    auto s = smallPhaseStream();
+    expectDeterministicAndResettable(*s);
+}
+
+TEST(PhaseStream, NextBlockMatchesNext)
+{
+    // 3000 accesses cross every phase boundary many times (lap = 225).
+    auto s = smallPhaseStream();
+    expectBlockMatchesSerial(*s);
+}
+
+TEST(PhaseStream, ScheduleAccounting)
+{
+    auto s = smallPhaseStream();
+    EXPECT_EQ(s->numPhases(), 3u);
+    EXPECT_EQ(s->scheduleAccesses(), 225u);
+    EXPECT_EQ(s->phaseLabel(1), "b");
+    EXPECT_EQ(s->phaseAccesses(2), 75u);
+
+    // phaseAt maps an absolute access number into the cycle.
+    EXPECT_EQ(s->phaseAt(0), 0u);
+    EXPECT_EQ(s->phaseAt(99), 0u);
+    EXPECT_EQ(s->phaseAt(100), 1u);
+    EXPECT_EQ(s->phaseAt(149), 1u);
+    EXPECT_EQ(s->phaseAt(150), 2u);
+    EXPECT_EQ(s->phaseAt(225), 0u); // Second lap.
+    EXPECT_EQ(s->phaseAt(225 + 160), 2u);
+
+    // currentPhase advances with consumption.
+    EXPECT_EQ(s->currentPhase(), 0u);
+    test::collect(*s, 100);
+    EXPECT_EQ(s->currentPhase(), 1u);
+    test::collect(*s, 125);
+    EXPECT_EQ(s->currentPhase(), 0u); // Wrapped to the next lap.
+}
+
+TEST(PhaseStream, PhaseBoundariesSwitchAddressSpaces)
+{
+    // Each child above lives in its own address space, so the serving
+    // phase is directly observable on the produced addresses.
+    auto s = smallPhaseStream();
+    const auto trace = test::collect(*s, 225);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(trace[i] >> kAddrSpaceShift, 0u) << i;
+    for (int i = 100; i < 150; ++i)
+        EXPECT_EQ(trace[i] >> kAddrSpaceShift, 1u) << i;
+    for (int i = 150; i < 225; ++i)
+        EXPECT_EQ(trace[i] >> kAddrSpaceShift, 2u) << i;
+}
+
+TEST(PhaseStream, ChildrenContinueAcrossLaps)
+{
+    // A returning phase resumes its child where it left off (no reset
+    // between laps): the scan child must continue its sweep, not
+    // restart from line 0.
+    std::vector<PhaseStream::Phase> phases;
+    phases.push_back({"scan", std::make_unique<CyclicScan>(64, 0), 10});
+    phases.push_back(
+        {"other", std::make_unique<UniformRandom>(8, 1, 3), 5});
+    PhaseStream s(std::move(phases));
+
+    const auto lap1 = test::collect(s, 15);
+    const auto lap2 = test::collect(s, 15);
+    // Second lap's scan continues at line 10.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(lap2[i], static_cast<Addr>(10 + i)) << i;
+}
+
+// -------------------------------------------------- scenario factories
+
+TEST(Scenarios, AllFactoriesAreDeterministicAndResettable)
+{
+    DiurnalSpec d;
+    d.dayLines = 512;
+    d.nightLines = 64;
+    auto diurnal = makeDiurnalStream(d);
+    expectDeterministicAndResettable(*diurnal);
+
+    FlashCrowdSpec f;
+    f.baseLines = 512;
+    auto crowd = makeFlashCrowdStream(f);
+    expectDeterministicAndResettable(*crowd);
+
+    ScanStormSpec s;
+    s.baseLines = 256;
+    s.scanLines = 512;
+    auto storm = makeScanStormStream(s);
+    expectDeterministicAndResettable(*storm);
+
+    TenantChurnSpec t;
+    t.tenantLines = 256;
+    auto churn = makeTenantChurnStream(t);
+    expectDeterministicAndResettable(*churn);
+}
+
+TEST(Scenarios, AllFactoriesNextBlockMatchesNext)
+{
+    DiurnalSpec d;
+    d.dayLines = 512;
+    d.nightLines = 64;
+    d.phaseAccesses = 700; // Short phases: boundaries land mid-block.
+    auto diurnal = makeDiurnalStream(d);
+    expectBlockMatchesSerial(*diurnal);
+
+    FlashCrowdSpec f;
+    f.baseLines = 512;
+    f.quietAccesses = 600;
+    f.crowdAccesses = 400;
+    auto crowd = makeFlashCrowdStream(f);
+    expectBlockMatchesSerial(*crowd);
+
+    ScanStormSpec s;
+    s.baseLines = 256;
+    s.scanLines = 512;
+    s.calmAccesses = 500;
+    s.stormAccesses = 300;
+    auto storm = makeScanStormStream(s);
+    expectBlockMatchesSerial(*storm);
+
+    TenantChurnSpec t;
+    t.tenantLines = 256;
+    t.phaseAccesses = 450;
+    auto churn = makeTenantChurnStream(t);
+    expectBlockMatchesSerial(*churn);
+}
+
+TEST(Scenarios, SeedsChangeTheStream)
+{
+    ScanStormSpec a, b;
+    a.baseLines = b.baseLines = 256;
+    a.scanLines = b.scanLines = 512;
+    b.seed = a.seed + 1;
+    auto sa = makeScanStormStream(a);
+    auto sb = makeScanStormStream(b);
+    EXPECT_NE(test::collect(*sa, 2000), test::collect(*sb, 2000));
+}
+
+TEST(Scenarios, PhaseLabelsTellTheStory)
+{
+    DiurnalSpec d;
+    auto diurnal = makeDiurnalStream(d);
+    ASSERT_EQ(diurnal->numPhases(), 2u);
+    EXPECT_EQ(diurnal->phaseLabel(0), "day");
+    EXPECT_EQ(diurnal->phaseLabel(1), "night");
+
+    FlashCrowdSpec f;
+    auto crowd = makeFlashCrowdStream(f);
+    ASSERT_EQ(crowd->numPhases(), 3u);
+    EXPECT_EQ(crowd->phaseLabel(1), "crowd");
+
+    ScanStormSpec s;
+    auto storm = makeScanStormStream(s);
+    ASSERT_EQ(storm->numPhases(), 3u);
+    EXPECT_EQ(storm->phaseLabel(1), "storm");
+
+    TenantChurnSpec t;
+    auto churn = makeTenantChurnStream(t);
+    ASSERT_EQ(churn->numPhases(), 3u);
+    EXPECT_EQ(churn->phaseLabel(0), "tenants-AB");
 }
 
 } // namespace
