@@ -40,8 +40,10 @@ DEFAULT_TRACKED = [
     "BM_ShadowRouterRoute",
     "BM_FullyAssocLru",
     "BM_UmonAccess",
+    "BM_CombinedUMonAccess",
     "BM_TalusFacadeAccess",
     "BM_TalusBatchedAccess",
+    "BM_TalusMonitorOffAccess",
     "BM_TalusRoutedAccess",
     # Sharded serving engine (inline dispatch: deterministic and
     # meaningful on any core count; threaded variants are reported

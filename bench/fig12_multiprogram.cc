@@ -42,6 +42,7 @@ schemeConfig(const std::string& which, const BenchEnv& env)
     cfg.reconfigCycles =
         static_cast<double>(env.instrPerApp) / 4.0;
     cfg.seed = env.seed;
+    cfg.monitorSamplePeriod = env.monitorSample;
     if (which == "LRU") {
         cfg.scheme = SchemeKind::Unpartitioned;
         cfg.allocatorName = "";

@@ -50,6 +50,7 @@ run(const BenchEnv& env, const AppSpec& app, uint64_t llc_lines,
     cfg.instrPerApp = env.instrPerApp;
     cfg.reconfigCycles = static_cast<double>(cfg.instrPerApp) / 8.0;
     cfg.seed = env.seed;
+    cfg.monitorSamplePeriod = env.monitorSample;
     if (which == "LRU") {
         cfg.scheme = SchemeKind::Unpartitioned;
         cfg.allocatorName = "";

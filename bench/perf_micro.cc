@@ -133,6 +133,25 @@ BM_UmonAccess(benchmark::State& state)
 }
 BENCHMARK(BM_UmonAccess);
 
+/** Block-hashed monitor feed: both UMons through accessBlock. */
+void
+BM_CombinedUMonAccess(benchmark::State& state)
+{
+    constexpr size_t kBlock = 4096;
+    CombinedUMon::Config cfg;
+    cfg.llcLines = 1 << 17;
+    CombinedUMon mon(cfg);
+    Rng rng(7);
+    std::vector<Addr> addrs(kBlock);
+    for (Addr& a : addrs)
+        a = rng.below(1 << 20);
+    for (auto _ : state)
+        mon.accessBlock(Span<const Addr>(addrs.data(), addrs.size()));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kBlock));
+}
+BENCHMARK(BM_CombinedUMonAccess);
+
 TalusCache::Config
 facadeBenchConfig()
 {
@@ -187,6 +206,23 @@ BM_TalusBatchedAccess(benchmark::State& state)
                             static_cast<int64_t>(kBlock));
 }
 BENCHMARK(BM_TalusBatchedAccess);
+
+/** The facade with monitoring off: isolates router + cache cost. */
+void
+BM_TalusMonitorOffAccess(benchmark::State& state)
+{
+    TalusCache::Config cc = facadeBenchConfig();
+    cc.monitoring = false;
+    TalusCache cache(cc);
+    const std::vector<Addr> addrs = facadeBenchAddrs();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i], 0));
+        i = (i + 1) & (addrs.size() - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TalusMonitorOffAccess);
 
 /**
  * Scatter-dispatch-gather through the sharded serving engine, with a

@@ -82,6 +82,10 @@ TalusCache::Config::validate() const
     else if (umonCoverage < 1)
         err << "umonCoverage must be >= 1 (got " << umonCoverage
             << "); the paper uses 4";
+    else if (monitorSamplePeriod < 1)
+        err << "monitorSamplePeriod must be >= 1 (got "
+            << monitorSamplePeriod
+            << "); 1 monitors every access, N monitors every Nth";
     else if (!allocatorName.empty() &&
              !knownName(knownAllocators(), allocatorName))
         err << "unknown allocatorName \"" << allocatorName
@@ -147,67 +151,90 @@ TalusCache::TalusCache(const Config& config) : cfg_(config)
         plane_ = ControlPlane(makeAllocator(cfg_.allocatorName));
     granule_ = std::max<uint64_t>(1, cfg_.llcLines / 64);
     intervalAccesses_.assign(cfg_.numParts, 0);
+    monPhase_.assign(cfg_.numParts, 0);
 }
 
-bool
-TalusCache::access(Addr addr, PartId part)
+void
+TalusCache::feedMonitor(PartId part, const Addr* addrs, uint64_t n)
 {
-    talus_assert(part < cfg_.numParts, "bad logical partition ", part);
-    if (cfg_.monitoring)
-        monitors_[part].access(addr);
-    const bool hit = cfg_.talus ? ctl_->access(addr, part)
-                                : plain_->access(addr, part);
-    intervalAccesses_[part]++;
-    sinceReconfig_++;
-    accessCount_++;
-    // The deferred (older) configuration applies before any automatic
-    // reconfiguration that lands on the same access.
-    if (applyAt_ != 0 && accessCount_ >= applyAt_)
-        applyReconfigure();
-    if (cfg_.reconfigInterval > 0 &&
-        sinceReconfig_ >= cfg_.reconfigInterval)
-        reconfigure();
-    return hit;
+    CombinedUMon& mon = monitors_[part];
+    if (cfg_.monitorSamplePeriod == 1) {
+        mon.accessBlock(Span<const Addr>(addrs, n));
+        return;
+    }
+    // Systematic 1-in-N decimation: the partition's phase counter
+    // picks every Nth access regardless of chunking, so batch and
+    // serial drives observe the identical sub-stream.
+    const uint32_t period = cfg_.monitorSamplePeriod;
+    uint32_t phase = monPhase_[part];
+    monScratch_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        if (phase == 0)
+            monScratch_.push_back(addrs[i]);
+        if (++phase == period)
+            phase = 0;
+    }
+    monPhase_[part] = phase;
+    mon.accessBlock(Span<const Addr>(monScratch_.data(),
+                                     monScratch_.size()));
 }
 
 uint64_t
 TalusCache::accessBatch(Span<const Addr> addrs, PartId part)
 {
     talus_assert(part < cfg_.numParts, "bad logical partition ", part);
-    CombinedUMon* mon = cfg_.monitoring ? &monitors_[part] : nullptr;
+    if (addrs.size() == 1) {
+        // The serial facade (access() delegates blocks of one here).
+        // A single access never spans a chunk boundary — the loop
+        // below would compute chunk == 1 — so skip the carving and
+        // run the same operations straight-line.
+        const Addr* p = addrs.data();
+        if (cfg_.monitoring)
+            feedMonitor(part, p, 1);
+        const uint64_t hit =
+            cfg_.talus ? ctl_->accessBlock(p, 1, part)
+                       : plain_->accessBatchUniform(p, 1, part);
+        intervalAccesses_[part]++;
+        sinceReconfig_++;
+        accessCount_++;
+        if (applyAt_ != 0 && accessCount_ >= applyAt_)
+            applyReconfigure();
+        if (cfg_.reconfigInterval > 0 &&
+            sinceReconfig_ >= cfg_.reconfigInterval)
+            reconfigure();
+        return hit;
+    }
     uint64_t hits = 0;
     const Addr* p = addrs.data();
     uint64_t left = addrs.size();
     while (left > 0) {
         // Stop each chunk exactly where the serial path would fire an
         // automatic reconfiguration or a scheduled epoch-deferred
-        // application, so batching cannot slide either point.
-        uint64_t chunk = left;
+        // application, so batching cannot slide either point. The
+        // kAccessBlock cap bounds the monitor/router scratch buffers.
+        uint64_t chunk = std::min<uint64_t>(left, kAccessBlock);
         if (cfg_.reconfigInterval > 0)
             chunk = std::min<uint64_t>(
                 chunk, cfg_.reconfigInterval - sinceReconfig_);
         if (applyAt_ != 0)
             chunk = std::min<uint64_t>(chunk, applyAt_ - accessCount_);
-        if (cfg_.talus) {
-            TalusController* ctl = ctl_.get();
-            for (uint64_t i = 0; i < chunk; ++i) {
-                if (mon)
-                    mon->access(p[i]);
-                hits += ctl->access(p[i], part);
-            }
-        } else {
-            PartitionedCacheBase* plain = plain_.get();
-            for (uint64_t i = 0; i < chunk; ++i) {
-                if (mon)
-                    mon->access(p[i]);
-                hits += plain->access(p[i], part);
-            }
-        }
+        // Monitor pass, then access pass. The monitors never read the
+        // cache and the cache never reads the monitors during
+        // accesses, so splitting the passes reaches the same state as
+        // interleaving per address — and each pass runs branch-light
+        // over a block the hash kernels can pipeline.
+        if (cfg_.monitoring)
+            feedMonitor(part, p, chunk);
+        hits += cfg_.talus
+                    ? ctl_->accessBlock(p, chunk, part)
+                    : plain_->accessBatchUniform(p, chunk, part);
         intervalAccesses_[part] += chunk;
         sinceReconfig_ += chunk;
         accessCount_ += chunk;
         p += chunk;
         left -= chunk;
+        // The deferred (older) configuration applies before any
+        // automatic reconfiguration landing on the same access.
         if (applyAt_ != 0 && accessCount_ >= applyAt_)
             applyReconfigure();
         if (cfg_.reconfigInterval > 0 &&

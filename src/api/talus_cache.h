@@ -83,6 +83,21 @@ class TalusCache
         bool monitoring = true;    //!< false: no UMONs (external curves
                                    //!< only, via applyCurves).
         uint32_t umonCoverage = 4; //!< UMON models coverage*LLC lines.
+        /**
+         * Monitor every Nth access instead of every access (systematic
+         * 1-in-N decimation per partition, deterministic). 1 (the
+         * default) feeds the monitors every access — today's behavior,
+         * bit-exact with pre-knob builds. N > 1 trades monitor fidelity
+         * for speed: the UMONs already subsample by address hash
+         * (Assumption 3), and for an address stream whose statistics
+         * are stationary across the interval a 1-in-N time slice has
+         * the same expected miss curve — only the per-interval sample
+         * count (and thus the curve's variance) shrinks by N. Expect
+         * curve noise to grow roughly as sqrt(N); keep
+         * reconfigInterval large enough that each interval still
+         * samples thousands of accesses per partition.
+         */
+        uint32_t monitorSamplePeriod = 1;
 
         // --- Allocation / reconfiguration -----------------------------
         std::string allocatorName = "HillClimb"; //!< "" = external
@@ -133,17 +148,29 @@ class TalusCache
     /**
      * One access by logical partition @p part; returns true on hit.
      * Fires reconfigure() automatically every Config::reconfigInterval
-     * accesses (when an allocator is configured).
+     * accesses (when an allocator is configured). Delegates to
+     * accessBatch() with a block of one, so the two paths share one
+     * implementation and cannot drift.
      */
-    bool access(Addr addr, PartId part = 0);
+    bool access(Addr addr, PartId part = 0)
+    {
+        return accessBatch(Span<const Addr>(&addr, 1), part) != 0;
+    }
 
     /**
      * Drives a whole block of addresses through the cache for one
-     * logical partition — bit-exact with calling access() once per
-     * address (monitors update first, automatic reconfigurations fire
-     * at the same access counts), but with the per-access dispatch
-     * (monitoring check, Talus-vs-plain branch) hoisted out of the
-     * inner loop. This is the fast path the trace-replay sims use.
+     * logical partition — bit-exact with per-access semantics
+     * (monitors observe every address, automatic reconfigurations and
+     * epoch-deferred applications fire at the same access counts),
+     * but structured as two passes per chunk: a monitor pass (fused
+     * H3 hashing + early sampling rejection over the whole chunk)
+     * followed by an access pass (router hashes evaluated in a block,
+     * then the partitioned cache's batched entry point — a
+     * devirtualized fused kernel under Vantage+LRU). Monitors and the
+     * cache share no state within a chunk, and chunks split exactly
+     * at reconfiguration/epoch boundaries, so every observation point
+     * sees bit-identical state. This is the fast path the
+     * trace-replay sims and the sharded engine use.
      *
      * @return Number of hits in the block.
      */
@@ -273,8 +300,16 @@ class TalusCache
     const TalusController* controller() const { return ctl_.get(); }
 
   private:
+    /** Batch chunk bound: caps the monitor/router scratch buffers and
+     *  keeps each pass L1/L2-resident. */
+    static constexpr uint64_t kAccessBlock = 4096;
+
     /** Ends the monitoring interval and packages the control input. */
     ControlInput snapshotControl();
+
+    /** Feeds one chunk to @p part's monitor, applying the 1-in-N
+     *  decimation of Config::monitorSamplePeriod. */
+    void feedMonitor(PartId part, const Addr* addrs, uint64_t n);
 
     /** Pushes one committed control output onto the data path. */
     void applyControl(const ControlOutput& out);
@@ -285,7 +320,11 @@ class TalusCache
     std::unique_ptr<PartitionedCacheBase> plain_; //!< Baseline mode.
     ControlPlane plane_; //!< Allocator + staged/active control state.
     uint64_t granule_ = 1;
+    // Per-partition hot metadata in struct-of-arrays layout: the batch
+    // loop touches exactly one slot of each per chunk.
     std::vector<uint64_t> intervalAccesses_;
+    std::vector<uint32_t> monPhase_; //!< Decimation phase per partition.
+    std::vector<Addr> monScratch_;   //!< Decimated-address gather buffer.
     uint64_t sinceReconfig_ = 0;
     uint64_t reconfigurations_ = 0;
     uint64_t accessCount_ = 0; //!< Lifetime accesses (epoch clock).

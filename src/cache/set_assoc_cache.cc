@@ -30,7 +30,7 @@ SetAssocCache::SetAssocCache(const Config& config,
     talus_assert(policy_ != nullptr, "cache needs a replacement policy");
 
     const size_t lines = static_cast<size_t>(numSets_) * numWays_;
-    tags_.assign(lines, 0);
+    tags_.assign(lines, kInvalidTag);
     valid_.assign(lines, 0);
     parts_.assign(lines, kNoPart);
 
@@ -59,6 +59,9 @@ SetAssocCache::setIndexFor(Addr addr, PartId part) const
 bool
 SetAssocCache::access(Addr addr, PartId part)
 {
+    talus_assert(addr != kInvalidTag,
+                 "address aliases the invalid-tag sentinel");
+    mutationEpoch_++;
     policy_->onAccess(addr, part);
 
     const uint32_t set = setIndexFor(addr, part);
@@ -142,11 +145,13 @@ void
 SetAssocCache::invalidateLine(uint32_t line)
 {
     talus_assert(line < numLines(), "invalidateLine out of range");
+    mutationEpoch_++;
     if (valid_[line]) {
         stats_.recordEviction();
         if (scheme_)
             scheme_->onEvict(line, parts_[line]);
         valid_[line] = 0;
+        tags_[line] = kInvalidTag;
         parts_[line] = kNoPart;
     }
 }
@@ -154,11 +159,13 @@ SetAssocCache::invalidateLine(uint32_t line)
 void
 SetAssocCache::invalidateAll()
 {
+    mutationEpoch_++;
     for (uint32_t line = 0; line < numLines(); ++line) {
         if (valid_[line]) {
             if (scheme_)
                 scheme_->onEvict(line, parts_[line]);
             valid_[line] = 0;
+            tags_[line] = kInvalidTag;
             parts_[line] = kNoPart;
         }
     }

@@ -53,6 +53,16 @@ class SetAssocCache
     static constexpr uint32_t kMaxWays = 256;
 
     /**
+     * Tag stored by invalid lines. The cache maintains the invariant
+     * "valid_[line] == 0 implies tags_[line] == kInvalidTag", which
+     * lets batch kernels probe and find invalid ways with a single
+     * scan of the tag array. Accesses to this address are rejected
+     * (it is not a representable line address: it would alias the
+     * sentinel once inserted).
+     */
+    static constexpr Addr kInvalidTag = ~0ull;
+
+    /**
      * Builds a cache.
      *
      * @param config Geometry.
@@ -95,7 +105,45 @@ class SetAssocCache
     PartId linePart(uint32_t line) const { return parts_[line]; }
 
     /** Re-tags @p line to partition @p part (Vantage demote/promote). */
-    void setLinePart(uint32_t line, PartId part) { parts_[line] = part; }
+    void setLinePart(uint32_t line, PartId part)
+    {
+        parts_[line] = part;
+        mutationEpoch_++;
+    }
+
+    /**
+     * Counter bumped by every mutation that goes through the generic
+     * access()/invalidate paths. Batch kernels that mirror line state
+     * (e.g. per-set occupancy masks) compare it against the value at
+     * their last rebuild: equal means no one else touched the arrays.
+     * Kernels writing through lineArrays() must NOT bump it — their
+     * mirrors already reflect those writes.
+     */
+    uint64_t mutationEpoch() const { return mutationEpoch_; }
+
+    /**
+     * Mutable raw view over the line arrays for fused batch kernels
+     * (SchemePartitionedCache). A kernel using it must preserve the
+     * same invariants access() does: valid lines carry their tag and
+     * owning partition, and every scheme/policy counter it bypasses
+     * is updated inline. Pointers are stable for the cache's lifetime.
+     */
+    struct LineArrays
+    {
+        Addr* tags;
+        uint8_t* valid;
+        PartId* parts;
+    };
+    LineArrays lineArrays()
+    {
+        return {tags_.data(), valid_.data(), parts_.data()};
+    }
+
+    /** True when set indices hash the address (vs bit selection). */
+    bool hashSetIndex() const { return hashSetIndex_; }
+
+    /** Seed of the set-index hash. */
+    uint64_t hashSeed() const { return hashSeed_; }
 
     /** Invalidates one line, notifying the scheme. */
     void invalidateLine(uint32_t line);
@@ -134,6 +182,7 @@ class SetAssocCache
     std::vector<Addr> tags_;
     std::vector<uint8_t> valid_;
     std::vector<PartId> parts_;
+    uint64_t mutationEpoch_ = 0;
 
     std::unique_ptr<ReplPolicy> policy_;
     std::unique_ptr<PartitionScheme> scheme_;

@@ -44,6 +44,10 @@ class ShadowRouter
     /** Raw limit register value, for the hardware-cost model. */
     uint64_t limit() const { return limit_; }
 
+    /** The routing hash, for batched evaluation: comparing
+     *  hashFn().hash(addr) < limit() is exactly toAlpha(). */
+    const H3Hash& hashFn() const { return hash_; }
+
     /** Hash/limit width in bits. */
     uint32_t bits() const { return hash_.outBits(); }
 

@@ -40,6 +40,32 @@ TalusController::access(Addr addr, PartId part)
     return phys_->access(addr, phys_part);
 }
 
+uint64_t
+TalusController::accessBlock(const Addr* addrs, uint64_t n, PartId part)
+{
+    talus_assert(part < cfg_.numLogicalParts, "bad logical partition ",
+                 part);
+    if (n == 0)
+        return 0;
+    const ShadowRouter& router = routers_[part];
+    if (n == 1) {
+        // Serial fast path: one hash, one routed access, no scratch.
+        const PartId phys = router.toAlpha(addrs[0]) ? 2 * part
+                                                     : 2 * part + 1;
+        return phys_->accessBatchRouted(addrs, &phys, 1);
+    }
+    routeHash_.resize(n);
+    routeParts_.resize(n);
+    router.hashFn().hashBlock(Span<const Addr>(addrs, n),
+                              routeHash_.data());
+    const uint64_t limit = router.limit();
+    const PartId alpha = 2 * part;
+    const PartId beta = 2 * part + 1;
+    for (uint64_t i = 0; i < n; ++i)
+        routeParts_[i] = routeHash_[i] < limit ? alpha : beta;
+    return phys_->accessBatchRouted(addrs, routeParts_.data(), n);
+}
+
 std::vector<MissCurve>
 TalusController::convexHulls(const std::vector<MissCurve>& curves)
 {

@@ -61,6 +61,18 @@ class TalusController
     bool access(Addr addr, PartId part);
 
     /**
+     * Routes and performs a whole block of accesses for one logical
+     * partition — bit-exact with calling access() per address. The
+     * router's H3 is evaluated once over the block (hashBlock into a
+     * reusable scratch buffer), the alpha/beta decisions become a
+     * physical-partition array, and the physical cache consumes the
+     * block through its batched entry point.
+     *
+     * @return Number of hits in the block.
+     */
+    uint64_t accessBlock(const Addr* addrs, uint64_t n, PartId part);
+
+    /**
      * Pre-processing: convex hulls of monitored miss curves, in the
      * same order. Partitioning algorithms consume these.
      */
@@ -106,6 +118,8 @@ class TalusController
     std::unique_ptr<PartitionedCacheBase> phys_;
     std::vector<ShadowRouter> routers_;
     std::vector<TalusConfig> shadowCfg_;
+    std::vector<uint32_t> routeHash_;  //!< accessBlock hash scratch.
+    std::vector<PartId> routeParts_;   //!< accessBlock routing scratch.
 };
 
 } // namespace talus

@@ -47,6 +47,36 @@ CombinedUMon::access(Addr addr)
         secondary_.access(addr);
 }
 
+void
+CombinedUMon::accessBlockMulti(Span<const Addr> addrs)
+{
+    const size_t n = addrs.size();
+    if (n == 0)
+        return;
+    hashScratch_.resize(n);
+    uint32_t* h = hashScratch_.data();
+
+    // One fused hash pass per monitor, then a rejection loop that
+    // only calls into the tag array for the sampled minority. The
+    // compare is the exact double compare UMon::access uses, so the
+    // sampled set is bit-identical.
+    primary_.hashFn().hashBlock(addrs, h);
+    const double primary_limit = primary_.sampleLimit();
+    for (size_t i = 0; i < n; ++i) {
+        if (static_cast<double>(h[i]) < primary_limit)
+            primary_.accessSampled(addrs[i], h[i]);
+    }
+
+    if (cfg_.coverage > 1) {
+        secondary_.hashFn().hashBlock(addrs, h);
+        const double secondary_limit = secondary_.sampleLimit();
+        for (size_t i = 0; i < n; ++i) {
+            if (static_cast<double>(h[i]) < secondary_limit)
+                secondary_.accessSampled(addrs[i], h[i]);
+        }
+    }
+}
+
 MissCurve
 CombinedUMon::curve() const
 {

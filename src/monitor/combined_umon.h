@@ -14,7 +14,10 @@
 #ifndef TALUS_MONITOR_COMBINED_UMON_H
 #define TALUS_MONITOR_COMBINED_UMON_H
 
+#include <vector>
+
 #include "monitor/umon.h"
+#include "util/span.h"
 
 namespace talus {
 
@@ -37,6 +40,37 @@ class CombinedUMon
 
     /** Observes one access (both monitors sample internally). */
     void access(Addr addr);
+
+    /**
+     * Observes a whole block of accesses — bit-exact with calling
+     * access() per address, but each monitor's H3 evaluations are
+     * fused into one hashBlock over the block and unsampled addresses
+     * are rejected by the prescaled-threshold compare without ever
+     * entering the monitor call. The two monitors sample independent
+     * slices, so running the primary over the block and then the
+     * secondary reaches the same state as interleaving per address.
+     *
+     * The single-address case (the serial facade drives one-access
+     * blocks per call) stays in the header: its steady-state cost is
+     * the inlined H3 evaluations plus the sample compares, and only
+     * the sampled minority pays the out-of-line tag-array walk.
+     */
+    void accessBlock(Span<const Addr> addrs)
+    {
+        if (addrs.size() == 1) {
+            const Addr a = addrs.data()[0];
+            const uint32_t hp = primary_.hashFn().hash(a);
+            if (static_cast<double>(hp) < primary_.sampleLimit())
+                primary_.accessSampled(a, hp);
+            if (cfg_.coverage > 1) {
+                const uint32_t hs = secondary_.hashFn().hash(a);
+                if (static_cast<double>(hs) < secondary_.sampleLimit())
+                    secondary_.accessSampled(a, hs);
+            }
+            return;
+        }
+        accessBlockMulti(addrs);
+    }
 
     /**
      * Merged miss-ratio curve: primary points up to the LLC size,
@@ -68,9 +102,14 @@ class CombinedUMon
     uint64_t coveredLines() const;
 
   private:
+    /** The multi-address body of accessBlock: fused hashBlock per
+     *  monitor plus a rejection loop over the block. */
+    void accessBlockMulti(Span<const Addr> addrs);
+
     Config cfg_;
     UMon primary_;
     UMon secondary_;
+    std::vector<uint32_t> hashScratch_; //!< accessBlock's hash buffer.
 };
 
 } // namespace talus

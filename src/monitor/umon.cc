@@ -46,16 +46,8 @@ UMon::UMon(const Config& config)
 }
 
 void
-UMon::access(Addr addr)
+UMon::accessSampled(Addr addr, uint32_t h)
 {
-    // Pseudo-random address sampling (Assumption 3): the sampled
-    // stream is statistically self-similar, so the small array models
-    // a proportionally larger cache (Theorem 4). One H3 evaluation
-    // drives both decisions: the magnitude compare consumes the high
-    // bits, the set index the low bits.
-    const uint32_t h = hash_.hash(addr);
-    if (static_cast<double>(h) >= sampleLimit_)
-        return;
     sampled_++;
 
     const uint32_t set = setsArePow2_ ? (h & setMask_) : (h % cfg_.sets);

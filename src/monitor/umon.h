@@ -41,7 +41,34 @@ class UMon
      * Observes one access; internally decides whether the address is
      * sampled (hash below the sampling threshold).
      */
-    void access(Addr addr);
+    void access(Addr addr)
+    {
+        // Pseudo-random address sampling (Assumption 3): the sampled
+        // stream is statistically self-similar, so the small array
+        // models a proportionally larger cache (Theorem 4). One H3
+        // evaluation drives both decisions: the magnitude compare
+        // consumes the high bits, the set index the low bits.
+        const uint32_t h = hash_.hash(addr);
+        if (static_cast<double>(h) >= sampleLimit_)
+            return;
+        accessSampled(addr, h);
+    }
+
+    /**
+     * The hot-path split of access(): the caller already evaluated
+     * @p h = hashFn().hash(addr) and checked
+     * static_cast<double>(h) < sampleLimit(), so this only runs the
+     * tag-array update. Callers must use that exact double compare —
+     * it is what makes batched rejection bit-exact with access().
+     */
+    void accessSampled(Addr addr, uint32_t h);
+
+    /** The prescaled sampling threshold access() compares hashes
+     *  against (sampleThreshold * hash range). */
+    double sampleLimit() const { return sampleLimit_; }
+
+    /** The sampling/set-index hash, for batched evaluation. */
+    const H3Hash& hashFn() const { return hash_; }
 
     /** Accesses that passed the sampling filter. */
     uint64_t sampledAccesses() const { return sampled_; }

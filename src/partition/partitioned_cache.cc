@@ -1,12 +1,16 @@
 #include "partition/partitioned_cache.h"
 
+#include <typeinfo>
+
 #include "partition/futility_scaling.h"
 #include "partition/ideal_partition.h"
 #include "partition/set_partition.h"
 #include "partition/unpartitioned.h"
 #include "partition/vantage.h"
 #include "partition/way_partition.h"
+#include "policy/lru.h"
 #include "policy/policy_factory.h"
+#include "util/bits.h"
 #include "util/log.h"
 
 namespace talus {
@@ -18,18 +22,355 @@ SchemePartitionedCache::SchemePartitionedCache(
 {
     talus_assert(cache_.scheme() != nullptr,
                  "SchemePartitionedCache requires a scheme");
+    // The fused batch kernel replicates the exact per-access semantics
+    // of VantageScheme over plain LRU, so it is only safe when the
+    // scheme is VantageScheme (which keeps the default whole-cache set
+    // index) and the policy is exactly LruPolicy — a derived policy
+    // could override hooks the kernel bypasses.
+    // The kernel's way scans build 64-bit match masks, so it also
+    // requires associativity <= 64 (every real configuration).
+    fusedVantage_ = dynamic_cast<VantageScheme*>(cache_.scheme());
+    if (fusedVantage_ != nullptr && cache_.numWays() <= 64 &&
+        typeid(cache_.policy()) == typeid(LruPolicy))
+        fusedLru_ = static_cast<LruPolicy*>(&cache_.policy());
 }
 
 bool
 SchemePartitionedCache::access(Addr addr, PartId part)
 {
+    // Route through the fused kernel when active so the serial path
+    // shares its cost profile and the occupancy masks stay in sync
+    // without a rebuild.
+    if (fusedLru_ != nullptr)
+        return fusedBatch(&addr, nullptr, 1, part) != 0;
     return cache_.access(addr, part);
+}
+
+uint64_t
+SchemePartitionedCache::accessBatchRouted(const Addr* addrs,
+                                          const PartId* parts, uint64_t n)
+{
+    if (fusedLru_ != nullptr)
+        return fusedBatch(addrs, parts, n, 0);
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < n; ++i)
+        hits += cache_.access(addrs[i], parts[i]);
+    return hits;
+}
+
+uint64_t
+SchemePartitionedCache::accessBatchUniform(const Addr* addrs, uint64_t n,
+                                           PartId part)
+{
+    if (fusedLru_ != nullptr)
+        return fusedBatch(addrs, nullptr, n, part);
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < n; ++i)
+        hits += cache_.access(addrs[i], part);
+    return hits;
+}
+
+void
+SchemePartitionedCache::rebuildMasks()
+{
+    const uint32_t ways = cache_.numWays();
+    const uint32_t sets = cache_.numSets();
+    const uint32_t nparts = fusedVantage_->numPartitions();
+    const SetAssocCache::LineArrays la = cache_.lineArrays();
+    unmanagedMask_.assign(sets, 0);
+    partMask_.assign(static_cast<size_t>(sets) * nparts, 0);
+    for (uint32_t s = 0; s < sets; ++s) {
+        for (uint32_t w = 0; w < ways; ++w) {
+            const uint32_t line = s * ways + w;
+            if (!la.valid[line])
+                continue;
+            const PartId p = la.parts[line];
+            if (p == kNoPart)
+                unmanagedMask_[s] |= 1ull << w;
+            else
+                partMask_[static_cast<size_t>(s) * nparts + p] |= 1ull
+                                                                  << w;
+        }
+    }
+
+    CacheStats& st = cache_.stats();
+    st.ensureParts(nparts);
+    const VantageScheme::Books bk = fusedVantage_->books();
+    ctx_.tags = la.tags;
+    ctx_.valid = la.valid;
+    ctx_.lparts = la.parts;
+    ctx_.stamps = fusedLru_->stampsRaw();
+    ctx_.clock = fusedLru_->clockRaw();
+    ctx_.occ = bk.occ;
+    ctx_.targets = bk.targets;
+    ctx_.unmanaged = bk.unmanaged;
+    ctx_.umk = unmanagedMask_.data();
+    ctx_.pmk = partMask_.data();
+    ctx_.accRaw = st.accessesRaw();
+    ctx_.hitRaw = st.hitsRaw();
+    ctx_.hashSeed = cache_.hashSeed();
+    ctx_.ways = ways;
+    ctx_.sets = sets;
+    ctx_.setMask = sets - 1;
+    ctx_.nparts = nparts;
+    ctx_.setsPow2 = (sets & (sets - 1)) == 0;
+    ctx_.hashed = cache_.hashSetIndex();
+    maskEpoch_ = cache_.mutationEpoch();
+}
+
+// Dispatch to an AVX2 build of the kernel on hardware that has it:
+// the way scans and set-index precompute vectorize well past SSE2,
+// and integer SIMD plus scalar-identical double math keep the result
+// bit-exact across clones.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+__attribute__((target_clones("default", "arch=x86-64-v3")))
+#endif
+uint64_t
+SchemePartitionedCache::fusedBatch(const Addr* addrs, const PartId* route,
+                                   uint64_t n, PartId upart)
+{
+    // One devirtualized loop replicating SetAssocCache::access over
+    // VantageScheme + LruPolicy, in the exact operation order of the
+    // generic path (probe -> stats -> stamp -> promote/victim ->
+    // evict bookkeeping -> insert -> demote). Every counter the
+    // generic path's virtual hooks would touch is updated inline, so
+    // the final state after any prefix of the block is bit-identical
+    // — tests/multiprog_equivalence_test.cc holds the generic path up
+    // against this one access by access.
+    if (maskEpoch_ != cache_.mutationEpoch())
+        rebuildMasks();
+    const FusedCtx& c = ctx_;
+    const uint32_t ways = c.ways;
+    const uint32_t sets = c.sets;
+    const bool sets_pow2 = c.setsPow2;
+    const uint32_t set_mask = c.setMask;
+    const bool hashed = c.hashed;
+    const uint64_t hash_seed = c.hashSeed;
+    Addr* tags = c.tags;
+    uint8_t* valid = c.valid;
+    PartId* lparts = c.lparts;
+    uint64_t* stamps = c.stamps;
+    uint64_t* clock = c.clock;
+    uint64_t clk = *clock;
+    const VantageScheme::Books bk = {c.occ, c.targets, c.unmanaged};
+    const uint32_t nparts = c.nparts;
+    uint64_t* acc_raw = c.accRaw;
+    uint64_t* hit_raw = c.hitRaw;
+    uint64_t* umk = c.umk;
+    uint64_t* pmk = c.pmk;
+    uint64_t hits = 0;
+    uint64_t evictions = 0;
+
+    // Branchless LRU argmin over the ways selected by mask @p m in the
+    // set at @p sb (set * ways). The LRU clock stamps every touch with
+    // a fresh ++clk, so stamps are unique and the minimum needs no
+    // way-order tie-break: packing (stamp << 6) | way turns the walk
+    // into a pure min-reduction the compiler vectorizes, instead of a
+    // loop-carried ctz chain. Excluded ways get a sentinel above any
+    // real key (stamps stay far below 2^57 for any feasible run).
+    // Callers guarantee m != 0. The ways==16 specialization exists
+    // because a constant trip count is what actually unlocks the
+    // vectorizer; the generic loop is the same code with a runtime
+    // bound.
+    const auto argminStamp = [&](uint32_t sb, uint64_t m) -> uint32_t {
+        uint64_t best = ~0ull;
+        if (ways == 16) {
+            for (uint32_t w = 0; w < 16; ++w) {
+                const uint64_t excl =
+                    -(((m >> w) & 1) ^ 1ull); // all-ones if excluded
+                const uint64_t key =
+                    ((stamps[sb + w] << 6) | w) | excl;
+                best = key < best ? key : best;
+            }
+        } else {
+            for (uint32_t w = 0; w < ways; ++w) {
+                const uint64_t excl = -(((m >> w) & 1) ^ 1ull);
+                const uint64_t key =
+                    ((stamps[sb + w] << 6) | w) | excl;
+                best = key < best ? key : best;
+            }
+        }
+        return sb + static_cast<uint32_t>(best & 63);
+    };
+
+    // demoteIfOverTarget with the LRU argmin fused in (unique stamps
+    // make the mask-restricted minimum == LruPolicy::victim over
+    // way-ordered candidates).
+    const auto demote = [&](uint32_t inserted, PartId p) {
+        if (bk.occ[p] <= bk.targets[p] || bk.targets[p] == 0)
+            return;
+        const uint32_t dset = inserted / ways;
+        const uint32_t set_base = dset * ways;
+        // Walk only p's ways, minus the just-inserted line.
+        const uint64_t m = pmk[static_cast<size_t>(dset) * nparts + p] &
+                           ~(1ull << (inserted - set_base));
+        if (m == 0)
+            return; // Cannot demote within this set; converges later.
+        const uint32_t demoted = argminStamp(set_base, m);
+        lparts[demoted] = kNoPart;
+        bk.occ[p]--;
+        (*bk.unmanaged)++;
+        pmk[static_cast<size_t>(dset) * nparts + p] &=
+            ~(1ull << (demoted - set_base));
+        umk[dset] |= 1ull << (demoted - set_base);
+    };
+
+    const auto setOf = [&](Addr addr) -> uint32_t {
+        const uint64_t h = hashed ? mix64(addr ^ hash_seed) : addr;
+        return sets_pow2 ? static_cast<uint32_t>(h & set_mask)
+                         : static_cast<uint32_t>(h % sets);
+    };
+
+    // For real blocks, precompute all set indices in one tight pass;
+    // the lookahead then prefetches upcoming tag/stamp/mask rows while
+    // earlier accesses resolve. Single-access blocks skip both.
+    constexpr uint64_t kPf = 8;
+    uint32_t* setv = nullptr;
+    if (n >= kPf) {
+        if (setScratch_.size() < n)
+            setScratch_.resize(n);
+        setv = setScratch_.data();
+        for (uint64_t i = 0; i < n; ++i)
+            setv[i] = setOf(addrs[i]);
+    }
+
+    for (uint64_t i = 0; i < n; ++i) {
+        if (setv != nullptr && i + kPf < n) {
+            const uint32_t ps = setv[i + kPf];
+            const uint32_t pf = ps * ways;
+            __builtin_prefetch(&tags[pf], 0);
+            __builtin_prefetch(&tags[pf + ways - 1], 0);
+            __builtin_prefetch(&stamps[pf], 1);
+            __builtin_prefetch(&stamps[pf + ways - 1], 1);
+            __builtin_prefetch(&lparts[pf], 1);
+            __builtin_prefetch(&umk[ps], 1);
+            __builtin_prefetch(&pmk[static_cast<size_t>(ps) * nparts], 1);
+        }
+        const Addr addr = addrs[i];
+        const PartId part = route != nullptr ? route[i] : upart;
+        talus_assert(part < nparts, "bad partition id ", part);
+        talus_assert(addr != SetAssocCache::kInvalidTag,
+                     "address aliases the invalid-tag sentinel");
+        const uint32_t set = setv != nullptr ? setv[i] : setOf(addr);
+        const uint32_t base = set * ways;
+
+        // One branchless pass over the tag row finds both the hit way
+        // and the invalid ways (invalid lines hold kInvalidTag; the
+        // sentinel can't match a real address). Lowest set bit =
+        // first way in way order, exactly the generic scan order.
+        uint64_t m_match = 0;
+        uint64_t m_inval = 0;
+        for (uint32_t w = 0; w < ways; ++w) {
+            const Addr t = tags[base + w];
+            m_match |= static_cast<uint64_t>(t == addr) << w;
+            m_inval |= static_cast<uint64_t>(
+                           t == SetAssocCache::kInvalidTag)
+                       << w;
+        }
+        acc_raw[part]++;
+
+        if (m_match != 0) {
+            const uint32_t hit_line =
+                base + static_cast<uint32_t>(__builtin_ctzll(m_match));
+            hit_raw[part]++;
+            stamps[hit_line] = ++clk;
+            if (lparts[hit_line] == kNoPart) {
+                // Promotion: an unmanaged line that hits rejoins the
+                // accessing partition, rebalancing immediately.
+                lparts[hit_line] = part;
+                bk.occ[part]++;
+                if (*bk.unmanaged > 0)
+                    (*bk.unmanaged)--;
+                umk[set] &= ~(1ull << (hit_line - base));
+                pmk[static_cast<size_t>(set) * nparts + part] |=
+                    1ull << (hit_line - base);
+                demote(hit_line, part);
+            }
+            hits++;
+            continue;
+        }
+
+        // Miss: invalid way first, else unmanaged LRU, else the LRU
+        // of the most over-target partition in the set.
+        uint32_t victim = kBypassLine;
+        if (m_inval != 0) {
+            victim =
+                base + static_cast<uint32_t>(__builtin_ctzll(m_inval));
+        } else {
+            const uint64_t mu = umk[set];
+            if (mu != 0) {
+                victim = argminStamp(base, mu);
+            } else {
+                // The generic path walks ways in order and keeps the
+                // first strictly-greater ratio, i.e. among the parts
+                // tied at the maximum ratio it picks the one whose
+                // first way in this set is earliest. Iterating parts
+                // with that explicit tie-break is equivalent and
+                // touches each present part once instead of each way.
+                PartId worst = kNoPart;
+                double worst_ratio = -1.0;
+                uint32_t worst_first = 64;
+                for (uint32_t q = 0; q < nparts; ++q) {
+                    const uint64_t mq =
+                        pmk[static_cast<size_t>(set) * nparts + q];
+                    if (mq == 0)
+                        continue;
+                    const double ratio =
+                        bk.targets[q] == 0
+                            ? 1e18
+                            : static_cast<double>(bk.occ[q]) /
+                                  static_cast<double>(bk.targets[q]);
+                    const uint32_t first =
+                        static_cast<uint32_t>(__builtin_ctzll(mq));
+                    if (ratio > worst_ratio ||
+                        (ratio == worst_ratio && first < worst_first)) {
+                        worst_ratio = ratio;
+                        worst = q;
+                        worst_first = first;
+                    }
+                }
+                talus_assert(worst != kNoPart,
+                             "set full of foreign lines");
+                victim = argminStamp(
+                    base,
+                    pmk[static_cast<size_t>(set) * nparts + worst]);
+            }
+        }
+
+        const uint64_t vbit = 1ull << (victim - base);
+        if (valid[victim]) {
+            evictions++;
+            const PartId owner = lparts[victim];
+            if (owner == kNoPart) {
+                if (*bk.unmanaged > 0)
+                    (*bk.unmanaged)--;
+                umk[set] &= ~vbit;
+            } else if (owner < nparts) {
+                if (bk.occ[owner] > 0)
+                    bk.occ[owner]--;
+                pmk[static_cast<size_t>(set) * nparts + owner] &= ~vbit;
+            }
+        }
+        tags[victim] = addr;
+        valid[victim] = 1;
+        lparts[victim] = part;
+        stamps[victim] = ++clk;
+        bk.occ[part]++;
+        pmk[static_cast<size_t>(set) * nparts + part] |= vbit;
+        demote(victim, part);
+    }
+    *clock = clk;
+    cache_.stats().addEvictions(evictions);
+    return hits;
 }
 
 void
 SchemePartitionedCache::setTargets(const std::vector<uint64_t>& lines)
 {
     cache_.setTargets(lines);
+    // The scheme may reseat its target storage; recapture the kernel
+    // context (and masks) before the next fused block.
+    maskEpoch_ = ~0ull;
 }
 
 uint32_t

@@ -27,6 +27,9 @@
 
 namespace talus {
 
+class VantageScheme;
+class LruPolicy;
+
 /** Abstract partitioned cache with runtime-resizable partitions. */
 class PartitionedCacheBase
 {
@@ -35,6 +38,35 @@ class PartitionedCacheBase
 
     /** One access by partition @p part; returns true on hit. */
     virtual bool access(Addr addr, PartId part) = 0;
+
+    /**
+     * A block of accesses with a per-address partition array (the
+     * Talus controller's routed path). Bit-exact with calling
+     * access() per element; implementations may fuse the per-access
+     * virtual dispatch away. @return Number of hits.
+     */
+    virtual uint64_t accessBatchRouted(const Addr* addrs,
+                                       const PartId* parts, uint64_t n)
+    {
+        uint64_t hits = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            hits += access(addrs[i], parts[i]);
+        return hits;
+    }
+
+    /**
+     * A block of accesses all by partition @p part (the plain
+     * facade path). Bit-exact with calling access() per element.
+     * @return Number of hits.
+     */
+    virtual uint64_t accessBatchUniform(const Addr* addrs, uint64_t n,
+                                        PartId part)
+    {
+        uint64_t hits = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            hits += access(addrs[i], part);
+        return hits;
+    }
 
     /** Re-targets partition sizes (lines, one entry per partition). */
     virtual void setTargets(const std::vector<uint64_t>& lines) = 0;
@@ -80,6 +112,10 @@ class SchemePartitionedCache : public PartitionedCacheBase
                            std::unique_ptr<PartitionScheme> scheme);
 
     bool access(Addr addr, PartId part) override;
+    uint64_t accessBatchRouted(const Addr* addrs, const PartId* parts,
+                               uint64_t n) override;
+    uint64_t accessBatchUniform(const Addr* addrs, uint64_t n,
+                                PartId part) override;
     void setTargets(const std::vector<uint64_t>& lines) override;
     uint32_t numPartitions() const override;
     uint64_t capacityLines() const override;
@@ -93,8 +129,71 @@ class SchemePartitionedCache : public PartitionedCacheBase
     /** Underlying cache, for tests and monitors. */
     SetAssocCache& cache() { return cache_; }
 
+    /** True when the fused Vantage+LRU batch kernel is active (the
+     *  scheme is VantageScheme and the policy is exactly LRU). */
+    bool fusedKernelActive() const { return fusedLru_ != nullptr; }
+
   private:
+    /** The fused Vantage+LRU batch kernel: one devirtualized loop
+     *  replicating access() exactly. @p route is per-address
+     *  partitions or nullptr for uniform @p upart. */
+    uint64_t fusedBatch(const Addr* addrs, const PartId* route,
+                        uint64_t n, PartId upart);
+
+    /** Rebuilds the per-set occupancy masks from the line arrays and
+     *  records the cache's mutation epoch. Called lazily by
+     *  fusedBatch when someone mutated lines behind its back. */
+    void rebuildMasks();
+
     SetAssocCache cache_;
+    VantageScheme* fusedVantage_ = nullptr; //!< Set iff kernel usable.
+    LruPolicy* fusedLru_ = nullptr;         //!< Set iff kernel usable.
+
+    /**
+     * Per-set way bitmaps mirroring the line arrays, so the kernel's
+     * victim scans only visit relevant ways (bit order == way order,
+     * preserving the generic scan order exactly). unmanagedMask_[s]
+     * has bit w set iff line s*ways+w is valid and unmanaged;
+     * partMask_[s*nparts+p] iff it is valid and owned by p. Invalid
+     * lines appear in neither. Valid only while maskEpoch_ matches
+     * cache_.mutationEpoch().
+     */
+    std::vector<uint64_t> unmanagedMask_;
+    std::vector<uint64_t> partMask_;
+    uint64_t maskEpoch_ = ~0ull; //!< Forces the initial rebuild.
+    std::vector<uint32_t> setScratch_; //!< Precomputed set indices.
+
+    /**
+     * Kernel context captured at rebuildMasks() time: every pointer
+     * and geometry field fusedBatch needs, packed so a single-access
+     * call reads one struct instead of chasing through four objects.
+     * All pointers are stable between rebuilds — the paths that could
+     * reseat them (generic access, invalidation, setTargets) bump the
+     * mutation epoch or invalidate maskEpoch_ directly.
+     */
+    struct FusedCtx
+    {
+        Addr* tags;
+        uint8_t* valid;
+        PartId* lparts;
+        uint64_t* stamps;
+        uint64_t* clock;
+        uint64_t* occ;
+        const uint64_t* targets;
+        uint64_t* unmanaged;
+        uint64_t* umk;
+        uint64_t* pmk;
+        uint64_t* accRaw;
+        uint64_t* hitRaw;
+        uint64_t hashSeed;
+        uint32_t ways;
+        uint32_t sets;
+        uint32_t setMask;
+        uint32_t nparts;
+        bool setsPow2;
+        bool hashed;
+    };
+    FusedCtx ctx_{};
 };
 
 /** Which partitioned-cache construction to use. */

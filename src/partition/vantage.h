@@ -67,8 +67,27 @@ class VantageScheme : public PartitionScheme
     /** Current number of unmanaged (demoted) valid lines. */
     uint64_t unmanagedLines() const { return unmanaged_; }
 
+    /**
+     * Raw bookkeeping view for the fused Vantage+LRU batch kernel
+     * (SchemePartitionedCache), which replicates
+     * onInsert/onEvict/onHit/selectVictim inline. Pointers are
+     * invalidated by setTargets().
+     */
+    struct Books
+    {
+        uint64_t* occ;
+        const uint64_t* targets;
+        uint64_t* unmanaged;
+    };
+    Books books() { return {occ_.data(), targets_.data(), &unmanaged_}; }
+
   private:
     void demoteIfOverTarget(uint32_t inserted_line, PartId part);
+
+    /** Victim among the lines of the most over-target partition in
+     *  the set; @p keys is the policy's rank keys or nullptr. */
+    uint32_t victimOfWorstPart(uint32_t base, uint32_t ways,
+                               const uint64_t* keys, ReplPolicy& policy);
 
     uint32_t numParts_;
     std::vector<uint64_t> targets_;

@@ -26,8 +26,20 @@ class LruPolicy : public ReplPolicy
     uint32_t victim(const uint32_t* cands, uint32_t n) override;
     const char* name() const override { return "LRU"; }
 
+    /** LRU victim selection is the argmin of the stamps. */
+    const uint64_t* rankKeys() const override { return stamps_.data(); }
+
     /** Timestamp of @p line; exposed for tests and derived policies. */
     uint64_t stamp(uint32_t line) const { return stamps_[line]; }
+
+    /**
+     * Raw stamp/clock state for the fused Vantage+LRU batch kernel
+     * (SchemePartitionedCache): the kernel replicates
+     * onHit()/onInsert() as stamps[line] = ++clock. Pointers are
+     * invalidated by init().
+     */
+    uint64_t* stampsRaw() { return stamps_.data(); }
+    uint64_t* clockRaw() { return &clock_; }
 
   private:
     std::vector<uint64_t> stamps_;

@@ -61,7 +61,7 @@ BenchEnv::usage()
         "usage: <bench> [--csv] [--full] [--scale=N] [--instr=N]\n"
         "               [--mixes=N] [--accesses=N] [--seed=N]\n"
         "               [--shards=N] [--threads=N] [--reconfig=N]\n"
-        "               [--trace=PATH]\n"
+        "               [--monitor-sample=N] [--trace=PATH]\n"
         "\n"
         "  --csv         emit CSV instead of aligned tables\n"
         "  --full        paper-true scale and run lengths (slow);\n"
@@ -82,6 +82,9 @@ BenchEnv::usage()
         "  --reconfig=N  accesses between control-plane\n"
         "                reconfigurations (TALUS_RECONFIG;\n"
         "                0 = bench default)\n"
+        "  --monitor-sample=N  monitor every Nth access\n"
+        "                (TALUS_MONITOR_SAMPLE; default 1 =\n"
+        "                every access, the exact-curve setting)\n"
         "  --trace=PATH  replay the trace file at PATH (binary or\n"
         "                CSV; see tools/trace_convert) instead of a\n"
         "                synthetic workload (TALUS_TRACE)\n"
@@ -97,7 +100,7 @@ BenchEnv::init(int argc, char** argv)
     BenchEnv env;
     bool full = envFlag("TALUS_FULL");
     std::optional<uint64_t> scale_f, instr_f, mixes_f, accesses_f,
-        seed_f, shards_f, threads_f, reconfig_f;
+        seed_f, shards_f, threads_f, reconfig_f, monitor_sample_f;
     std::optional<std::string> trace_f;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -126,7 +129,9 @@ BenchEnv::init(int argc, char** argv)
                    matchValueFlag(binary, arg, "threads",
                                   &threads_f) ||
                    matchValueFlag(binary, arg, "reconfig",
-                                  &reconfig_f)) {
+                                  &reconfig_f) ||
+                   matchValueFlag(binary, arg, "monitor-sample",
+                                  &monitor_sample_f)) {
             // Parsed into its optional above.
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "%s: unrecognized flag '%s'\n\n%s",
@@ -202,6 +207,35 @@ BenchEnv::init(int argc, char** argv)
     env.reconfig =
         rangedKnob(reconfig_f, "TALUS_RECONFIG",
                    std::numeric_limits<uint64_t>::max(), "unreachable");
+    // The sampling period is validated like the shard knobs, but its
+    // floor is 1, not 0: period 0 is meaningless (Config::validate
+    // would also reject it, but catching it here makes it a usage
+    // error with the flag name, not a ConfigError mid-construction).
+    {
+        uint64_t value;
+        if (monitor_sample_f.has_value()) {
+            value = *monitor_sample_f;
+        } else {
+            const int64_t raw = envInt("TALUS_MONITOR_SAMPLE", 1);
+            if (raw < 1) {
+                std::fprintf(stderr,
+                             "%s: TALUS_MONITOR_SAMPLE must be >= 1\n"
+                             "\n%s",
+                             binary, usage());
+                std::exit(1);
+            }
+            value = static_cast<uint64_t>(raw);
+        }
+        if (value < 1 ||
+            value > std::numeric_limits<uint32_t>::max()) {
+            std::fprintf(stderr,
+                         "%s: --monitor-sample/TALUS_MONITOR_SAMPLE "
+                         "must be in [1, 2^32-1]\n\n%s",
+                         binary, usage());
+            std::exit(1);
+        }
+        env.monitorSample = static_cast<uint32_t>(value);
+    }
     // The trace knob is validated like the shard knobs — from the
     // flag OR the env var — so a missing or corrupt trace file is a
     // usage error here, not a mid-run fatal after minutes of warmup.

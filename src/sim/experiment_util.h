@@ -39,6 +39,11 @@ struct BenchEnv
     std::string tracePath;       //!< Trace file to replay instead of
                                  //!< a synthetic workload
                                  //!< (TALUS_TRACE); "" = none.
+    uint32_t monitorSample = 1;  //!< Monitor every Nth access
+                                 //!< (TALUS_MONITOR_SAMPLE); 1 =
+                                 //!< every access, the exact-curve
+                                 //!< default. Maps to
+                                 //!< Config::monitorSamplePeriod.
 
     /**
      * Parses the common bench command line over environment-variable

@@ -66,6 +66,7 @@ facadeConfig(const MultiProgConfig& cfg, uint32_t n)
     cc.margin = cfg.margin;
     cc.routerBits = cfg.routerBits;
     cc.umonCoverage = cfg.umonCoverage;
+    cc.monitorSamplePeriod = cfg.monitorSamplePeriod;
     cc.allocatorName = cfg.allocatorName;
     cc.allocateOnHulls = cfg.allocateOnHulls;
     // Reconfiguration is driven by modeled cycles below, not by the

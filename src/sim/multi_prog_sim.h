@@ -48,6 +48,8 @@ struct MultiProgConfig
     double margin = 0.05;           //!< Talus safety margin.
     uint32_t routerBits = 8;        //!< Talus sampling width.
     uint32_t umonCoverage = 4;      //!< Monitor coverage multiple.
+    uint32_t monitorSamplePeriod = 1; //!< Feed the monitors every Nth
+                                      //!< access (1 = every access).
     uint64_t seed = 42;
     CoreModelParams coreParams;
 };

@@ -40,6 +40,9 @@ H3Hash::H3Hash(uint32_t out_bits, uint64_t seed)
                     table_[b][v] ^ bit_contrib[j];
         }
     }
+
+    hiZero32_ = table_[4][0] ^ table_[5][0] ^ table_[6][0] ^ table_[7][0];
+    hiZero16_ = hiZero32_ ^ table_[2][0] ^ table_[3][0];
 }
 
 uint32_t

@@ -158,6 +158,49 @@ TEST(BenchEnvDeathTest, EnvVarShardKnobsAreRangeCheckedToo)
     ::unsetenv("TALUS_RECONFIG");
 }
 
+TEST(BenchEnv, MonitorSampleDefaultsToOne)
+{
+    // 1 = monitor every access, the exact-curve default.
+    EXPECT_EQ(initWith({}).monitorSample, 1u);
+}
+
+TEST(BenchEnv, MonitorSampleFlagAndEnvVar)
+{
+    EXPECT_EQ(initWith({"--monitor-sample=64"}).monitorSample, 64u);
+
+    ::setenv("TALUS_MONITOR_SAMPLE", "16", 1);
+    EXPECT_EQ(initWith({}).monitorSample, 16u);
+    // Flags win over env vars, as for every other knob.
+    EXPECT_EQ(initWith({"--monitor-sample=4"}).monitorSample, 4u);
+    ::unsetenv("TALUS_MONITOR_SAMPLE");
+}
+
+TEST(BenchEnvDeathTest, MonitorSampleRejectsZeroAndGarbage)
+{
+    // Period 0 is meaningless: the floor is 1, not 0 as for the
+    // shard knobs.
+    EXPECT_EXIT(initWith({"--monitor-sample=0"}),
+                ::testing::ExitedWithCode(1), "must be in \\[1,");
+    EXPECT_EXIT(initWith({"--monitor-sample=abc"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+    EXPECT_EXIT(initWith({"--monitor-sample=-3"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+    // The period is stored in 32 bits; out-of-range must not
+    // silently truncate.
+    EXPECT_EXIT(initWith({"--monitor-sample=4294967296"}),
+                ::testing::ExitedWithCode(1), "must be in \\[1,");
+
+    // The env path hits the same checks: zero and negatives are
+    // usage errors, not wraparounds.
+    ::setenv("TALUS_MONITOR_SAMPLE", "0", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "TALUS_MONITOR_SAMPLE must be >= 1");
+    ::setenv("TALUS_MONITOR_SAMPLE", "-1", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "TALUS_MONITOR_SAMPLE must be >= 1");
+    ::unsetenv("TALUS_MONITOR_SAMPLE");
+}
+
 /** Writes a small valid binary trace and returns its path. */
 std::string
 writeValidTrace(const std::string& name)

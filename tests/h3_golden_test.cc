@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/shadow_router.h"
 #include "util/h3_hash.h"
 #include "util/rng.h"
@@ -87,6 +89,62 @@ TEST(H3Golden, TableMatchesBitSerialReferenceForRandomSeeds)
             const Addr a = rng.next64();
             ASSERT_EQ(h.hash(a), h.hashReference(a))
                 << "bits=" << bits << " seed=" << seed << " addr=" << a;
+        }
+    }
+}
+
+TEST(H3Golden, SmallAddressFastPathIsBitExact)
+{
+    // hash() takes short-circuit paths for addr < 2^16 and < 2^32
+    // (zero high bytes fold into a precomputed constant). Pin every
+    // path — and the boundaries between them — to the bit-serial
+    // reference.
+    constexpr Addr kEdges[] = {
+        0ull, 1ull, 0xFFull, 0x100ull, 0xFFFFull,          // 2-load path
+        0x10000ull, 0xDEADBEEFull, 0xFFFFFFFFull,          // 4-load path
+        0x100000000ull, 0x123456789ABCDEFull, ~0ull,       // 8-load path
+    };
+    Rng rng(0xB10C);
+    for (int trial = 0; trial < 8; ++trial) {
+        const uint32_t bits = 1 + static_cast<uint32_t>(rng.below(32));
+        const uint64_t seed = rng.next64();
+        H3Hash h(bits, seed);
+        for (const Addr a : kEdges)
+            ASSERT_EQ(h.hash(a), h.hashReference(a))
+                << "bits=" << bits << " seed=" << seed << " addr=" << a;
+        // Random draws confined to each path's range.
+        for (int i = 0; i < 500; ++i) {
+            const Addr small = rng.below(1ull << 16);
+            const Addr mid = rng.below(1ull << 32);
+            ASSERT_EQ(h.hash(small), h.hashReference(small));
+            ASSERT_EQ(h.hash(mid), h.hashReference(mid));
+        }
+    }
+}
+
+TEST(H3Golden, HashBlockMatchesPerAddressCalls)
+{
+    // hashBlock is the batched-access fast path; it must be bit-exact
+    // with per-address hash() calls for every length, including the
+    // degenerate 0/1 blocks and odd tails that defeat unrolling.
+    Rng rng(0x5EED);
+    for (const uint64_t seed : {0x1905CAFEull, 0x707ull, 0xC3Bull}) {
+        H3Hash h(32, seed);
+        for (const size_t n : {size_t(0), size_t(1), size_t(2),
+                               size_t(7), size_t(63), size_t(257)}) {
+            std::vector<Addr> addrs(n);
+            for (auto& a : addrs) {
+                // Mix full-width and small addresses so the block
+                // exercises all of hash()'s internal paths.
+                a = (rng.below(3) == 0) ? rng.below(1ull << 16)
+                                        : rng.next64();
+            }
+            std::vector<uint32_t> block(n, 0xA5A5A5A5u);
+            h.hashBlock(Span<const Addr>(addrs.data(), n),
+                        block.data());
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(block[i], h.hash(addrs[i]))
+                    << "seed=" << seed << " n=" << n << " i=" << i;
         }
     }
 }
