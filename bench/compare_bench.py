@@ -62,6 +62,12 @@ DEFAULT_TRACKED = [
     # tracked: its wall time is dominated by the fixed arrival
     # schedule, so items/s reflects the offered rate, not the code.
     "BM_ServingClosedLoop/shards:4/threads:0/real_time",
+    # Observability layer (PR 9): the batched facade with metrics
+    # publishing on. Tracked against the baseline like any hot path,
+    # and additionally held to the metrics-off row by
+    # OVERHEAD_INVARIANTS below.
+    "BM_MetricsOverhead/metrics:0",
+    "BM_MetricsOverhead/metrics:1",
 ]
 
 # No-negative-scaling invariants, checked on the current run alone:
@@ -77,6 +83,18 @@ SCALING_INVARIANTS = [
      "BM_ShardedBatchedAccess/shards:4/threads:4/real_time", 4),
     ("BM_ServingClosedLoop/shards:4/threads:0/real_time",
      "BM_ServingClosedLoop/shards:4/threads:4/real_time", 4),
+]
+
+# Bounded-overhead invariants, checked on the current run alone: each
+# (off, on, max_overhead) pair must satisfy
+# throughput(on) >= throughput(off) * (1 - max_overhead). Pins the
+# observability layer's advertised <= 2% cost on the batched facade
+# path; the margin above 2% absorbs run-to-run noise on shared CI
+# hosts (single runs swing a few percent either way — the budget
+# claim itself comes from repetition medians).
+OVERHEAD_INVARIANTS = [
+    ("BM_MetricsOverhead/metrics:0", "BM_MetricsOverhead/metrics:1",
+     0.05),
 ]
 
 
@@ -129,6 +147,24 @@ def check_scaling(curr, skip):
     return failures
 
 
+def check_overhead(curr):
+    """Bounded overhead: instrumented rows must stay near the
+    uninstrumented rows. Returns violated (off, on, ratio, budget)
+    tuples; pairs with absent rows are ignored (the tracked-benchmark
+    missing check covers deletions)."""
+    failures = []
+    for off_name, on_name, budget in OVERHEAD_INVARIANTS:
+        if off_name not in curr or on_name not in curr:
+            continue
+        ratio = curr[on_name] / curr[off_name]
+        flag = "" if ratio >= 1.0 - budget else "  << OVER BUDGET"
+        print(f"overhead {on_name}: {ratio:.3f}x of {off_name} "
+              f"(budget {budget:.0%}){flag}")
+        if ratio < 1.0 - budget:
+            failures.append((off_name, on_name, ratio, budget))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -171,13 +207,15 @@ def main():
 
     print()
     scaling_failures = check_scaling(curr, args.skip_scaling_check)
+    overhead_failures = check_overhead(curr)
 
-    if failures or missing or scaling_failures:
+    if failures or missing or scaling_failures or overhead_failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more "
               f"than {args.threshold:.0%}, {len(missing)} tracked "
               f"benchmark(s) missing from the current run, "
               f"{len(scaling_failures)} scaling invariant(s) "
-              f"violated:")
+              f"violated, {len(overhead_failures)} overhead "
+              f"invariant(s) violated:")
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x of baseline")
         for name in missing:
@@ -185,9 +223,13 @@ def main():
         for inline_name, threaded_name, ratio in scaling_failures:
             print(f"  {threaded_name}: {ratio:.2f}x of {inline_name} "
                   f"(threaded dispatch must not lose to inline)")
+        for off_name, on_name, ratio, budget in overhead_failures:
+            print(f"  {on_name}: {ratio:.3f}x of {off_name} "
+                  f"(instrumentation budget {budget:.0%})")
         return 1
     print(f"\nOK: no tracked benchmark regressed more than "
-          f"{args.threshold:.0%}; scaling invariants hold")
+          f"{args.threshold:.0%}; scaling and overhead invariants "
+          f"hold")
     return 0
 
 

@@ -25,6 +25,7 @@
 #include "core/talus_config.h"
 #include "core/talus_controller.h"
 #include "monitor/combined_umon.h"
+#include "obs/registry.h"
 #include "monitor/mattson_curve.h"
 #include "monitor/stack_distance.h"
 #include "policy/policy_factory.h"
@@ -206,6 +207,36 @@ BM_TalusBatchedAccess(benchmark::State& state)
                             static_cast<int64_t>(kBlock));
 }
 BENCHMARK(BM_TalusBatchedAccess);
+
+/**
+ * The metricsEnabled toll on the batched facade path: the same load
+ * as BM_TalusBatchedAccess with metrics off (arg 0) and on (arg 1,
+ * publishing into a fresh local registry). compare_bench.py checks
+ * metrics:1 stays within 2% of metrics:0 — the observability layer's
+ * advertised overhead budget.
+ */
+void
+BM_MetricsOverhead(benchmark::State& state)
+{
+    constexpr size_t kBlock = 4096;
+    MetricRegistry registry;
+    TalusCache::Config cc = facadeBenchConfig();
+    if (state.range(0) != 0) {
+        cc.metricsEnabled = true;
+        cc.metrics = &registry;
+    }
+    TalusCache cache(cc);
+    const std::vector<Addr> addrs = facadeBenchAddrs();
+    size_t off = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.accessBatch(
+            Span<const Addr>(addrs.data() + off, kBlock), 0));
+        off = (off + kBlock) & (addrs.size() - 1);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kBlock));
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1)->ArgName("metrics");
 
 /** The facade with monitoring off: isolates router + cache cost. */
 void

@@ -26,9 +26,17 @@
  * tools/trace_convert), demonstrating that a production access log
  * drives the identical machinery unchanged.
  *
+ * The windowed timelines are derived from the observability layer:
+ * each engine publishes cumulative counters into a MetricRegistry
+ * (labeled engine="lru"/"talus" and shard=), and per-window miss
+ * ratios are metricsDelta() of consecutive snapshots — no stats
+ * resets, no hand-kept per-series state. With --metrics=PATH the
+ * engines publish into the global registry, so the exit dump carries
+ * the whole run.
+ *
  * Build & run:  ./build/examples/scenario_zoo
  *               [--shards=N] [--threads=N] [--accesses=N] [--csv]
- *               [--trace=PATH] [--seed=N]
+ *               [--trace=PATH] [--seed=N] [--metrics=PATH]
  */
 
 #include <algorithm>
@@ -64,13 +72,19 @@ struct Timeline
 
 /**
  * Replays @p windows windows of @p window_accesses each, reading the
- * per-window miss ratio from the engine's cumulative stats. Talus
- * engines get an explicit epoch-deferred control sweep every window
- * (epoch = one replay block), keeping the run deterministic for any
- * thread count.
+ * per-window miss ratio as a registry snapshot delta: the engine
+ * publishes cumulative talus_cache_accesses_total /
+ * misses_total counters (labeled engine= and shard=), and
+ * metricsDelta of consecutive snapshots yields each window's rates —
+ * the production pattern for deriving windowed figures from
+ * monotone counters, with no stats reset and no hand-kept "last
+ * value" state per series. Talus engines get an explicit
+ * epoch-deferred control sweep every window (epoch = one replay
+ * block), keeping the run deterministic for any thread count.
  */
 Timeline
-runTimeline(ShardedTalusCache& cache, PhaseStream& stream,
+runTimeline(ShardedTalusCache& cache, MetricRegistry& reg,
+            const std::string& engine_filter, PhaseStream& stream,
             uint64_t windows, uint64_t window_accesses, bool control)
 {
     ShardedReplayOptions opts;
@@ -83,33 +97,37 @@ runTimeline(ShardedTalusCache& cache, PhaseStream& stream,
         opts.applyEpochLen = opts.blockSize;
     }
     Timeline t;
-    uint64_t last_accesses = 0, last_misses = 0, pos = 0;
+    uint64_t pos = 0;
+    MetricsSnapshot before = reg.snapshot();
     for (uint64_t w = 0; w < windows; ++w) {
         t.phase.push_back(stream.phaseAt(pos));
         runShardedReplay(cache, stream, opts);
         pos += window_accesses;
-        // Cumulative stats across all shards -> this window's delta.
-        uint64_t accesses = 0, misses = 0;
-        for (uint32_t s = 0; s < cache.numShards(); ++s) {
-            const auto st = cache.shardStats(s, 0);
-            accesses += st.accesses;
-            misses += st.misses;
-        }
-        const uint64_t da = accesses - last_accesses;
-        const uint64_t dm = misses - last_misses;
+        const MetricsSnapshot after = reg.snapshot();
+        const MetricsSnapshot d = metricsDelta(before, after);
+        // Cross-shard rollup of this engine's series only: the
+        // registry is shared, so the engine label is the selector.
+        const uint64_t da =
+            d.counterTotal("talus_cache_accesses_total", engine_filter);
+        const uint64_t dm =
+            d.counterTotal("talus_cache_misses_total", engine_filter);
         t.missRatio.push_back(
             da > 0 ? static_cast<double>(dm) / static_cast<double>(da)
                    : 0.0);
-        last_accesses = accesses;
-        last_misses = misses;
+        before = after;
     }
     return t;
 }
 
-/** Builds the engine: shared geometry, Talus on or off. */
+/**
+ * Builds the engine: shared geometry, Talus on or off. Metrics are
+ * always on here (the timeline machinery reads them); @p engine
+ * becomes an engine="..." label so both engines can share @p reg.
+ */
 ShardedTalusCache
 buildEngine(uint64_t total_lines, uint32_t shards, uint32_t threads,
-            uint64_t seed, bool talus_on)
+            uint64_t seed, bool talus_on, MetricRegistry& reg,
+            const std::string& engine)
 {
     ShardedTalusCache::Config cfg;
     cfg.numShards = shards;
@@ -119,6 +137,9 @@ buildEngine(uint64_t total_lines, uint32_t shards, uint32_t threads,
     cfg.shard.numParts = 1;
     cfg.shard.talus = talus_on;
     cfg.shard.seed = seed;
+    cfg.shard.metricsEnabled = true;
+    cfg.shard.metrics = &reg;
+    cfg.shard.metricsScope = labelPair("engine", engine);
     if (talus_on) {
         cfg.shard.allocatorName = "HillClimb";
         cfg.shard.reconfigInterval = 0; // Control is explicit here.
@@ -141,12 +162,21 @@ main(int argc, char** argv)
     const uint32_t threads = env.threads;
     const uint64_t seed = env.seed;
 
+    // The timelines are registry-snapshot deltas, so metrics are
+    // always on; publishing into the global registry when --metrics=
+    // asked for a dump makes the exit snapshot carry the full run.
+    MetricRegistry local_registry;
+    MetricRegistry& reg = env.metricsWanted() ? globalMetricRegistry()
+                                              : local_registry;
+
     // --- Recorded-trace mode: a production log drives the engine. --
     if (!env.tracePath.empty()) {
         TraceStream trace(env.tracePath);
-        ShardedTalusCache cache =
-            buildEngine(1 << 14, shards, threads, seed, true);
+        ShardedTalusCache cache = buildEngine(
+            1 << 14, shards, threads, seed, true, reg, "talus");
         ServingOptions opts;
+        if (env.metricsWanted())
+            opts.metrics = &reg;
         opts.accesses =
             env.measureAccesses > 0 ? env.measureAccesses : 1'000'000;
         opts.batchSize = 8192;
@@ -222,18 +252,20 @@ main(int argc, char** argv)
         const uint64_t windows = std::max<uint64_t>(
             1, sc.stream->scheduleAccesses() / window);
 
-        ShardedTalusCache lru =
-            buildEngine(sc.cacheLines, shards, threads, seed, false);
-        ShardedTalusCache talus =
-            buildEngine(sc.cacheLines, shards, threads, seed, true);
+        ShardedTalusCache lru = buildEngine(
+            sc.cacheLines, shards, threads, seed, false, reg, "lru");
+        ShardedTalusCache talus = buildEngine(
+            sc.cacheLines, shards, threads, seed, true, reg, "talus");
         auto lru_stream = sc.stream->clone();
         const Timeline lt = runTimeline(
-            lru, static_cast<PhaseStream&>(*lru_stream), windows,
-            window, false);
+            lru, reg, labelPair("engine", "lru"),
+            static_cast<PhaseStream&>(*lru_stream), windows, window,
+            false);
         auto talus_stream = sc.stream->clone();
         const Timeline tt = runTimeline(
-            talus, static_cast<PhaseStream&>(*talus_stream), windows,
-            window, true);
+            talus, reg, labelPair("engine", "talus"),
+            static_cast<PhaseStream&>(*talus_stream), windows, window,
+            true);
 
         Table timeline(sc.name + ": windowed miss ratio",
                        {"window", "phase", "LRU", "Talus"});
@@ -261,15 +293,19 @@ main(int argc, char** argv)
         // demo quick): 0-thread vs 4-thread Talus runs must agree
         // bit-exactly — epoch-deferred control keeps it so.
         if (&sc == &scenarios.front()) {
-            ShardedTalusCache a =
-                buildEngine(sc.cacheLines, shards, 0, seed, true);
-            ShardedTalusCache b =
-                buildEngine(sc.cacheLines, shards, 4, seed, true);
+            // Fresh registries: same engine label, separate series.
+            MetricRegistry ra, rb;
+            ShardedTalusCache a = buildEngine(
+                sc.cacheLines, shards, 0, seed, true, ra, "talus");
+            ShardedTalusCache b = buildEngine(
+                sc.cacheLines, shards, 4, seed, true, rb, "talus");
             auto sa = sc.stream->clone();
             auto sb = sc.stream->clone();
-            runTimeline(a, static_cast<PhaseStream&>(*sa), windows,
+            runTimeline(a, ra, labelPair("engine", "talus"),
+                        static_cast<PhaseStream&>(*sa), windows,
                         window, true);
-            runTimeline(b, static_cast<PhaseStream&>(*sb), windows,
+            runTimeline(b, rb, labelPair("engine", "talus"),
+                        static_cast<PhaseStream&>(*sb), windows,
                         window, true);
             for (uint32_t s = 0; s < shards; ++s) {
                 const auto x = a.shardStats(s, 0);

@@ -20,7 +20,12 @@
  *
  * Build & run:  ./build/examples/serving_bench
  *               [--shards=N] [--threads=N] [--accesses=N]
- *               [--reconfig=N] [--csv]
+ *               [--reconfig=N] [--csv] [--metrics=PATH]
+ *
+ * With --metrics=PATH (or TALUS_METRICS), the engine and harness
+ * publish into the global metric registry — per-shard hit/miss
+ * counters, worker ring depths, control-plane staleness, serving
+ * latency histograms — and a snapshot is dumped to PATH at exit.
  */
 
 #include <cstdio>
@@ -46,11 +51,14 @@ main(int argc, char** argv)
     cfg.shard.reconfigInterval =
         env.reconfig > 0 ? env.reconfig : 50'000;
     cfg.shard.seed = env.seed;
+    cfg.shard.metricsEnabled = env.metricsWanted();
 
     ServingOptions serve;
     serve.accesses = env.measureAccesses * 4;
     serve.batchSize = 8192;
     serve.warmupBatches = 16;
+    if (env.metricsWanted())
+        serve.metrics = &globalMetricRegistry();
 
     const uint64_t universe = 1 << 16; // Zipf-skewed key space.
 

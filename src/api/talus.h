@@ -22,6 +22,8 @@
 #include "core/convex_hull.h"
 #include "core/miss_curve.h"
 #include "model/analytical_lru.h"
+#include "obs/exporters.h"
+#include "obs/registry.h"
 #include "shard/sharded_cache.h"
 #include "sim/scale.h"
 #include "trace/trace_stream.h"

@@ -1,15 +1,62 @@
 #include "api/talus_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
 #include "alloc/allocator_factory.h"
 #include "alloc/fair_alloc.h"
+#include "obs/registry.h"
 #include "policy/policy_factory.h"
 #include "util/log.h"
 
 namespace talus {
+
+/**
+ * Metric handles + control-age bookkeeping, allocated only when
+ * Config::metricsEnabled. Handles are resolved once here (the only
+ * registry interaction, under its registration mutex); the data path
+ * then only bumps relaxed atomics through them — once per batch, from
+ * totals the batch loop already computed.
+ */
+struct TalusCache::Obs
+{
+    struct PartMetrics
+    {
+        Counter* accesses = nullptr;
+        Counter* hits = nullptr;
+        Counter* misses = nullptr;
+        Counter* monSamples = nullptr;
+        Gauge* occupancy = nullptr;
+        Gauge* targetLines = nullptr;
+        Gauge* rho = nullptr;
+    };
+
+    std::vector<PartMetrics> parts;
+    Counter* batches = nullptr;
+    Counter* evictions = nullptr;
+    Counter* reconfigs = nullptr;
+    Histogram* computeSeconds = nullptr; //!< Records ns, reports s.
+    Gauge* hullVertices = nullptr;
+    Gauge* allocDelta = nullptr;
+    Gauge* applyAge = nullptr;
+    Gauge* staleness = nullptr;
+
+    /** cache().stats().evictions() at the last batch hook: the raw
+     *  counter is lifetime-cumulative (and resetStats() rewinds it),
+     *  so the exported counter advances by per-batch deltas. */
+    uint64_t lastEvictions = 0;
+    /** accessCount_ when the pending configuration was snapshotted. */
+    uint64_t pendingSnapshotAccess = 0;
+    /** accessCount_ when the *active* configuration was snapshotted
+     *  (0 until the first apply: the constructor's fair split is as
+     *  old as the cache). Staleness = accessCount_ - this. */
+    uint64_t activeSnapshotAccess = 0;
+    /** Allocation last applied, for the reallocation-magnitude
+     *  gauge. */
+    std::vector<uint64_t> lastAlloc;
+};
 
 namespace {
 
@@ -152,13 +199,59 @@ TalusCache::TalusCache(const Config& config) : cfg_(config)
     granule_ = std::max<uint64_t>(1, cfg_.llcLines / 64);
     intervalAccesses_.assign(cfg_.numParts, 0);
     monPhase_.assign(cfg_.numParts, 0);
+
+    if (cfg_.metricsEnabled) {
+        obs_ = std::make_unique<Obs>();
+        Obs& o = *obs_;
+        MetricRegistry& reg = cfg_.metrics != nullptr
+                                  ? *cfg_.metrics
+                                  : globalMetricRegistry();
+        const std::string& scope = cfg_.metricsScope;
+        o.parts.resize(cfg_.numParts);
+        for (uint32_t p = 0; p < cfg_.numParts; ++p) {
+            const std::string labels =
+                joinLabels(scope, labelPair("part", p));
+            Obs::PartMetrics& pm = o.parts[p];
+            pm.accesses =
+                &reg.counter("talus_cache_accesses_total", labels);
+            pm.hits = &reg.counter("talus_cache_hits_total", labels);
+            pm.misses =
+                &reg.counter("talus_cache_misses_total", labels);
+            pm.monSamples =
+                &reg.counter("talus_monitor_samples_total", labels);
+            pm.occupancy =
+                &reg.gauge("talus_cache_occupancy_lines", labels);
+            pm.targetLines =
+                &reg.gauge("talus_cache_target_lines", labels);
+            pm.rho = &reg.gauge("talus_cache_rho", labels);
+        }
+        o.batches = &reg.counter("talus_cache_batches_total", scope);
+        o.evictions =
+            &reg.counter("talus_cache_evictions_total", scope);
+        o.reconfigs =
+            &reg.counter("talus_control_reconfigurations_total", scope);
+        o.computeSeconds = &reg.histogram(
+            "talus_control_compute_seconds", scope, 1e-9);
+        o.hullVertices =
+            &reg.gauge("talus_control_hull_vertices", scope);
+        o.allocDelta =
+            &reg.gauge("talus_control_alloc_delta_lines", scope);
+        o.applyAge =
+            &reg.gauge("talus_control_apply_age_accesses", scope);
+        o.staleness = &reg.gauge(
+            "talus_control_config_staleness_accesses", scope);
+    }
 }
+
+TalusCache::~TalusCache() = default;
 
 void
 TalusCache::feedMonitor(PartId part, const Addr* addrs, uint64_t n)
 {
     CombinedUMon& mon = monitors_[part];
     if (cfg_.monitorSamplePeriod == 1) {
+        if (obs_)
+            obs_->parts[part].monSamples->inc(n);
         mon.accessBlock(Span<const Addr>(addrs, n));
         return;
     }
@@ -175,6 +268,8 @@ TalusCache::feedMonitor(PartId part, const Addr* addrs, uint64_t n)
             phase = 0;
     }
     monPhase_[part] = phase;
+    if (obs_)
+        obs_->parts[part].monSamples->inc(monScratch_.size());
     mon.accessBlock(Span<const Addr>(monScratch_.data(),
                                      monScratch_.size()));
 }
@@ -197,6 +292,8 @@ TalusCache::accessBatch(Span<const Addr> addrs, PartId part)
         intervalAccesses_[part]++;
         sinceReconfig_++;
         accessCount_++;
+        if (obs_)
+            obsOnBatch(part, 1, hit);
         if (applyAt_ != 0 && accessCount_ >= applyAt_)
             applyReconfigure();
         if (cfg_.reconfigInterval > 0 &&
@@ -225,14 +322,17 @@ TalusCache::accessBatch(Span<const Addr> addrs, PartId part)
         // over a block the hash kernels can pipeline.
         if (cfg_.monitoring)
             feedMonitor(part, p, chunk);
-        hits += cfg_.talus
-                    ? ctl_->accessBlock(p, chunk, part)
-                    : plain_->accessBatchUniform(p, chunk, part);
+        const uint64_t chunk_hits =
+            cfg_.talus ? ctl_->accessBlock(p, chunk, part)
+                       : plain_->accessBatchUniform(p, chunk, part);
+        hits += chunk_hits;
         intervalAccesses_[part] += chunk;
         sinceReconfig_ += chunk;
         accessCount_ += chunk;
         p += chunk;
         left -= chunk;
+        if (obs_)
+            obsOnBatch(part, chunk, chunk_hits);
         // The deferred (older) configuration applies before any
         // automatic reconfiguration landing on the same access.
         if (applyAt_ != 0 && accessCount_ >= applyAt_)
@@ -287,7 +387,27 @@ TalusCache::prepareReconfigure()
                     joinNames(knownAllocators()),
                     ") or apply externally computed configurations "
                     "with applyCurves()");
-    plane_.compute(snapshotControl());
+    if (obs_ == nullptr) {
+        plane_.compute(snapshotControl());
+        return;
+    }
+    // Instrumented prepare: remember the snapshot's access count (the
+    // config-staleness clock starts here) and time the pure compute
+    // stage. The clock reads bracket only plane_.compute(), so the
+    // histogram measures exactly what a background control thread
+    // would pay per step.
+    const ControlInput in = snapshotControl();
+    obs_->pendingSnapshotAccess = accessCount_;
+    const auto t0 = std::chrono::steady_clock::now();
+    plane_.compute(in);
+    const auto t1 = std::chrono::steady_clock::now();
+    obs_->computeSeconds->record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    uint64_t vertices = 0;
+    for (const uint32_t v : plane_.pending().allocCurvePoints)
+        vertices += v;
+    obs_->hullVertices->set(static_cast<double>(vertices));
 }
 
 void
@@ -324,6 +444,66 @@ TalusCache::applyControl(const ControlOutput& out)
     else if (cfg_.scheme != SchemeKind::Unpartitioned)
         plain_->setTargets(out.alloc);
     cache().nextInterval();
+    if (obs_)
+        obsOnApply(out);
+}
+
+void
+TalusCache::obsOnBatch(PartId part, uint64_t n, uint64_t hits)
+{
+    Obs& o = *obs_;
+    Obs::PartMetrics& pm = o.parts[part];
+    pm.accesses->inc(n);
+    pm.misses->inc(n - hits);
+    pm.hits->inc(hits);
+    o.batches->inc();
+    // Evictions are tracked cache-wide by CacheStats; export the
+    // per-batch delta. A backward jump means resetStats() rewound the
+    // raw counter — re-baseline without regressing the exported
+    // (monotone) counter.
+    const uint64_t ev = cache().stats().evictions();
+    if (ev >= o.lastEvictions)
+        o.evictions->inc(ev - o.lastEvictions);
+    o.lastEvictions = ev;
+    pm.occupancy->set(static_cast<double>(
+        cfg_.talus ? cache().occupancy(2 * part) +
+                         cache().occupancy(2 * part + 1)
+                   : cache().occupancy(part)));
+    o.staleness->set(
+        static_cast<double>(accessCount_ - o.activeSnapshotAccess));
+}
+
+void
+TalusCache::obsOnApply(const ControlOutput& out)
+{
+    Obs& o = *obs_;
+    o.reconfigs->inc();
+    // Apply age: accesses served between this configuration's monitor
+    // snapshot and its application — 0 for synchronous reconfigure(),
+    // the deferred distance for applyReconfigureAtEpoch().
+    o.applyAge->set(
+        static_cast<double>(accessCount_ - o.pendingSnapshotAccess));
+    o.activeSnapshotAccess = o.pendingSnapshotAccess;
+    uint64_t delta = 0;
+    if (o.lastAlloc.size() == out.alloc.size())
+        for (size_t p = 0; p < out.alloc.size(); ++p)
+            delta += out.alloc[p] > o.lastAlloc[p]
+                         ? out.alloc[p] - o.lastAlloc[p]
+                         : o.lastAlloc[p] - out.alloc[p];
+    o.lastAlloc = out.alloc;
+    o.allocDelta->set(static_cast<double>(delta));
+    for (uint32_t p = 0; p < cfg_.numParts; ++p) {
+        Obs::PartMetrics& pm = o.parts[p];
+        if (cfg_.talus) {
+            const PartitionedCacheBase& c = ctl_->cache();
+            pm.targetLines->set(static_cast<double>(
+                c.targetOf(2 * p) + c.targetOf(2 * p + 1)));
+            pm.rho->set(ctl_->routedRho(p));
+        } else if (cfg_.scheme != SchemeKind::Unpartitioned) {
+            pm.targetLines->set(
+                static_cast<double>(plain_->targetOf(p)));
+        }
+    }
 }
 
 void

@@ -58,6 +58,8 @@
 
 namespace talus {
 
+class MetricRegistry;
+
 /** A partitioned cache that runs the Talus loop on itself. */
 class TalusCache
 {
@@ -111,6 +113,24 @@ class TalusCache
                                             //!< unset derives it from
                                             //!< `seed`.
 
+        // --- Observability --------------------------------------------
+        /**
+         * true: publish per-partition hit/miss/eviction/occupancy
+         * counters, monitor sample counts, and control-plane timing/
+         * staleness metrics into a MetricRegistry. false (the
+         * default): zero metrics work — the data path is bit- and
+         * instruction-identical to pre-observability builds (one
+         * never-taken null check per batch).
+         */
+        bool metricsEnabled = false;
+        /** Registry to publish into; null with metricsEnabled uses
+         *  the process-global registry (globalMetricRegistry()). */
+        MetricRegistry* metrics = nullptr;
+        /** Rendered label pairs prepended to every metric this cache
+         *  publishes, e.g. `shard="3"` (ShardedTalusCache sets it per
+         *  shard). "" = no extra labels. */
+        std::string metricsScope;
+
         /**
          * Validates the configuration. Returns "" when valid,
          * otherwise an actionable error message naming the bad field
@@ -144,6 +164,10 @@ class TalusCache
      * @throws ConfigError if @p config fails Config::validate().
      */
     explicit TalusCache(const Config& config);
+
+    ~TalusCache(); //!< Out-of-line: Obs is incomplete here.
+    TalusCache(TalusCache&&) = default;
+    TalusCache& operator=(TalusCache&&) = default;
 
     /**
      * One access by logical partition @p part; returns true on hit.
@@ -307,6 +331,19 @@ class TalusCache
     /** Ends the monitoring interval and packages the control input. */
     ControlInput snapshotControl();
 
+    /** Metric handles + control-age state; allocated only when
+     *  Config::metricsEnabled (see talus_cache.cc). */
+    struct Obs;
+
+    /** Publishes one finished batch/chunk: per-partition counters,
+     *  eviction delta, occupancy, and the staleness gauge. Called
+     *  only when obs_ is non-null. */
+    void obsOnBatch(PartId part, uint64_t n, uint64_t hits);
+
+    /** Publishes one committed configuration: apply age, allocation
+     *  delta, hull vertices, and per-partition targets/rho. */
+    void obsOnApply(const ControlOutput& out);
+
     /** Feeds one chunk to @p part's monitor, applying the 1-in-N
      *  decimation of Config::monitorSamplePeriod. */
     void feedMonitor(PartId part, const Addr* addrs, uint64_t n);
@@ -330,6 +367,8 @@ class TalusCache
     uint64_t accessCount_ = 0; //!< Lifetime accesses (epoch clock).
     uint64_t applyAt_ = 0; //!< Access count of the scheduled deferred
                            //!< application; 0 = none scheduled.
+    std::unique_ptr<Obs> obs_; //!< Null when metrics are off: the
+                               //!< off-switch is a null check.
 };
 
 } // namespace talus

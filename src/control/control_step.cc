@@ -42,6 +42,11 @@ runControlStep(const ControlInput& in, Allocator& allocator,
     out.epoch = 0; // The ControlPlane stamps epochs; standalone
                    // steps carry no tag (and reused buffers none
                    // stale).
+    out.allocCurvePoints.clear();
+    out.allocCurvePoints.reserve(in.numParts);
+    for (const MissCurve& c : alloc_curves)
+        out.allocCurvePoints.push_back(
+            static_cast<uint32_t>(c.numPoints()));
     out.alloc = allocator.allocate(alloc_curves, usable, in.granule);
     out.curves = in.curves;
 }

@@ -69,6 +69,11 @@ struct ControlOutput
     uint64_t epoch = 0;            //!< ControlPlane-assigned tag.
     std::vector<MissCurve> curves; //!< Curves for configure().
     std::vector<uint64_t> alloc;   //!< Lines per logical partition.
+    /** Points per partition in the curves the allocator saw — hull
+     *  vertex counts when ControlInput::allocateOnHulls, raw monitor
+     *  point counts otherwise. Diagnostic: how much structure each
+     *  hull kept (observability reads it; apply ignores it). */
+    std::vector<uint32_t> allocCurvePoints;
 };
 
 /**

@@ -1,0 +1,186 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace talus {
+
+namespace {
+
+/** Full-precision shortest-round-trip-ish double formatting. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Series name with optional label block: name{labels} or name. */
+std::string
+series(const std::string& name, const std::string& labels)
+{
+    if (labels.empty())
+        return name;
+    return name + "{" + labels + "}";
+}
+
+const char*
+typeName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toPrometheusText(const MetricsSnapshot& snapshot)
+{
+    // Prometheus requires every series of a family to be contiguous;
+    // sort by (name, labels) and emit one TYPE line per family. The
+    // sort is stable with respect to nothing the format cares about.
+    std::vector<const MetricValue*> order;
+    order.reserve(snapshot.metrics.size());
+    for (const MetricValue& m : snapshot.metrics)
+        order.push_back(&m);
+    std::sort(order.begin(), order.end(),
+              [](const MetricValue* a, const MetricValue* b) {
+                  if (a->name != b->name)
+                      return a->name < b->name;
+                  return a->labels < b->labels;
+              });
+
+    std::ostringstream out;
+    const std::string* prev_name = nullptr;
+    for (const MetricValue* m : order) {
+        if (prev_name == nullptr || *prev_name != m->name)
+            out << "# TYPE " << m->name << ' ' << typeName(m->kind)
+                << '\n';
+        prev_name = &m->name;
+        switch (m->kind) {
+        case MetricKind::Counter:
+            out << series(m->name, m->labels) << ' ' << m->counter
+                << '\n';
+            break;
+        case MetricKind::Gauge:
+            out << series(m->name, m->labels) << ' '
+                << formatDouble(m->gauge) << '\n';
+            break;
+        case MetricKind::Histogram: {
+            // Cumulative le-buckets over the non-empty buckets, then
+            // the mandatory +Inf, _sum, and _count series. Emitting
+            // only occupied buckets is valid: each le line states
+            // "samples <= le", and cumulation makes the counts
+            // monotone regardless of gaps.
+            const HistogramData& h = m->histogram;
+            uint64_t cum = 0;
+            for (const auto& [idx, n] : h.buckets) {
+                cum += n;
+                const double le =
+                    h.scale * static_cast<double>(
+                                  Histogram::bucketUpperBound(idx));
+                out << series(m->name + "_bucket",
+                              joinLabels(m->labels,
+                                         "le=\"" + formatDouble(le) +
+                                             "\""))
+                    << ' ' << cum << '\n';
+            }
+            out << series(m->name + "_bucket",
+                          joinLabels(m->labels, "le=\"+Inf\""))
+                << ' ' << h.count << '\n';
+            out << series(m->name + "_sum", m->labels) << ' '
+                << formatDouble(h.scale * static_cast<double>(h.sum))
+                << '\n';
+            out << series(m->name + "_count", m->labels) << ' '
+                << h.count << '\n';
+            break;
+        }
+        }
+    }
+    return out.str();
+}
+
+std::string
+toJsonLines(const MetricsSnapshot& snapshot)
+{
+    std::ostringstream out;
+    for (const MetricValue& m : snapshot.metrics) {
+        out << "{\"name\":\"" << jsonEscape(m.name) << "\",\"labels\":\""
+            << jsonEscape(m.labels) << "\",\"kind\":\""
+            << typeName(m.kind) << "\"";
+        switch (m.kind) {
+        case MetricKind::Counter:
+            out << ",\"value\":" << m.counter;
+            break;
+        case MetricKind::Gauge:
+            out << ",\"value\":" << formatDouble(m.gauge);
+            break;
+        case MetricKind::Histogram: {
+            const HistogramData& h = m.histogram;
+            out << ",\"count\":" << h.count << ",\"sum\":" << h.sum
+                << ",\"max\":" << h.max
+                << ",\"scale\":" << formatDouble(h.scale)
+                << ",\"buckets\":[";
+            // Raw per-bucket (upper bound, count) pairs — the
+            // diff-friendly non-cumulative form.
+            bool first = true;
+            for (const auto& [idx, n] : h.buckets) {
+                if (!first)
+                    out << ',';
+                first = false;
+                out << '[' << Histogram::bucketUpperBound(idx) << ','
+                    << n << ']';
+            }
+            out << ']';
+            break;
+        }
+        }
+        out << "}\n";
+    }
+    return out.str();
+}
+
+std::string
+writeMetricsFile(const MetricsSnapshot& snapshot,
+                 const std::string& path)
+{
+    const bool json =
+        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    const bool jsonl =
+        path.size() >= 6 &&
+        path.compare(path.size() - 6, 6, ".jsonl") == 0;
+    const std::string text = (json || jsonl) ? toJsonLines(snapshot)
+                                             : toPrometheusText(snapshot);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return "cannot open metrics file '" + path +
+               "': " + std::strerror(errno);
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const int close_err = std::fclose(f);
+    if (written != text.size() || close_err != 0)
+        return "short write to metrics file '" + path + "'";
+    return "";
+}
+
+} // namespace talus

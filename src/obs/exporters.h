@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Exporters: MetricsSnapshot -> Prometheus text exposition format, or
+ * JSON lines for offline diffing.
+ *
+ * The Prometheus writer emits the standard text format (one
+ * `# TYPE` line per family, `name{labels} value` series lines;
+ * histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+ * `_count`), so the output scrapes/ingests with stock tooling and is
+ * validated in CI by tools/check_metrics.py. The JSON-lines writer
+ * emits one self-contained object per metric — trivially diffable and
+ * greppable, no parser state.
+ */
+
+#ifndef TALUS_OBS_EXPORTERS_H
+#define TALUS_OBS_EXPORTERS_H
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace talus {
+
+/** Renders @p snapshot in Prometheus text exposition format. */
+std::string toPrometheusText(const MetricsSnapshot& snapshot);
+
+/** Renders @p snapshot as JSON lines (one object per metric). */
+std::string toJsonLines(const MetricsSnapshot& snapshot);
+
+/**
+ * Writes @p snapshot to @p path, picking the format by extension:
+ * `.jsonl`/`.json` get JSON lines, anything else the Prometheus text
+ * format. Returns "" on success, otherwise an actionable error
+ * message (the file may be partially written on I/O failure).
+ */
+std::string writeMetricsFile(const MetricsSnapshot& snapshot,
+                             const std::string& path);
+
+} // namespace talus
+
+#endif // TALUS_OBS_EXPORTERS_H

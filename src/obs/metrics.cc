@@ -1,0 +1,53 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace talus {
+
+double
+HistogramData::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest rank: the ceil(q*n)-th smallest sample (rank >= 1).
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (const auto& [idx, n] : buckets) {
+        seen += n;
+        if (seen >= rank) {
+            // Report the bucket's inclusive upper bound, clamped to
+            // the exact max for the last occupied bucket so q = 1
+            // (and any quantile landing there) never overshoots the
+            // largest recorded value.
+            const uint64_t ub = Histogram::bucketUpperBound(idx);
+            return scale *
+                   static_cast<double>(ub < max ? ub : max);
+        }
+    }
+    return scale * static_cast<double>(max);
+}
+
+HistogramData
+Histogram::snapshot(double scale) const
+{
+    HistogramData d;
+    d.scale = scale;
+    d.count = count();
+    d.sum = sum();
+    d.max = max();
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+        const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+        if (n != 0)
+            d.buckets.emplace_back(i, n);
+    }
+    return d;
+}
+
+} // namespace talus

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Lock-free metric primitives: Counter, Gauge, and a log2-bucketed
+ * Histogram with O(1) record and bounded-error quantiles.
+ *
+ * These are the building blocks of the observability layer
+ * (obs/registry.h). Design rules, in priority order:
+ *
+ *  - Recording must be cheap enough for the data path: every mutation
+ *    is a relaxed atomic on a cache-line-padded slot — no locks, no
+ *    allocation, no stronger ordering than the caller asked for.
+ *    Instrumented code bumps counters once per *batch* with totals it
+ *    already computed, so the steady-state cost is a handful of
+ *    uncontended relaxed adds per few thousand accesses.
+ *  - Reads (snapshots, quantiles) are wait-free with respect to
+ *    writers: they observe each atomic individually, so a snapshot
+ *    taken during concurrent recording is a valid *per-metric* value
+ *    that may be mid-batch across metrics. Each counter is monotone
+ *    under concurrent reads; cross-metric invariants (hits <=
+ *    accesses) hold only at batch granularity.
+ *  - Histogram buckets are log2 groups refined by kSubBits linear
+ *    sub-buckets (HdrHistogram's layout): values below 2^kSubBits are
+ *    exact, everything above lands in a bucket whose width is at most
+ *    1/2^kSubBits of its lower bound, so quantiles carry a documented
+ *    relative error of at most 1/32 (~3.1%) with kSubBits = 5 —
+ *    plenty for latency percentiles, at 1920 buckets (~15 KB).
+ */
+
+#ifndef TALUS_OBS_METRICS_H
+#define TALUS_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace talus {
+
+/** A monotonically increasing counter (relaxed atomic, padded). */
+class alignas(64) Counter
+{
+  public:
+    /** Adds @p n (relaxed; safe from any thread). */
+    void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+
+    /** Current value (relaxed; monotone under concurrent inc()). */
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** A last-value-wins instantaneous measurement (relaxed, padded). */
+class alignas(64) Gauge
+{
+  public:
+    /** Publishes @p v (relaxed; safe from any thread). */
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+
+    /** Last published value. */
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** One histogram's decoded state: what a registry snapshot carries
+ *  and what quantile estimation runs on. Bucket geometry is shared
+ *  with the live Histogram (see Histogram::bucketUpperBound). */
+struct HistogramData
+{
+    uint64_t count = 0; //!< Recorded values.
+    uint64_t sum = 0;   //!< Sum of recorded values (raw units).
+    uint64_t max = 0;   //!< Largest recorded value (exact, raw units).
+    double scale = 1.0; //!< Raw-unit -> reported-unit factor (e.g.
+                        //!< 1e-9 when recording nanoseconds and
+                        //!< reporting seconds).
+    /** Non-empty buckets only: (bucket index, count), ascending. */
+    std::vector<std::pair<uint32_t, uint64_t>> buckets;
+
+    /**
+     * Nearest-rank quantile estimate in reported units: the upper
+     * bound of the bucket holding the ceil(q*count)-th smallest
+     * sample. Exact for raw values below 2^kSubBits; otherwise within
+     * a factor of 1/2^kSubBits (3.125% with kSubBits = 5) above the
+     * true sample. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Mean of recorded values in reported units; 0 when empty. */
+    double mean() const
+    {
+        return count > 0
+                   ? scale * static_cast<double>(sum) /
+                         static_cast<double>(count)
+                   : 0.0;
+    }
+
+    /** Largest recorded value in reported units (exact). */
+    double maxValue() const { return scale * static_cast<double>(max); }
+};
+
+/**
+ * A fixed-footprint histogram over uint64 values with O(1) record.
+ *
+ * Record cost: one clz, three relaxed fetch_adds, and a relaxed
+ * max update. Values below 2^kSubBits (32) get exact unit-width
+ * buckets; larger values land in log2 groups split into 32 linear
+ * sub-buckets, so every bucket's width is at most 1/32 of its lower
+ * bound. Thread-safe for concurrent record() and snapshot().
+ */
+class Histogram
+{
+  public:
+    /** Linear sub-bucket bits per log2 group; drives the error bound
+     *  (quantiles are within 1/2^kSubBits of the true sample). */
+    static constexpr uint32_t kSubBits = 5;
+    static constexpr uint32_t kSubBuckets = 1u << kSubBits;
+    /** Groups 1..(64-kSubBits) above the exact region + group 0 (the
+     *  exact region) = 60 * 32 buckets covering all of uint64; the
+     *  top value maps to group (63-kSubBits+1) = 59, sub 31. */
+    static constexpr uint32_t kBuckets =
+        (64 - kSubBits + 1) * kSubBuckets;
+
+    Histogram() : buckets_(new std::atomic<uint64_t>[kBuckets])
+    {
+        for (uint32_t i = 0; i < kBuckets; ++i)
+            buckets_[i].store(0, std::memory_order_relaxed);
+    }
+
+    /**
+     * Records one value in raw units. Wait-free: relaxed atomics
+     * only. Safe from any thread, including concurrently with
+     * snapshot()/quantile().
+     */
+    void record(uint64_t v)
+    {
+        buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        uint64_t cur = max_.load(std::memory_order_relaxed);
+        while (v > cur && !max_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    /** Recorded values so far. */
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of recorded values (raw units). */
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /** Largest recorded value (raw units; 0 when empty). */
+    uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+    /** Decodes the current state (non-empty buckets only). A snapshot
+     *  under concurrent record() is a valid point-in-time-per-bucket
+     *  view; count/sum/buckets may differ by in-flight records. */
+    HistogramData snapshot(double scale = 1.0) const;
+
+    /** Nearest-rank quantile estimate in raw units (see
+     *  HistogramData::quantile for the error bound). */
+    double quantile(double q) const { return snapshot().quantile(q); }
+
+    /** The bucket a raw value lands in. */
+    static uint32_t bucketIndex(uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<uint32_t>(v);
+        const uint32_t e = 63u - static_cast<uint32_t>(
+                                     __builtin_clzll(v));
+        const uint32_t group = e - kSubBits + 1;
+        const uint32_t sub = static_cast<uint32_t>(
+            (v >> (e - kSubBits)) & (kSubBuckets - 1));
+        return group * kSubBuckets + sub;
+    }
+
+    /** Largest raw value mapping to bucket @p i (inclusive). */
+    static uint64_t bucketUpperBound(uint32_t i)
+    {
+        if (i < kSubBuckets)
+            return i;
+        const uint32_t group = i / kSubBuckets;
+        const uint32_t sub = i % kSubBuckets;
+        return ((static_cast<uint64_t>(kSubBuckets) + sub + 1)
+                << (group - 1)) -
+               1;
+    }
+
+  private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+};
+
+} // namespace talus
+
+#endif // TALUS_OBS_METRICS_H

@@ -1,0 +1,241 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace talus {
+
+namespace {
+
+/** Map key: name and labels, separated by a byte no label can
+ *  contain. */
+std::string
+entryKey(const std::string& name, const std::string& labels)
+{
+    std::string key;
+    key.reserve(name.size() + 1 + labels.size());
+    key += name;
+    key += '\x01';
+    key += labels;
+    return key;
+}
+
+const char*
+kindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+/** later - earlier for one histogram (bucket-wise). */
+HistogramData
+histogramDelta(const HistogramData& earlier, const HistogramData& later)
+{
+    HistogramData d;
+    d.scale = later.scale;
+    d.count = later.count - earlier.count;
+    d.sum = later.sum - earlier.sum;
+    d.max = later.max; // Max is lifetime; a windowed max would need
+                       // its own reservoir.
+    size_t i = 0;
+    for (const auto& [idx, n] : later.buckets) {
+        while (i < earlier.buckets.size() &&
+               earlier.buckets[i].first < idx)
+            ++i;
+        const uint64_t before =
+            (i < earlier.buckets.size() &&
+             earlier.buckets[i].first == idx)
+                ? earlier.buckets[i].second
+                : 0;
+        if (n > before)
+            d.buckets.emplace_back(idx, n - before);
+    }
+    return d;
+}
+
+} // namespace
+
+const MetricValue*
+MetricsSnapshot::find(const std::string& name,
+                      const std::string& labels) const
+{
+    for (const MetricValue& m : metrics)
+        if (m.name == name && m.labels == labels)
+            return &m;
+    return nullptr;
+}
+
+uint64_t
+MetricsSnapshot::counterTotal(const std::string& name,
+                              const std::string& labelFilter) const
+{
+    uint64_t total = 0;
+    for (const MetricValue& m : metrics)
+        if (m.kind == MetricKind::Counter && m.name == name &&
+            (labelFilter.empty() ||
+             m.labels.find(labelFilter) != std::string::npos))
+            total += m.counter;
+    return total;
+}
+
+MetricsSnapshot
+metricsDelta(const MetricsSnapshot& earlier, const MetricsSnapshot& later)
+{
+    talus_assert(later.epoch >= earlier.epoch,
+                 "metricsDelta: later snapshot (epoch ", later.epoch,
+                 ") predates earlier (epoch ", earlier.epoch, ")");
+    MetricsSnapshot d;
+    d.epoch = later.epoch;
+    d.metrics.reserve(later.metrics.size());
+    for (const MetricValue& m : later.metrics) {
+        const MetricValue* before = earlier.find(m.name, m.labels);
+        MetricValue out = m;
+        if (before != nullptr) {
+            switch (m.kind) {
+            case MetricKind::Counter:
+                out.counter = m.counter - before->counter;
+                break;
+            case MetricKind::Gauge:
+                break; // Gauges are instantaneous: keep the later one.
+            case MetricKind::Histogram:
+                out.histogram =
+                    histogramDelta(before->histogram, m.histogram);
+                break;
+            }
+        }
+        d.metrics.push_back(std::move(out));
+    }
+    return d;
+}
+
+std::string
+labelPair(const std::string& key, uint64_t value)
+{
+    return key + "=\"" + std::to_string(value) + "\"";
+}
+
+std::string
+labelPair(const std::string& key, const std::string& value)
+{
+    talus_assert(value.find('"') == std::string::npos &&
+                     value.find('\\') == std::string::npos,
+                 "label value must not need escaping: ", value);
+    return key + "=\"" + value + "\"";
+}
+
+std::string
+joinLabels(const std::string& a, const std::string& b)
+{
+    if (a.empty())
+        return b;
+    if (b.empty())
+        return a;
+    return a + "," + b;
+}
+
+MetricRegistry::Entry&
+MetricRegistry::getOrCreate(const std::string& name,
+                            const std::string& labels, MetricKind kind,
+                            double scale)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string key = entryKey(name, labels);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        Entry& e = *entries_[it->second];
+        if (e.kind != kind)
+            talus_fatal("MetricRegistry: \"", name, "\"{", labels,
+                        "} already registered as ", kindName(e.kind),
+                        ", requested as ", kindName(kind));
+        return e;
+    }
+    auto e = std::make_unique<Entry>();
+    e->name = name;
+    e->labels = labels;
+    e->kind = kind;
+    e->scale = scale;
+    switch (kind) {
+    case MetricKind::Counter:
+        e->counter = std::make_unique<Counter>();
+        break;
+    case MetricKind::Gauge:
+        e->gauge = std::make_unique<Gauge>();
+        break;
+    case MetricKind::Histogram:
+        e->histogram = std::make_unique<Histogram>();
+        break;
+    }
+    index_.emplace(key, entries_.size());
+    entries_.push_back(std::move(e));
+    return *entries_.back();
+}
+
+Counter&
+MetricRegistry::counter(const std::string& name,
+                        const std::string& labels)
+{
+    return *getOrCreate(name, labels, MetricKind::Counter, 1.0).counter;
+}
+
+Gauge&
+MetricRegistry::gauge(const std::string& name, const std::string& labels)
+{
+    return *getOrCreate(name, labels, MetricKind::Gauge, 1.0).gauge;
+}
+
+Histogram&
+MetricRegistry::histogram(const std::string& name,
+                          const std::string& labels, double scale)
+{
+    return *getOrCreate(name, labels, MetricKind::Histogram, scale)
+                .histogram;
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot s;
+    s.epoch = ++epoch_;
+    s.metrics.reserve(entries_.size());
+    for (const auto& e : entries_) {
+        MetricValue m;
+        m.name = e->name;
+        m.labels = e->labels;
+        m.kind = e->kind;
+        switch (e->kind) {
+        case MetricKind::Counter:
+            m.counter = e->counter->value();
+            break;
+        case MetricKind::Gauge:
+            m.gauge = e->gauge->value();
+            break;
+        case MetricKind::Histogram:
+            m.histogram = e->histogram->snapshot(e->scale);
+            break;
+        }
+        s.metrics.push_back(std::move(m));
+    }
+    return s;
+}
+
+size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+MetricRegistry&
+globalMetricRegistry()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+} // namespace talus

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * MetricRegistry: named, labeled metric families with epoch-tagged
+ * snapshot/delta semantics.
+ *
+ * A registry maps (name, labels) pairs to Counter/Gauge/Histogram
+ * instances with stable addresses: registration (get-or-create)
+ * takes a mutex once per metric, after which the returned reference
+ * is valid for the registry's lifetime and recording through it is
+ * lock-free. Instrumented subsystems resolve their handles at
+ * construction time and never touch the registry on the data path.
+ *
+ * snapshot() reads every metric and stamps the result with a
+ * monotonically increasing epoch. Individual values are relaxed
+ * atomic reads, so a snapshot taken under concurrent recording is
+ * exact per metric and at-most-one-batch-stale across metrics;
+ * consecutive snapshots of the same registry always see each counter
+ * monotone. metricsDelta(earlier, later) subtracts counters and
+ * histograms (gauges keep the later value), which is how windowed
+ * rates (e.g. per-interval miss ratios) are derived without resetting
+ * anything.
+ *
+ * Metric naming follows Prometheus conventions: snake_case names,
+ * counters suffixed _total, labels as a pre-rendered
+ * `key="value",key2="value2"` string (see joinLabels). The exporters
+ * (obs/exporters.h) rely on those conventions.
+ */
+
+#ifndef TALUS_OBS_REGISTRY_H
+#define TALUS_OBS_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace talus {
+
+/** What a registry entry is; fixed at first registration. */
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** One metric's identity and value inside a MetricsSnapshot. */
+struct MetricValue
+{
+    std::string name;   //!< Metric family name (snake_case).
+    std::string labels; //!< Rendered label pairs; "" = unlabeled.
+    MetricKind kind = MetricKind::Counter;
+    uint64_t counter = 0;    //!< Kind Counter.
+    double gauge = 0.0;      //!< Kind Gauge.
+    HistogramData histogram; //!< Kind Histogram.
+};
+
+/** An epoch-tagged point-in-time view of one registry. */
+struct MetricsSnapshot
+{
+    uint64_t epoch = 0; //!< Monotone per registry; later > earlier.
+    std::vector<MetricValue> metrics; //!< Registration order.
+
+    /** The metric with exactly @p name and @p labels; nullptr when
+     *  absent. */
+    const MetricValue* find(const std::string& name,
+                            const std::string& labels = "") const;
+
+    /**
+     * Sum of every counter named @p name whose label string contains
+     * @p labelFilter as a substring ("" = all label sets) — the
+     * cross-partition / cross-shard rollup helper.
+     */
+    uint64_t counterTotal(const std::string& name,
+                          const std::string& labelFilter = "") const;
+};
+
+/**
+ * The change between two snapshots of the *same* registry: counters
+ * and histograms subtract (later - earlier), gauges keep the later
+ * value. Metrics absent from @p earlier (registered in between) count
+ * from zero. Fatal when @p later predates @p earlier.
+ */
+MetricsSnapshot metricsDelta(const MetricsSnapshot& earlier,
+                             const MetricsSnapshot& later);
+
+/** Renders one label pair, e.g. labelPair("shard", 3) ->
+ *  `shard="3"`. */
+std::string labelPair(const std::string& key, uint64_t value);
+
+/** Renders one string-valued label pair, e.g.
+ *  labelPair("engine", "talus") -> `engine="talus"`. The value must
+ *  not contain `"` or `\` (exporter escaping is not applied here). */
+std::string labelPair(const std::string& key,
+                      const std::string& value);
+
+/** Joins two rendered label strings with a comma, skipping empties. */
+std::string joinLabels(const std::string& a, const std::string& b);
+
+/** Named, labeled metrics with stable addresses. */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry&) = delete;
+    MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+    /**
+     * The counter (name, labels), created on first use. The reference
+     * stays valid for the registry's lifetime; recording through it
+     * is lock-free. Fatal if (name, labels) already exists with a
+     * different kind.
+     */
+    Counter& counter(const std::string& name,
+                     const std::string& labels = "");
+
+    /** The gauge (name, labels), created on first use. */
+    Gauge& gauge(const std::string& name,
+                 const std::string& labels = "");
+
+    /**
+     * The histogram (name, labels), created on first use. @p scale
+     * converts raw recorded units to reported units at snapshot time
+     * (e.g. 1e-9 to record nanoseconds and report seconds); it is
+     * fixed at creation.
+     */
+    Histogram& histogram(const std::string& name,
+                         const std::string& labels = "",
+                         double scale = 1.0);
+
+    /** Reads every metric and stamps a fresh epoch. */
+    MetricsSnapshot snapshot() const;
+
+    /** Registered metrics (all kinds, all label sets). */
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string labels;
+        MetricKind kind = MetricKind::Counter;
+        double scale = 1.0;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry& getOrCreate(const std::string& name,
+                       const std::string& labels, MetricKind kind,
+                       double scale);
+
+    mutable std::mutex mu_; //!< Guards registration and iteration;
+                            //!< never taken on the record path.
+    std::vector<std::unique_ptr<Entry>> entries_;
+    std::unordered_map<std::string, size_t> index_; //!< key -> entry.
+    mutable uint64_t epoch_ = 0;
+};
+
+/**
+ * The process-wide default registry. Instrumented subsystems publish
+ * here when their config enables metrics without naming a registry;
+ * BenchEnv's --metrics=PATH dump exports it at process exit.
+ */
+MetricRegistry& globalMetricRegistry();
+
+} // namespace talus
+
+#endif // TALUS_OBS_REGISTRY_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/registry.h"
 #include "util/log.h"
 
 namespace talus {
@@ -34,7 +35,8 @@ constexpr int kYieldPolls = 64;
 } // namespace
 
 PinnedWorkers::PinnedWorkers(uint32_t threads, uint32_t num_shards,
-                             Executor exec)
+                             Executor exec, MetricRegistry* metrics,
+                             const std::string& metricsScope)
     : exec_(std::move(exec))
 {
     talus_assert(exec_ != nullptr, "PinnedWorkers needs an executor");
@@ -48,6 +50,20 @@ PinnedWorkers::PinnedWorkers(uint32_t threads, uint32_t num_shards,
         workers_.push_back(
             std::make_unique<Worker>(fan_in > 0 ? fan_in : 1));
     touched_.assign(threads, 0);
+    // Resolve metric handles before any worker thread exists, so the
+    // threads only ever see fully initialized (or all-null) pointers.
+    if (metrics != nullptr) {
+        for (uint32_t t = 0; t < threads; ++t) {
+            const std::string labels =
+                joinLabels(metricsScope, labelPair("worker", t));
+            workers_[t]->parks =
+                &metrics->counter("talus_worker_parks_total", labels);
+            workers_[t]->wakes =
+                &metrics->counter("talus_worker_wakes_total", labels);
+            workers_[t]->ringDepthHwm =
+                &metrics->gauge("talus_worker_ring_depth_hwm", labels);
+        }
+    }
     threads_.reserve(threads);
     for (uint32_t t = 0; t < threads; ++t)
         threads_.emplace_back([this, t] { workerLoop(*workers_[t]); });
@@ -93,6 +109,17 @@ PinnedWorkers::dispatch(const ShardTask* tasks, uint32_t count)
         talus_assert(pushed, "SPSC ring overflow on worker ", w,
                      " — overlapping dispatch()?");
         touched_[w] = 1;
+        if (workers_[w]->ringDepthHwm != nullptr) {
+            // Racy-snapshot depth right after our own push: an upper
+            // bound on queueing the consumer hasn't drained yet. The
+            // producer alone tracks the high-water mark.
+            const uint64_t depth = workers_[w]->ring.size();
+            if (depth > workers_[w]->hwm) {
+                workers_[w]->hwm = depth;
+                workers_[w]->ringDepthHwm->set(
+                    static_cast<double>(depth));
+            }
+        }
     }
 
     // Wake only workers that both got work and actually parked. The
@@ -104,8 +131,12 @@ PinnedWorkers::dispatch(const ShardTask* tasks, uint32_t count)
     for (uint32_t w = 0; w < workers_.size(); ++w) {
         if (touched_[w] &&
             workers_[w]->parked.load(std::memory_order_relaxed)) {
-            std::lock_guard<std::mutex> lock(workers_[w]->mu);
-            workers_[w]->cv.notify_one();
+            {
+                std::lock_guard<std::mutex> lock(workers_[w]->mu);
+                workers_[w]->cv.notify_one();
+            }
+            if (workers_[w]->wakes != nullptr)
+                workers_[w]->wakes->inc();
         }
     }
 
@@ -151,6 +182,8 @@ PinnedWorkers::workerLoop(Worker& w)
             std::atomic_thread_fence(std::memory_order_seq_cst);
             if (w.ring.empty() &&
                 !stop_.load(std::memory_order_acquire)) {
+                if (w.parks != nullptr)
+                    w.parks->inc();
                 std::unique_lock<std::mutex> lock(w.mu);
                 w.cv.wait(lock, [this, &w] {
                     return stop_.load(std::memory_order_acquire) ||

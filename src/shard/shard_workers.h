@@ -42,6 +42,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -49,6 +50,10 @@
 #include "util/types.h"
 
 namespace talus {
+
+class Counter;
+class Gauge;
+class MetricRegistry;
 
 /** One unit of data-path work: a shard plus its sub-batch. */
 struct ShardTask
@@ -77,8 +82,16 @@ class PinnedWorkers
      *
      * @p exec is fixed for the lifetime of the pool (one indirect
      * call per task; never rebuilt per batch).
+     *
+     * @p metrics (optional) publishes per-worker dispatch health —
+     * ring depth high-water marks, park and wake counts, labeled
+     * `worker="t"` under @p metricsScope — into the registry. Null
+     * (the default) compiles the hooks down to never-taken null
+     * checks off the ring hot path.
      */
-    PinnedWorkers(uint32_t threads, uint32_t num_shards, Executor exec);
+    PinnedWorkers(uint32_t threads, uint32_t num_shards, Executor exec,
+                  MetricRegistry* metrics = nullptr,
+                  const std::string& metricsScope = "");
 
     /** Unparks and joins the workers. */
     ~PinnedWorkers();
@@ -115,6 +128,14 @@ class PinnedWorkers
         explicit Worker(uint32_t ring_capacity) : ring(ring_capacity) {}
 
         SpscRing<ShardTask> ring;
+        // Metric handles (null when metrics are off). parks is bumped
+        // by the worker thread, wakes by the producer, and the ring
+        // depth high-water mark by the producer alone (hwm is plain:
+        // producer-only state).
+        Counter* parks = nullptr;
+        Counter* wakes = nullptr;
+        Gauge* ringDepthHwm = nullptr;
+        uint64_t hwm = 0;
         /** True while the worker sleeps on cv (set by the worker
          *  before its final empty-ring recheck; the seq_cst fences in
          *  workerLoop()/dispatch() make flag and ring visible in a

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/registry.h"
 #include "util/log.h"
 
 namespace talus {
@@ -16,6 +17,17 @@ constexpr uint64_t kShardSeedSalt = 0x9E37'79B9'7F4A'7C15ull;
 // from every per-shard seed so the router never reuses a shard's H3
 // masks (routing and intra-shard sampling must stay independent).
 constexpr uint64_t kRouterSeedSalt = 0x5A4D'0C11ull;
+
+// The registry the engine's shards and workers publish into when
+// metrics are on: the config's registry, or the process-global one.
+MetricRegistry*
+resolveRegistry(const TalusCache::Config& shard)
+{
+    if (!shard.metricsEnabled)
+        return nullptr;
+    return shard.metrics != nullptr ? shard.metrics
+                                    : &globalMetricRegistry();
+}
 
 // Validation gate for the member-initializer list: the router and
 // worker pool are constructed before the constructor body runs, so
@@ -58,6 +70,12 @@ ShardedTalusCache::shardConfig(const Config& config, uint32_t shard)
     cfg.seed = config.shard.seed ^ (kShardSeedSalt * (shard + 1));
     // An explicit per-shard routerSeed is kept as-is: shards are
     // independent caches, so sharing the sampling seed is harmless.
+    // Each shard publishes its metrics under a shard="s" label (on
+    // top of any caller scope), so per-shard series stay distinct in
+    // a shared registry.
+    if (cfg.metricsEnabled)
+        cfg.metricsScope = joinLabels(config.shard.metricsScope,
+                                      labelPair("shard", shard));
     return cfg;
 }
 
@@ -70,10 +88,13 @@ ShardedTalusCache::ShardedTalusCache(const Config& config)
       // The executor runs on the shard's pinned worker thread; each
       // shard writes only its own padded hit slot, so per-batch
       // outputs never contend for a cache line.
-      workers_(cfg_.threads, cfg_.numShards, [this](const ShardTask& t) {
-          shardHits_[t.shard].value = shards_[t.shard]->accessBatch(
-              Span<const Addr>(t.data, t.count), t.part);
-      })
+      workers_(
+          cfg_.threads, cfg_.numShards,
+          [this](const ShardTask& t) {
+              shardHits_[t.shard].value = shards_[t.shard]->accessBatch(
+                  Span<const Addr>(t.data, t.count), t.part);
+          },
+          resolveRegistry(cfg_.shard), cfg_.shard.metricsScope)
 {
     shards_.reserve(cfg_.numShards);
     for (uint32_t s = 0; s < cfg_.numShards; ++s)

@@ -9,6 +9,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/exporters.h"
+#include "obs/registry.h"
 #include "shard/sharded_cache.h"
 #include "trace/trace_file.h"
 #include "util/env.h"
@@ -52,6 +54,26 @@ matchValueFlag(const char* binary, const std::string& arg,
     return true;
 }
 
+// Where the process-exit metrics dump goes. File-static (not a
+// BenchEnv member) because std::atexit handlers take no arguments;
+// init() sets it and registers dumpMetricsAtExit() exactly once.
+std::string&
+metricsDumpPath()
+{
+    static std::string path;
+    return path;
+}
+
+void
+dumpMetricsAtExit()
+{
+    const std::string err = writeMetricsFile(
+        globalMetricRegistry().snapshot(), metricsDumpPath());
+    if (!err.empty())
+        std::fprintf(stderr, "--metrics/TALUS_METRICS dump failed: %s\n",
+                     err.c_str());
+}
+
 } // namespace
 
 const char*
@@ -62,6 +84,7 @@ BenchEnv::usage()
         "               [--mixes=N] [--accesses=N] [--seed=N]\n"
         "               [--shards=N] [--threads=N] [--reconfig=N]\n"
         "               [--monitor-sample=N] [--trace=PATH]\n"
+        "               [--metrics=PATH]\n"
         "\n"
         "  --csv         emit CSV instead of aligned tables\n"
         "  --full        paper-true scale and run lengths (slow);\n"
@@ -88,6 +111,11 @@ BenchEnv::usage()
         "  --trace=PATH  replay the trace file at PATH (binary or\n"
         "                CSV; see tools/trace_convert) instead of a\n"
         "                synthetic workload (TALUS_TRACE)\n"
+        "  --metrics=PATH  dump a metrics-registry snapshot to PATH\n"
+        "                at exit (TALUS_METRICS): Prometheus text\n"
+        "                format, or JSON lines for .json/.jsonl\n"
+        "                paths; also enables cache metrics in\n"
+        "                binaries that honor metricsWanted()\n"
         "  --help, -h    this text\n"
         "\n"
         "Environment variables provide the same knobs; flags win.\n";
@@ -101,7 +129,7 @@ BenchEnv::init(int argc, char** argv)
     bool full = envFlag("TALUS_FULL");
     std::optional<uint64_t> scale_f, instr_f, mixes_f, accesses_f,
         seed_f, shards_f, threads_f, reconfig_f, monitor_sample_f;
-    std::optional<std::string> trace_f;
+    std::optional<std::string> trace_f, metrics_f;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -116,6 +144,15 @@ BenchEnv::init(int argc, char** argv)
             if (trace_f->empty()) {
                 std::fprintf(stderr,
                              "%s: flag --trace needs a file path\n\n%s",
+                             binary, usage());
+                std::exit(1);
+            }
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            metrics_f = arg.substr(std::string("--metrics=").size());
+            if (metrics_f->empty()) {
+                std::fprintf(stderr,
+                             "%s: flag --metrics needs a file path\n\n"
+                             "%s",
                              binary, usage());
                 std::exit(1);
             }
@@ -250,6 +287,42 @@ BenchEnv::init(int argc, char** argv)
                 std::fprintf(stderr, "%s: --trace/TALUS_TRACE: %s\n\n%s",
                              binary, error.c_str(), usage());
                 std::exit(1);
+            }
+        }
+    }
+    // The metrics knob is validated eagerly too: an unwritable dump
+    // path fails as a usage error before the run, not after the
+    // measurement has been paid for. A successful check also installs
+    // the process-exit dump hook (once), so every binary that calls
+    // init() exports its global-registry snapshot with no further
+    // wiring.
+    {
+        const char* env_metrics = std::getenv("TALUS_METRICS");
+        env.metricsPath =
+            metrics_f.has_value()
+                ? *metrics_f
+                : (env_metrics != nullptr ? env_metrics : "");
+        if (!env.metricsPath.empty()) {
+            std::FILE* f = std::fopen(env.metricsPath.c_str(), "ab");
+            if (f == nullptr) {
+                std::fprintf(stderr,
+                             "%s: --metrics/TALUS_METRICS: cannot open "
+                             "'%s' for writing: %s\n\n%s",
+                             binary, env.metricsPath.c_str(),
+                             std::strerror(errno), usage());
+                std::exit(1);
+            }
+            std::fclose(f);
+            const bool first = metricsDumpPath().empty();
+            metricsDumpPath() = env.metricsPath;
+            if (first) {
+                // Exit-time teardown runs in reverse registration
+                // order, so the registry singleton must be
+                // constructed (registering its destructor) BEFORE
+                // the dump handler: destroyed after the dump reads
+                // it, not before.
+                (void)globalMetricRegistry();
+                std::atexit(dumpMetricsAtExit);
             }
         }
     }

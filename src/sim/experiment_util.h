@@ -44,6 +44,18 @@ struct BenchEnv
                                  //!< every access, the exact-curve
                                  //!< default. Maps to
                                  //!< Config::monitorSamplePeriod.
+    std::string metricsPath;     //!< Dump a global-registry metrics
+                                 //!< snapshot here at process exit
+                                 //!< (TALUS_METRICS); "" = no dump.
+                                 //!< `.json`/`.jsonl` paths get JSON
+                                 //!< lines, anything else Prometheus
+                                 //!< text. Binaries should also set
+                                 //!< Config::metricsEnabled from
+                                 //!< metricsWanted().
+
+    /** True when --metrics/TALUS_METRICS asked for a dump: the knob
+     *  binaries map to TalusCache::Config::metricsEnabled. */
+    bool metricsWanted() const { return !metricsPath.empty(); }
 
     /**
      * Parses the common bench command line over environment-variable
@@ -55,8 +67,13 @@ struct BenchEnv
      * --trace/TALUS_TRACE is validated like the shard knobs: a
      * missing, unreadable, or corrupt trace file is a usage error
      * (the validateTraceFile() message is printed), so replay runs
-     * fail before any simulation starts. Non-flag positional
-     * arguments are left for the binary to interpret.
+     * fail before any simulation starts. --metrics/TALUS_METRICS is
+     * validated the same way (an unwritable path fails here, not
+     * after the run) and additionally installs a process-exit hook
+     * that dumps a snapshot of the global MetricRegistry to the
+     * path, so every bench/example exports its metrics without
+     * per-binary wiring. Non-flag positional arguments are left for
+     * the binary to interpret.
      */
     static BenchEnv init(int argc, char** argv);
 

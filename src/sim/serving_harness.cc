@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/registry.h"
 #include "util/log.h"
 
 namespace talus {
@@ -19,6 +20,70 @@ toSeconds(Clock::duration d)
     return std::chrono::duration<double>(d).count();
 }
 
+uint64_t
+toNanos(Clock::duration d)
+{
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+    return ns > 0 ? static_cast<uint64_t>(ns) : 0;
+}
+
+/** Summarizes a nanosecond-granularity latency histogram in seconds
+ *  (see the LatencyStats resolution contract). */
+LatencyStats
+summarizeHistogram(const Histogram& h)
+{
+    LatencyStats stats;
+    const HistogramData d = h.snapshot(1e-9);
+    if (d.count == 0)
+        return stats;
+    stats.p50 = d.quantile(0.50);
+    stats.p95 = d.quantile(0.95);
+    stats.p99 = d.quantile(0.99);
+    stats.mean = d.mean();
+    stats.max = d.maxValue();
+    return stats;
+}
+
+/** Registry handles for one driver run; all null when
+ *  ServingOptions::metrics is unset. */
+struct ServingObs
+{
+    Counter* accesses = nullptr;
+    Counter* hits = nullptr;
+    Counter* batches = nullptr;
+    Counter* lateBatches = nullptr;
+    Histogram* latency = nullptr;
+
+    ServingObs(const ServingOptions& opts, const char* loop)
+    {
+        if (opts.metrics == nullptr)
+            return;
+        MetricRegistry& reg = *opts.metrics;
+        const std::string labels = joinLabels(
+            opts.metricsScope, std::string("loop=\"") + loop + "\"");
+        accesses =
+            &reg.counter("talus_serving_accesses_total", labels);
+        hits = &reg.counter("talus_serving_hits_total", labels);
+        batches = &reg.counter("talus_serving_batches_total", labels);
+        lateBatches =
+            &reg.counter("talus_serving_late_batches_total", labels);
+        latency = &reg.histogram("talus_serving_batch_seconds", labels,
+                                 1e-9);
+    }
+
+    /** Publishes one finished run's window totals. */
+    void publish(const ServingResult& r) const
+    {
+        if (accesses == nullptr)
+            return;
+        accesses->inc(r.accesses);
+        hits->inc(r.hits);
+        batches->inc(r.batches);
+        lateBatches->inc(r.lateBatches);
+    }
+};
+
 /** Nearest-rank percentile of an ascending-sorted sample vector. */
 double
 percentile(const std::vector<double>& sorted, double q)
@@ -30,13 +95,6 @@ percentile(const std::vector<double>& sorted, double q)
         std::ceil(q * static_cast<double>(n)));
     const size_t idx = rank > 0 ? rank - 1 : 0;
     return sorted[std::min(idx, n - 1)];
-}
-
-/** Batches needed to cover @p accesses at @p batch_size each. */
-uint64_t
-batchCount(uint64_t accesses, uint64_t batch_size)
-{
-    return (accesses + batch_size - 1) / batch_size;
 }
 
 } // namespace
@@ -74,9 +132,8 @@ runClosedLoop(ShardedTalusCache& cache, AccessStream& stream,
     }
 
     ServingResult result;
-    const uint64_t batches = batchCount(opts.accesses, opts.batchSize);
-    std::vector<double> samples;
-    samples.reserve(batches);
+    const ServingObs obs(opts, "closed");
+    Histogram latency; // Nanosecond service times, O(1) per batch.
 
     const Clock::time_point start = Clock::now();
     uint64_t left = opts.accesses;
@@ -86,13 +143,17 @@ runClosedLoop(ShardedTalusCache& cache, AccessStream& stream,
         const Clock::time_point t0 = Clock::now();
         result.hits += cache.accessBatch(
             Span<const Addr>(block.data(), n), opts.part);
-        samples.push_back(toSeconds(Clock::now() - t0));
+        const uint64_t ns = toNanos(Clock::now() - t0);
+        latency.record(ns);
+        if (obs.latency != nullptr)
+            obs.latency->record(ns);
         left -= n;
         result.batches++;
     }
     result.seconds = toSeconds(Clock::now() - start);
     result.accesses = opts.accesses;
-    result.latency = summarizeLatencies(samples);
+    result.latency = summarizeHistogram(latency);
+    obs.publish(result);
     return result;
 }
 
@@ -114,9 +175,10 @@ runOpenLoop(ShardedTalusCache& cache, AccessStream& stream,
 
     ServingResult result;
     result.offeredRate = opts.offeredRate;
-    const uint64_t batches = batchCount(opts.accesses, opts.batchSize);
-    std::vector<double> samples;
-    samples.reserve(batches);
+    const ServingObs obs(opts, "open");
+    Histogram latency; // Nanosecond sojourn times, O(1) per batch —
+                       // long overloaded runs no longer grow a
+                       // sample vector while falling behind.
 
     // Fixed inter-arrival schedule: batch k arrives at
     // start + k * interval, independent of completions — arrivals
@@ -152,13 +214,17 @@ runOpenLoop(ShardedTalusCache& cache, AccessStream& stream,
         }
         result.hits += cache.accessBatch(
             Span<const Addr>(block.data(), n), opts.part);
-        samples.push_back(toSeconds(Clock::now() - arrival));
+        const uint64_t ns = toNanos(Clock::now() - arrival);
+        latency.record(ns);
+        if (obs.latency != nullptr)
+            obs.latency->record(ns);
         left -= n;
         result.batches++;
     }
     result.seconds = toSeconds(Clock::now() - start);
     result.accesses = opts.accesses;
-    result.latency = summarizeLatencies(samples);
+    result.latency = summarizeHistogram(latency);
+    obs.publish(result);
     return result;
 }
 

@@ -293,5 +293,51 @@ TEST(BenchEnvDeathTest, TraceEnvVarIsValidatedToo)
     ::unsetenv("TALUS_TRACE");
 }
 
+TEST(BenchEnv, MetricsDefaultsToOff)
+{
+    const BenchEnv env = initWith({});
+    EXPECT_TRUE(env.metricsPath.empty());
+    EXPECT_FALSE(env.metricsWanted());
+}
+
+TEST(BenchEnv, MetricsFlagAndEnvVarWithFlagPrecedence)
+{
+    const std::string flag_path =
+        ::testing::TempDir() + "bench_env_flag.prom";
+    const std::string env_path =
+        ::testing::TempDir() + "bench_env_env.prom";
+
+    const BenchEnv from_flag =
+        initWith({("--metrics=" + flag_path).c_str()});
+    EXPECT_EQ(from_flag.metricsPath, flag_path);
+    EXPECT_TRUE(from_flag.metricsWanted());
+
+    ::setenv("TALUS_METRICS", env_path.c_str(), 1);
+    EXPECT_EQ(initWith({}).metricsPath, env_path);
+    // Flags win over env vars, as for every other knob.
+    EXPECT_EQ(initWith({("--metrics=" + flag_path).c_str()}).metricsPath,
+              flag_path);
+    ::unsetenv("TALUS_METRICS");
+}
+
+TEST(BenchEnvDeathTest, MetricsFlagValidatesWritability)
+{
+    // An empty value is a usage error, like --trace.
+    EXPECT_EXIT(initWith({"--metrics="}), ::testing::ExitedWithCode(1),
+                "needs a file path");
+
+    // An unwritable dump path fails at init, not after the run has
+    // been paid for — and the message names both spellings.
+    EXPECT_EXIT(initWith({"--metrics=/nonexistent-dir/out.prom"}),
+                ::testing::ExitedWithCode(1),
+                "--metrics/TALUS_METRICS");
+
+    // The env path hits the same check.
+    ::setenv("TALUS_METRICS", "/nonexistent-dir/out.prom", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "--metrics/TALUS_METRICS");
+    ::unsetenv("TALUS_METRICS");
+}
+
 } // namespace
 } // namespace talus

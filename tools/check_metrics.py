@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format metrics dump.
+
+Usage:
+    check_metrics.py METRICS.prom [--require NAME ...]
+                     [--require-nonzero NAME ...]
+
+Checks that the file the engine's --metrics=PATH exporter wrote is
+well-formed, stock-scrapeable Prometheus exposition:
+
+  - every non-comment line parses as `name{labels} value` (or
+    `name value`), with legal metric and label names;
+  - every series is covered by exactly one `# TYPE` line, emitted
+    before its first sample;
+  - counter families follow the conventions the exporter promises:
+    `_total`-suffixed names, non-negative integer-valued samples;
+  - histogram families carry cumulative `_bucket{le="..."}` series
+    (counts non-decreasing as `le` grows, ending at `le="+Inf"`),
+    plus `_sum` and `_count`, with the +Inf bucket equal to `_count`.
+
+--require NAME fails unless a family NAME is present;
+--require-nonzero NAME additionally demands at least one sample of
+the family with a value > 0 (how CI pins "the control plane actually
+reported staleness" rather than just "the series exists").
+
+Exits 0 when every check passes, 1 otherwise, listing each violation.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One rendered label pair; values are quoted with no escapes (the
+# exporter never emits quotes or backslashes inside values).
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"\\]*)"')
+SERIES = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                    r"(?:\{([^}]*)\})?\s+(\S+)$")
+TYPE_LINE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                       r" (counter|gauge|histogram)$")
+
+# A histogram family NAME owns series NAME_bucket/_sum/_count.
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, types):
+    """The declared family a series name belongs to."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_value(raw):
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def le_key(le):
+    return math.inf if le == "+Inf" else float(le)
+
+
+def check(path, require, require_nonzero):
+    errors = []
+    types = {}          # family -> declared type
+    family_values = {}  # family -> [(labels_dict, value)]
+    buckets = {}        # (family, non-le labels) -> {le: value}
+
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        errors.append("file is empty")
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_LINE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: unrecognized comment "
+                              f"(only '# TYPE name kind' is emitted): "
+                              f"{line!r}")
+                continue
+            name, kind = m.groups()
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for "
+                              f"{name}")
+            types[name] = kind
+            continue
+
+        m = SERIES.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable series: "
+                          f"{line!r}")
+            continue
+        name, labelstr, raw = m.groups()
+        if not METRIC_NAME.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+            continue
+        labels = {}
+        if labelstr:
+            consumed = LABEL_PAIR.sub("", labelstr).replace(",", "")
+            if consumed.strip():
+                errors.append(f"line {lineno}: malformed labels "
+                              f"{labelstr!r}")
+                continue
+            for key, value in LABEL_PAIR.findall(labelstr):
+                if not LABEL_NAME.match(key):
+                    errors.append(f"line {lineno}: bad label name "
+                                  f"{key!r}")
+                labels[key] = value
+        value = parse_value(raw)
+        if value is None:
+            errors.append(f"line {lineno}: bad sample value {raw!r}")
+            continue
+
+        family = family_of(name, types)
+        if family is None:
+            errors.append(f"line {lineno}: series {name} has no "
+                          f"preceding # TYPE line")
+            continue
+        family_values.setdefault(family, []).append((labels, value))
+
+        kind = types[family]
+        if kind == "counter":
+            if not family.endswith("_total"):
+                errors.append(f"{family}: counter family not "
+                              f"_total-suffixed")
+            if value < 0 or value != int(value):
+                errors.append(f"line {lineno}: counter {name} sample "
+                              f"{raw} is not a non-negative integer")
+        elif kind == "histogram" and name == family + "_bucket":
+            if "le" not in labels:
+                errors.append(f"line {lineno}: bucket series without "
+                              f"an le label")
+                continue
+            rest = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            buckets.setdefault((family, rest), {})[labels["le"]] = value
+
+    # Histogram family shape: cumulative buckets ending at +Inf.
+    for (family, rest), series in sorted(buckets.items()):
+        where = f"{family}{{{dict(rest)}}}" if rest else family
+        if "+Inf" not in series:
+            errors.append(f"{where}: buckets do not end at le=\"+Inf\"")
+            continue
+        ordered = sorted(series.items(), key=lambda kv: le_key(kv[0]))
+        cumulative = [v for _, v in ordered]
+        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+            errors.append(f"{where}: bucket counts are not cumulative")
+
+    # Second walk for per-family _count vs +Inf agreement (simpler
+    # than tracking it during the first pass).
+    counts = {}
+    for lineno, line in enumerate(lines, 1):
+        m = SERIES.match(line) if not line.startswith("#") else None
+        if not m:
+            continue
+        name, labelstr, raw = m.groups()
+        labels = dict(LABEL_PAIR.findall(labelstr or ""))
+        for family, kind in types.items():
+            if kind == "histogram" and name == family + "_count":
+                rest = tuple(sorted(labels.items()))
+                counts[(family, rest)] = parse_value(raw)
+    for (family, rest), series in sorted(buckets.items()):
+        where = f"{family}{{{dict(rest)}}}" if rest else family
+        if "+Inf" in series:
+            expected = counts.get((family, rest))
+            if expected is None:
+                errors.append(f"{where}: no matching _count series")
+            elif series["+Inf"] != expected:
+                errors.append(f"{where}: le=\"+Inf\" bucket "
+                              f"{series['+Inf']} != _count {expected}")
+
+    for name in require:
+        if name not in family_values:
+            errors.append(f"required family {name} is absent")
+    for name in require_nonzero:
+        values = [v for _, v in family_values.get(name, [])]
+        if not values:
+            errors.append(f"required family {name} is absent")
+        elif all(v == 0 for v in values):
+            errors.append(f"required family {name} has no nonzero "
+                          f"sample")
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this family is present")
+    parser.add_argument("--require-nonzero", action="append",
+                        default=[], metavar="NAME",
+                        help="fail unless this family has a sample "
+                             "> 0")
+    args = parser.parse_args()
+
+    errors = check(args.path, args.require, args.require_nonzero)
+    if errors:
+        print(f"FAIL: {args.path}: {len(errors)} problem(s)")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print(f"OK: {args.path} is well-formed Prometheus exposition")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
