@@ -188,6 +188,15 @@ TalusCache::TalusCache(const Config& config) : cfg_(config)
         FairAllocator fair;
         ctl_->configure(
             flat, fair.allocate(flat, ctl_->cache().capacityLines(), 1));
+
+        // Arm the flattened serial fast path (see access()) when the
+        // physical cache runs the fused kernel and metrics are off.
+        if (!cfg_.metricsEnabled) {
+            auto* sc =
+                dynamic_cast<SchemePartitionedCache*>(&ctl_->cache());
+            if (sc != nullptr && sc->fusedKernelActive())
+                fast_ = sc;
+        }
     } else {
         plain_ = makePartitionedCache(cfg_.scheme, cfg_.llcLines,
                                       cfg_.ways, cfg_.policyName,

@@ -172,13 +172,56 @@ class TalusCache
     /**
      * One access by logical partition @p part; returns true on hit.
      * Fires reconfigure() automatically every Config::reconfigInterval
-     * accesses (when an allocator is configured). Delegates to
-     * accessBatch() with a block of one, so the two paths share one
-     * implementation and cannot drift.
+     * accesses (when an allocator is configured).
+     *
+     * The common configuration (Talus over the fused Vantage+LRU
+     * kernel, metrics off) takes the flattened fast path: monitor
+     * sample, shadow route, and the single-access kernel probe run
+     * straight-line here with zero out-of-line calls — the monitor's
+     * H3 + integer sample compare, the router's limit compare (or the
+     * saturated-limit shortcut), and accessFused1() are all header-
+     * inline. Bit-exact with the generic accessBatch() block-of-one
+     * path: the same operations in the same order, including the
+     * deferred-apply and automatic-reconfiguration checks after the
+     * access. Every other configuration (plain caches, non-LRU
+     * policies, metrics on) delegates to accessBatch() as before.
      */
     bool access(Addr addr, PartId part = 0)
     {
-        return accessBatch(Span<const Addr>(&addr, 1), part) != 0;
+        if (fast_ == nullptr)
+            return accessBatch(Span<const Addr>(&addr, 1), part) != 0;
+        talus_assert(part < cfg_.numParts, "bad logical partition ",
+                     part);
+        if (cfg_.monitoring) {
+            if (cfg_.monitorSamplePeriod == 1) {
+                monitors_[part].accessBlock(
+                    Span<const Addr>(&addr, 1));
+            } else {
+                // The single-access form of feedMonitor's systematic
+                // 1-in-N decimation: sample at phase 0, advance the
+                // phase modulo the period.
+                uint32_t phase = monPhase_[part];
+                if (phase == 0)
+                    monitors_[part].accessBlock(
+                        Span<const Addr>(&addr, 1));
+                monPhase_[part] =
+                    ++phase == cfg_.monitorSamplePeriod ? 0 : phase;
+            }
+        }
+        const ShadowRouter& rt = ctl_->router(part);
+        const PartId phys = rt.alwaysAlpha() || rt.toAlpha(addr)
+                                ? 2 * part
+                                : 2 * part + 1;
+        const bool hit = fast_->accessFused1(addr, phys);
+        intervalAccesses_[part]++;
+        sinceReconfig_++;
+        accessCount_++;
+        if (applyAt_ != 0 && accessCount_ >= applyAt_)
+            applyReconfigure();
+        if (cfg_.reconfigInterval > 0 &&
+            sinceReconfig_ >= cfg_.reconfigInterval)
+            reconfigure();
+        return hit;
     }
 
     /**
@@ -353,6 +396,14 @@ class TalusCache
 
     Config cfg_;
     std::vector<CombinedUMon> monitors_;
+    /**
+     * Set iff the flattened serial fast path applies: Talus mode over
+     * a SchemePartitionedCache whose fused Vantage+LRU kernel is
+     * active, with metrics off. Points into ctl_'s physical cache
+     * (stable across moves — the controller owns it by unique_ptr);
+     * null routes access() through the generic accessBatch() path.
+     */
+    SchemePartitionedCache* fast_ = nullptr;
     std::unique_ptr<TalusController> ctl_;        //!< Talus mode.
     std::unique_ptr<PartitionedCacheBase> plain_; //!< Baseline mode.
     ControlPlane plane_; //!< Allocator + staged/active control state.

@@ -25,6 +25,7 @@
 #include "cache/cache_stats.h"
 #include "cache/repl_policy.h"
 #include "cache/scheme.h"
+#include "util/aligned.h"
 #include "util/types.h"
 
 namespace talus {
@@ -179,9 +180,12 @@ class SetAssocCache
     bool hashSetIndex_;
     uint64_t hashSeed_;
 
-    std::vector<Addr> tags_;
-    std::vector<uint8_t> valid_;
-    std::vector<PartId> parts_;
+    // Cache-line-aligned so every per-set row starts on a line
+    // boundary: the fused kernel's 128-byte tag/owner rows then touch
+    // exactly two lines (see util/aligned.h).
+    CacheAlignedVec<Addr> tags_;
+    CacheAlignedVec<uint8_t> valid_;
+    CacheAlignedVec<PartId> parts_;
     uint64_t mutationEpoch_ = 0;
 
     std::unique_ptr<ReplPolicy> policy_;

@@ -41,6 +41,15 @@ class ShadowRouter
     /** True if @p addr routes to the alpha shadow partition. */
     bool toAlpha(Addr addr) const { return hash_.hash(addr) < limit_; }
 
+    /**
+     * True when every address routes to alpha (rho saturated the
+     * limit register at 2^bits, above any possible hash value — the
+     * degenerate/unconfigured state every partition starts in). Lets
+     * hot paths skip the H3 evaluation entirely: toAlpha() is
+     * constant-true, so the shortcut is trivially bit-exact.
+     */
+    bool alwaysAlpha() const { return limit_ >= hash_.range(); }
+
     /** Raw limit register value, for the hardware-cost model. */
     uint64_t limit() const { return limit_; }
 

@@ -48,6 +48,14 @@ TalusController::accessBlock(const Addr* addrs, uint64_t n, PartId part)
     if (n == 0)
         return 0;
     const ShadowRouter& router = routers_[part];
+    if (router.alwaysAlpha()) {
+        // Saturated limit register: every address goes to alpha, so
+        // skip the hash pass and drive the uniform batched entry
+        // (identical to a routed block whose partitions are all
+        // alpha). Degenerate partitions — including every partition
+        // before its first real configuration — take this path.
+        return phys_->accessBatchUniform(addrs, n, 2 * part);
+    }
     if (n == 1) {
         // Serial fast path: one hash, one routed access, no scratch.
         const PartId phys = router.toAlpha(addrs[0]) ? 2 * part

@@ -94,6 +94,10 @@ class TalusController
     /** Last applied shadow configuration of logical partition @p p. */
     const TalusConfig& configOf(PartId p) const;
 
+    /** The sampling router of logical partition @p p — the flattened
+     *  facade fast path routes inline against it. */
+    const ShadowRouter& router(PartId p) const { return routers_[p]; }
+
     /** Effective (quantized) routing rate of partition @p p. */
     double routedRho(PartId p) const;
 

@@ -58,20 +58,21 @@ CombinedUMon::accessBlockMulti(Span<const Addr> addrs)
 
     // One fused hash pass per monitor, then a rejection loop that
     // only calls into the tag array for the sampled minority. The
-    // compare is the exact double compare UMon::access uses, so the
+    // integer compare is equivalent to the double compare
+    // UMon::access used to run (see sampleLimitInt()), so the
     // sampled set is bit-identical.
     primary_.hashFn().hashBlock(addrs, h);
-    const double primary_limit = primary_.sampleLimit();
+    const uint64_t primary_limit = primary_.sampleLimitInt();
     for (size_t i = 0; i < n; ++i) {
-        if (static_cast<double>(h[i]) < primary_limit)
+        if (h[i] < primary_limit)
             primary_.accessSampled(addrs[i], h[i]);
     }
 
     if (cfg_.coverage > 1) {
         secondary_.hashFn().hashBlock(addrs, h);
-        const double secondary_limit = secondary_.sampleLimit();
+        const uint64_t secondary_limit = secondary_.sampleLimitInt();
         for (size_t i = 0; i < n; ++i) {
-            if (static_cast<double>(h[i]) < secondary_limit)
+            if (h[i] < secondary_limit)
                 secondary_.accessSampled(addrs[i], h[i]);
         }
     }

@@ -60,11 +60,11 @@ class CombinedUMon
         if (addrs.size() == 1) {
             const Addr a = addrs.data()[0];
             const uint32_t hp = primary_.hashFn().hash(a);
-            if (static_cast<double>(hp) < primary_.sampleLimit())
+            if (hp < primary_.sampleLimitInt())
                 primary_.accessSampled(a, hp);
             if (cfg_.coverage > 1) {
                 const uint32_t hs = secondary_.hashFn().hash(a);
-                if (static_cast<double>(hs) < secondary_.sampleLimit())
+                if (hs < secondary_.sampleLimitInt())
                     secondary_.accessSampled(a, hs);
             }
             return;

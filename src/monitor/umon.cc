@@ -1,6 +1,7 @@
 #include "monitor/umon.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/log.h"
 
@@ -39,6 +40,8 @@ UMon::UMon(const Config& config)
     // exact same addresses as the hashUnit() form did.
     sampleLimit_ =
         sampleThreshold_ * static_cast<double>(hash_.range());
+    sampleLimitInt_ =
+        static_cast<uint64_t>(std::ceil(sampleLimit_));
     setsArePow2_ = (cfg_.sets & (cfg_.sets - 1)) == 0;
     setMask_ = cfg_.sets - 1;
     tags_.assign(monitor_lines, kInvalidTag);

@@ -49,23 +49,33 @@ class UMon
         // evaluation drives both decisions: the magnitude compare
         // consumes the high bits, the set index the low bits.
         const uint32_t h = hash_.hash(addr);
-        if (static_cast<double>(h) >= sampleLimit_)
+        if (h >= sampleLimitInt_)
             return;
         accessSampled(addr, h);
     }
 
     /**
      * The hot-path split of access(): the caller already evaluated
-     * @p h = hashFn().hash(addr) and checked
-     * static_cast<double>(h) < sampleLimit(), so this only runs the
-     * tag-array update. Callers must use that exact double compare —
-     * it is what makes batched rejection bit-exact with access().
+     * @p h = hashFn().hash(addr) and checked h < sampleLimitInt()
+     * (or the equivalent double compare against sampleLimit()), so
+     * this only runs the tag-array update.
      */
     void accessSampled(Addr addr, uint32_t h);
 
     /** The prescaled sampling threshold access() compares hashes
      *  against (sampleThreshold * hash range). */
     double sampleLimit() const { return sampleLimit_; }
+
+    /**
+     * ceil(sampleLimit()): for any integer hash h,
+     * (double)h < sampleLimit()  <=>  h < sampleLimitInt(). (When the
+     * limit L is an integer the two compares agree directly; when it
+     * is not, h < L <=> h <= floor(L) <=> h < ceil(L). The uint32 ->
+     * double conversion is exact.) So the integer compare samples the
+     * bit-identical address set while keeping the hot path free of
+     * int->double conversions.
+     */
+    uint64_t sampleLimitInt() const { return sampleLimitInt_; }
 
     /** The sampling/set-index hash, for batched evaluation. */
     const H3Hash& hashFn() const { return hash_; }
@@ -99,6 +109,7 @@ class UMon
     // threshold prescaled to the hash range; setMask_ replaces the
     // modulo when sets is a power of two (the common geometry).
     double sampleLimit_;
+    uint64_t sampleLimitInt_ = 0; //!< ceil(sampleLimit_); see accessor.
     uint32_t setMask_ = 0;
     bool setsArePow2_ = false;
 

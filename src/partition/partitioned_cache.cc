@@ -42,7 +42,7 @@ SchemePartitionedCache::access(Addr addr, PartId part)
     // shares its cost profile and the occupancy masks stay in sync
     // without a rebuild.
     if (fusedLru_ != nullptr)
-        return fusedBatch(&addr, nullptr, 1, part) != 0;
+        return accessFused1(addr, part);
     return cache_.access(addr, part);
 }
 
@@ -79,6 +79,10 @@ SchemePartitionedCache::rebuildMasks()
     const SetAssocCache::LineArrays la = cache_.lineArrays();
     unmanagedMask_.assign(sets, 0);
     partMask_.assign(static_cast<size_t>(sets) * nparts, 0);
+    const size_t lines = static_cast<size_t>(sets) * ways;
+    fpTags_.resize(lines);
+    for (size_t l = 0; l < lines; ++l)
+        fpTags_[l] = tagFingerprint(la.tags[l]);
     for (uint32_t s = 0; s < sets; ++s) {
         for (uint32_t w = 0; w < ways; ++w) {
             const uint32_t line = s * ways + w;
@@ -101,11 +105,18 @@ SchemePartitionedCache::rebuildMasks()
     ctx_.lparts = la.parts;
     ctx_.stamps = fusedLru_->stampsRaw();
     ctx_.clock = fusedLru_->clockRaw();
+    recipTargets_.assign(nparts, 0.0);
+    for (uint32_t p = 0; p < nparts; ++p)
+        if (bk.targets[p] != 0)
+            recipTargets_[p] =
+                1.0 / static_cast<double>(bk.targets[p]);
     ctx_.occ = bk.occ;
     ctx_.targets = bk.targets;
+    ctx_.recipTargets = recipTargets_.data();
     ctx_.unmanaged = bk.unmanaged;
     ctx_.umk = unmanagedMask_.data();
     ctx_.pmk = partMask_.data();
+    ctx_.fpt = fpTags_.data();
     ctx_.accRaw = st.accessesRaw();
     ctx_.hitRaw = st.hitsRaw();
     ctx_.hashSeed = cache_.hashSeed();
@@ -153,6 +164,7 @@ SchemePartitionedCache::fusedBatch(const Addr* addrs, const PartId* route,
     uint64_t* clock = c.clock;
     uint64_t clk = *clock;
     const VantageScheme::Books bk = {c.occ, c.targets, c.unmanaged};
+    const double* recip = c.recipTargets;
     const uint32_t nparts = c.nparts;
     uint64_t* acc_raw = c.accRaw;
     uint64_t* hit_raw = c.hitRaw;
@@ -274,9 +286,12 @@ SchemePartitionedCache::fusedBatch(const Addr* addrs, const PartId* route,
                 base + static_cast<uint32_t>(__builtin_ctzll(m_match));
             hit_raw[part]++;
             stamps[hit_line] = ++clk;
-            if (lparts[hit_line] == kNoPart) {
+            if ((umk[set] >> (hit_line - base)) & 1) {
                 // Promotion: an unmanaged line that hits rejoins the
-                // accessing partition, rebalancing immediately.
+                // accessing partition, rebalancing immediately. The
+                // umk bit is exactly "valid and owner == kNoPart"
+                // (hit lines are always valid), so the masks answer
+                // the ownership question without touching lparts.
                 lparts[hit_line] = part;
                 bk.occ[part]++;
                 if (*bk.unmanaged > 0)
@@ -291,7 +306,12 @@ SchemePartitionedCache::fusedBatch(const Addr* addrs, const PartId* route,
         }
 
         // Miss: invalid way first, else unmanaged LRU, else the LRU
-        // of the most over-target partition in the set.
+        // of the most over-target partition in the set. The victim's
+        // owner is implied by which mask selected it (invalid ways
+        // need no eviction bookkeeping at all; umk means kNoPart, a
+        // partition mask means that partition), so the eviction
+        // accounting runs in the selection branch without loading
+        // valid[] or lparts[].
         uint32_t victim = kBypassLine;
         if (m_inval != 0) {
             victim =
@@ -300,6 +320,10 @@ SchemePartitionedCache::fusedBatch(const Addr* addrs, const PartId* route,
             const uint64_t mu = umk[set];
             if (mu != 0) {
                 victim = argminStamp(base, mu);
+                evictions++;
+                if (*bk.unmanaged > 0)
+                    (*bk.unmanaged)--;
+                umk[set] &= ~(1ull << (victim - base));
             } else {
                 // The generic path walks ways in order and keeps the
                 // first strictly-greater ratio, i.e. among the parts
@@ -315,11 +339,28 @@ SchemePartitionedCache::fusedBatch(const Addr* addrs, const PartId* route,
                         pmk[static_cast<size_t>(set) * nparts + q];
                     if (mq == 0)
                         continue;
-                    const double ratio =
-                        bk.targets[q] == 0
-                            ? 1e18
-                            : static_cast<double>(bk.occ[q]) /
-                                  static_cast<double>(bk.targets[q]);
+                    // occ/target via the precomputed reciprocal with
+                    // one FMA correction step (Markstein): with
+                    // r = RN(1/t), q0 = RN(occ*r) and the residual
+                    // e = RN(occ - t*q0) computed exactly by the FMA,
+                    // q0 + e*r rounds to RN(occ/t) for all finite
+                    // inputs — so the scan's comparisons (including
+                    // the occ == target ties this workload hits
+                    // constantly) are bit-identical to the divide the
+                    // generic path performs.
+                    double ratio;
+                    if (bk.targets[q] == 0) {
+                        ratio = 1e18;
+                    } else {
+                        const double occd =
+                            static_cast<double>(bk.occ[q]);
+                        const double t =
+                            static_cast<double>(bk.targets[q]);
+                        const double r = recip[q];
+                        const double q0 = occd * r;
+                        const double e = __builtin_fma(-t, q0, occd);
+                        ratio = __builtin_fma(e, r, q0);
+                    }
                     const uint32_t first =
                         static_cast<uint32_t>(__builtin_ctzll(mq));
                     if (ratio > worst_ratio ||
@@ -334,24 +375,17 @@ SchemePartitionedCache::fusedBatch(const Addr* addrs, const PartId* route,
                 victim = argminStamp(
                     base,
                     pmk[static_cast<size_t>(set) * nparts + worst]);
+                evictions++;
+                if (bk.occ[worst] > 0)
+                    bk.occ[worst]--;
+                pmk[static_cast<size_t>(set) * nparts + worst] &=
+                    ~(1ull << (victim - base));
             }
         }
 
         const uint64_t vbit = 1ull << (victim - base);
-        if (valid[victim]) {
-            evictions++;
-            const PartId owner = lparts[victim];
-            if (owner == kNoPart) {
-                if (*bk.unmanaged > 0)
-                    (*bk.unmanaged)--;
-                umk[set] &= ~vbit;
-            } else if (owner < nparts) {
-                if (bk.occ[owner] > 0)
-                    bk.occ[owner]--;
-                pmk[static_cast<size_t>(set) * nparts + owner] &= ~vbit;
-            }
-        }
         tags[victim] = addr;
+        c.fpt[victim] = tagFingerprint(addr);
         valid[victim] = 1;
         lparts[victim] = part;
         stamps[victim] = ++clk;

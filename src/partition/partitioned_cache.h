@@ -21,8 +21,15 @@
 #include <string>
 #include <vector>
 
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#include <immintrin.h>
+#endif
+
 #include "cache/cache_stats.h"
 #include "cache/set_assoc_cache.h"
+#include "util/aligned.h"
+#include "util/bits.h"
+#include "util/log.h"
 #include "util/types.h"
 
 namespace talus {
@@ -98,6 +105,97 @@ class PartitionedCacheBase
     virtual void nextInterval() {}
 };
 
+/**
+ * 32-bit fold of a line address, used as a probe fingerprint by the
+ * fused kernels: a whole 16-way row of fingerprints fits one cache
+ * line, so the common probe touches half the lines the full tag row
+ * would. Any fold works — a colliding fingerprint only costs a
+ * verification load against the canonical tag, never correctness.
+ */
+inline uint32_t
+tagFingerprint(Addr a)
+{
+    return static_cast<uint32_t>(a) ^ static_cast<uint32_t>(a >> 32);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define TALUS_FUSED1_AVX2 1
+#endif
+
+#if TALUS_FUSED1_AVX2
+/**
+ * AVX2 specializations of the single-access kernel's two 16-way
+ * loops. The serial facade inlines accessFused1 into plain-baseline
+ * callers, where GCC's auto-vectorizer never fires (unlike the
+ * target_clones'd batch kernel), so the hot row scans run ~64 scalar
+ * ops each; these hand-written bodies do the same work in a handful
+ * of vector ops behind one predictable cpu-support branch. Both are
+ * bit-exact with the scalar loops: the probe is pure lane-wise
+ * equality, and the argmin reduces unique keys, so the minimum is
+ * order-independent.
+ */
+namespace fused1 {
+
+/** True once at startup iff the host executes AVX2. */
+inline const bool kHaveAvx2 = __builtin_cpu_supports("avx2");
+
+/** 16-lane fingerprint-equality mask over one 64-byte row. */
+__attribute__((target("avx2"))) inline uint64_t
+probeRow16(const uint32_t* row, uint32_t fp)
+{
+    const __m256i needle = _mm256_set1_epi32(static_cast<int>(fp));
+    const __m256i lo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row + 8));
+    const uint32_t mlo = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(lo, needle))));
+    const uint32_t mhi = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(hi, needle))));
+    return mlo | (mhi << 8);
+}
+
+/**
+ * Way of the minimum packed key ((stamp << 6) | way, excluded ways
+ * saturated to all-ones) over a 16-way stamp row. @p m != 0. AVX2 has
+ * no unsigned 64-bit min, so lanes are compared with the sign bit
+ * flipped (signed greater-than over biased values == unsigned).
+ */
+__attribute__((target("avx2"))) inline uint32_t
+argminRow16(const uint64_t* srow, uint64_t m)
+{
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i mv = _mm256_set1_epi64x(static_cast<long long>(m));
+    const __m256i sgn = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    __m256i best = _mm256_set1_epi64x(-1);
+    for (uint32_t g = 0; g < 4; ++g) {
+        const __m256i widx = _mm256_setr_epi64x(
+            g * 4, g * 4 + 1, g * 4 + 2, g * 4 + 3);
+        // excl = (bit set ? 0 : ~0), as (bit & 1) - 1.
+        const __m256i bit =
+            _mm256_and_si256(_mm256_srlv_epi64(mv, widx), one);
+        const __m256i excl = _mm256_sub_epi64(bit, one);
+        const __m256i st = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(srow + g * 4));
+        const __m256i key = _mm256_or_si256(
+            _mm256_or_si256(_mm256_slli_epi64(st, 6), widx), excl);
+        const __m256i gt = _mm256_cmpgt_epi64(
+            _mm256_xor_si256(best, sgn), _mm256_xor_si256(key, sgn));
+        best = _mm256_blendv_epi8(best, key, gt);
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+    uint64_t k = lanes[0];
+    k = lanes[1] < k ? lanes[1] : k;
+    k = lanes[2] < k ? lanes[2] : k;
+    k = lanes[3] < k ? lanes[3] : k;
+    return static_cast<uint32_t>(k & 63);
+}
+
+} // namespace fused1
+#endif // TALUS_FUSED1_AVX2
+
 /** A SetAssocCache driven through a PartitionScheme. */
 class SchemePartitionedCache : public PartitionedCacheBase
 {
@@ -133,6 +231,242 @@ class SchemePartitionedCache : public PartitionedCacheBase
      *  scheme is VantageScheme and the policy is exactly LRU). */
     bool fusedKernelActive() const { return fusedLru_ != nullptr; }
 
+    /**
+     * The single-access specialization of the fused kernel, header-
+     * inline so the TalusCache facade's flattened serial path pays no
+     * out-of-line call for a whole access (monitor sample + route +
+     * this probe run straight-line in the caller). Bit-exact with
+     * fusedBatch(&addr, nullptr, 1, part): the same operations in the
+     * same order, minus the block-only machinery (set precompute,
+     * prefetch lookahead) that is a no-op at n == 1.
+     *
+     * Ownership is derived from the per-set masks instead of the
+     * lparts/valid arrays (the struct-of-arrays layout the kernel
+     * maintains): a hit way is unmanaged iff its umk bit is set, a
+     * victim's owner is implied by which mask selected it, and an
+     * invalid-way victim needs no eviction bookkeeping at all. The
+     * canonical arrays are still written on every mutation, so
+     * external readers (the generic path, tests, invalidation) always
+     * see the same state.
+     *
+     * Caller must check fusedKernelActive() first.
+     *
+     * always_inline because this is the whole point of the flattened
+     * facade path: at ~150 statements GCC's inliner judges the body
+     * too big and emits a call, which reintroduces exactly the
+     * per-access call overhead the facade flattening removed.
+     */
+    __attribute__((always_inline)) inline bool
+    accessFused1(Addr addr, PartId part)
+    {
+        if (maskEpoch_ != cache_.mutationEpoch())
+            rebuildMasks();
+        const FusedCtx& c = ctx_;
+        const uint32_t ways = c.ways;
+        const uint32_t nparts = c.nparts;
+        talus_assert(part < nparts, "bad partition id ", part);
+        talus_assert(addr != SetAssocCache::kInvalidTag,
+                     "address aliases the invalid-tag sentinel");
+        const uint64_t h = c.hashed ? mix64(addr ^ c.hashSeed) : addr;
+        const uint32_t set =
+            c.setsPow2 ? static_cast<uint32_t>(h & c.setMask)
+                       : static_cast<uint32_t>(h % c.sets);
+        const uint32_t base = set * ways;
+        Addr* tags = c.tags;
+        uint64_t* stamps = c.stamps;
+        uint64_t* umk = c.umk;
+        uint64_t* pmk = c.pmk;
+        uint32_t* fpt = c.fpt;
+
+        // Touch the stamp row and masks before the probe resolves:
+        // every access writes a stamp (hit promotion or insert) and
+        // reads the set's masks, but those loads sit behind the
+        // hit/miss branch — hoisted prefetches overlap their latency
+        // with the fingerprint probe instead of serializing after it.
+        __builtin_prefetch(&stamps[base], 1);
+        __builtin_prefetch(&stamps[base + ways - 1], 1);
+        __builtin_prefetch(&umk[set], 1);
+        __builtin_prefetch(&pmk[static_cast<size_t>(set) * nparts], 1);
+
+        // Probe the 32-bit fingerprint row — one cache line covers all
+        // 16 ways, where the full tag row needs two. A fingerprint
+        // match is only a candidate: it is verified against the
+        // canonical tag below, so fold collisions cost a verify, never
+        // correctness. No fingerprint match is a definite miss (the
+        // fold is a function of the address), in which case the full
+        // tag row is never read at all.
+        const uint32_t fp = tagFingerprint(addr);
+        uint64_t m_fp = 0;
+#if TALUS_FUSED1_AVX2
+        if (ways == 16 && fused1::kHaveAvx2) {
+            m_fp = fused1::probeRow16(fpt + base, fp);
+        } else
+#endif
+        {
+            for (uint32_t w = 0; w < ways; ++w) {
+                m_fp |= static_cast<uint64_t>(fpt[base + w] == fp)
+                        << w;
+            }
+        }
+        uint64_t m_match = 0;
+        while (m_fp != 0) {
+            const uint32_t w =
+                static_cast<uint32_t>(__builtin_ctzll(m_fp));
+            if (tags[base + w] == addr) {
+                m_match = 1ull << w;
+                break; // Tags are unique per set; lowest way first.
+            }
+            m_fp &= m_fp - 1;
+        }
+        c.accRaw[part]++;
+
+        // Same packed-key branchless argmin as fusedBatch (see the
+        // kernel for the full rationale); m != 0 guaranteed.
+        const auto argminStamp = [&](uint64_t m) -> uint32_t {
+#if TALUS_FUSED1_AVX2
+            if (ways == 16 && fused1::kHaveAvx2)
+                return base + fused1::argminRow16(stamps + base, m);
+#endif
+            uint64_t best = ~0ull;
+            if (ways == 16) {
+                for (uint32_t w = 0; w < 16; ++w) {
+                    const uint64_t excl = -(((m >> w) & 1) ^ 1ull);
+                    const uint64_t key =
+                        ((stamps[base + w] << 6) | w) | excl;
+                    best = key < best ? key : best;
+                }
+            } else {
+                for (uint32_t w = 0; w < ways; ++w) {
+                    const uint64_t excl = -(((m >> w) & 1) ^ 1ull);
+                    const uint64_t key =
+                        ((stamps[base + w] << 6) | w) | excl;
+                    best = key < best ? key : best;
+                }
+            }
+            return base + static_cast<uint32_t>(best & 63);
+        };
+
+        const auto demote = [&](uint32_t inserted, PartId p) {
+            if (c.occ[p] <= c.targets[p] || c.targets[p] == 0)
+                return;
+            const uint64_t m =
+                pmk[static_cast<size_t>(set) * nparts + p] &
+                ~(1ull << (inserted - base));
+            if (m == 0)
+                return;
+            const uint32_t demoted = argminStamp(m);
+            c.lparts[demoted] = kNoPart;
+            c.occ[p]--;
+            (*c.unmanaged)++;
+            pmk[static_cast<size_t>(set) * nparts + p] &=
+                ~(1ull << (demoted - base));
+            umk[set] |= 1ull << (demoted - base);
+        };
+
+        if (m_match != 0) {
+            const uint32_t hw =
+                static_cast<uint32_t>(__builtin_ctzll(m_match));
+            const uint32_t hit_line = base + hw;
+            c.hitRaw[part]++;
+            stamps[hit_line] = ++*c.clock;
+            if ((umk[set] >> hw) & 1) {
+                // Promotion — the hit way's umk bit says it was
+                // unmanaged (masks track exactly valid+kNoPart).
+                c.lparts[hit_line] = part;
+                c.occ[part]++;
+                if (*c.unmanaged > 0)
+                    (*c.unmanaged)--;
+                umk[set] &= ~(1ull << hw);
+                pmk[static_cast<size_t>(set) * nparts + part] |= 1ull
+                                                                 << hw;
+                demote(hit_line, part);
+            }
+            return true;
+        }
+
+        // Miss: invalid way first (no eviction bookkeeping — an
+        // invalid tag implies !valid), else unmanaged LRU (owner is
+        // kNoPart by construction), else the LRU of the most
+        // over-target partition present (owner == worst). The invalid
+        // ways fall out of the masks the miss path loads anyway — the
+        // masks cover exactly the valid lines (umk = valid+kNoPart,
+        // pmk = valid+owner), so their complement over the way range
+        // is precisely the invalid set, in way order. No tag scan.
+        uint64_t m_valid = umk[set];
+        for (uint32_t q = 0; q < nparts; ++q)
+            m_valid |= pmk[static_cast<size_t>(set) * nparts + q];
+        const uint64_t way_span =
+            ways == 64 ? ~0ull : (1ull << ways) - 1;
+        const uint64_t m_inval = ~m_valid & way_span;
+        uint32_t victim;
+        if (m_inval != 0) {
+            victim =
+                base + static_cast<uint32_t>(__builtin_ctzll(m_inval));
+        } else {
+            const uint64_t mu = umk[set];
+            if (mu != 0) {
+                // A one-bit mask needs no stamp scan — the argmin of a
+                // singleton is its only member.
+                victim = (mu & (mu - 1)) == 0
+                             ? base + static_cast<uint32_t>(
+                                          __builtin_ctzll(mu))
+                             : argminStamp(mu);
+                cache_.stats().addEvictions(1);
+                if (*c.unmanaged > 0)
+                    (*c.unmanaged)--;
+                umk[set] &= ~(1ull << (victim - base));
+            } else {
+                // The rare set-conflict scan. The plain divide is the
+                // generic path's exact computation (the batched
+                // kernel's FMA-corrected reciprocal rounds
+                // identically); once per conflict miss it costs less
+                // than priming the reciprocal pipeline here would.
+                PartId worst = kNoPart;
+                double worst_ratio = -1.0;
+                uint32_t worst_first = 64;
+                for (uint32_t q = 0; q < nparts; ++q) {
+                    const uint64_t mq =
+                        pmk[static_cast<size_t>(set) * nparts + q];
+                    if (mq == 0)
+                        continue;
+                    const double ratio =
+                        c.targets[q] == 0
+                            ? 1e18
+                            : static_cast<double>(c.occ[q]) /
+                                  static_cast<double>(c.targets[q]);
+                    const uint32_t first =
+                        static_cast<uint32_t>(__builtin_ctzll(mq));
+                    if (ratio > worst_ratio ||
+                        (ratio == worst_ratio &&
+                         first < worst_first)) {
+                        worst_ratio = ratio;
+                        worst = q;
+                        worst_first = first;
+                    }
+                }
+                talus_assert(worst != kNoPart,
+                             "set full of foreign lines");
+                victim = argminStamp(
+                    pmk[static_cast<size_t>(set) * nparts + worst]);
+                cache_.stats().addEvictions(1);
+                if (c.occ[worst] > 0)
+                    c.occ[worst]--;
+                pmk[static_cast<size_t>(set) * nparts + worst] &=
+                    ~(1ull << (victim - base));
+            }
+        }
+        tags[victim] = addr;
+        fpt[victim] = fp;
+        c.valid[victim] = 1;
+        c.lparts[victim] = part;
+        stamps[victim] = ++*c.clock;
+        c.occ[part]++;
+        pmk[static_cast<size_t>(set) * nparts + part] |=
+            1ull << (victim - base);
+        demote(victim, part);
+        return false;
+    }
+
   private:
     /** The fused Vantage+LRU batch kernel: one devirtualized loop
      *  replicating access() exactly. @p route is per-address
@@ -158,10 +492,33 @@ class SchemePartitionedCache : public PartitionedCacheBase
      * lines appear in neither. Valid only while maskEpoch_ matches
      * cache_.mutationEpoch().
      */
-    std::vector<uint64_t> unmanagedMask_;
-    std::vector<uint64_t> partMask_;
+    CacheAlignedVec<uint64_t> unmanagedMask_;
+    CacheAlignedVec<uint64_t> partMask_;
+
+    /**
+     * Per-line tagFingerprint() mirror of the tag array (flat line
+     * index, like tags). Probed by accessFused1 and kept in sync by
+     * both kernels' insert paths; rebuilt with the masks whenever the
+     * generic path mutates lines. Fingerprints of invalid lines are
+     * the fold of kInvalidTag — harmless, since every fingerprint
+     * match is verified against the canonical tag.
+     */
+    CacheAlignedVec<uint32_t> fpTags_;
     uint64_t maskEpoch_ = ~0ull; //!< Forces the initial rebuild.
     std::vector<uint32_t> setScratch_; //!< Precomputed set indices.
+
+    /**
+     * Per-partition reciprocals of the Vantage targets, refreshed by
+     * rebuildMasks() (setTargets() invalidates maskEpoch_, so a stale
+     * reciprocal can never be read). The kernel's worst-partition
+     * scan divides occupancy by target per present partition per
+     * set-conflict miss; with the reciprocal precomputed, the divide
+     * becomes an FMA-corrected multiply (see fusedBatch) that yields
+     * the exact same correctly-rounded quotient. Entries for
+     * zero targets are never read (the scan's sentinel branch fires
+     * first).
+     */
+    std::vector<double> recipTargets_;
 
     /**
      * Kernel context captured at rebuildMasks() time: every pointer
@@ -180,9 +537,11 @@ class SchemePartitionedCache : public PartitionedCacheBase
         uint64_t* clock;
         uint64_t* occ;
         const uint64_t* targets;
+        const double* recipTargets;
         uint64_t* unmanaged;
         uint64_t* umk;
         uint64_t* pmk;
+        uint32_t* fpt;
         uint64_t* accRaw;
         uint64_t* hitRaw;
         uint64_t hashSeed;

@@ -10,9 +10,8 @@
 #ifndef TALUS_POLICY_LRU_H
 #define TALUS_POLICY_LRU_H
 
-#include <vector>
-
 #include "cache/repl_policy.h"
+#include "util/aligned.h"
 
 namespace talus {
 
@@ -42,7 +41,9 @@ class LruPolicy : public ReplPolicy
     uint64_t* clockRaw() { return &clock_; }
 
   private:
-    std::vector<uint64_t> stamps_;
+    // Line-aligned rows: the fused kernel's argmin walks one 128-byte
+    // stamp row per victim scan (see util/aligned.h).
+    CacheAlignedVec<uint64_t> stamps_;
     uint64_t clock_ = 0;
 };
 

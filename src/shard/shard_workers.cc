@@ -42,13 +42,16 @@ PinnedWorkers::PinnedWorkers(uint32_t threads, uint32_t num_shards,
     talus_assert(exec_ != nullptr, "PinnedWorkers needs an executor");
     if (threads == 0)
         return;
-    // dispatch() waits for full drain before returning, so a ring
-    // never holds more than its owner's shard fan-in.
+    // A ring holds at most one dispatch's worth of its owner's shard
+    // fan-in (wait() drains fully before the next dispatchAsync may
+    // submit); doubled as cheap headroom so the overflow assert below
+    // stays a programming-error trap rather than a tight capacity
+    // proof.
     const uint32_t fan_in = (num_shards + threads - 1) / threads;
     workers_.reserve(threads);
     for (uint32_t t = 0; t < threads; ++t)
         workers_.push_back(
-            std::make_unique<Worker>(fan_in > 0 ? fan_in : 1));
+            std::make_unique<Worker>(2 * (fan_in > 0 ? fan_in : 1)));
     touched_.assign(threads, 0);
     // Resolve metric handles before any worker thread exists, so the
     // threads only ever see fully initialized (or all-null) pointers.
@@ -81,7 +84,7 @@ PinnedWorkers::~PinnedWorkers()
 }
 
 void
-PinnedWorkers::dispatch(const ShardTask* tasks, uint32_t count)
+PinnedWorkers::dispatchAsync(const ShardTask* tasks, uint32_t count)
 {
     if (count == 0)
         return;
@@ -96,8 +99,9 @@ PinnedWorkers::dispatch(const ShardTask* tasks, uint32_t count)
     const bool was_dispatching =
         dispatching_.exchange(true, std::memory_order_acquire);
     talus_assert(!was_dispatching,
-                 "PinnedWorkers::dispatch() is not reentrant: one "
-                 "dispatch at a time, from one thread");
+                 "PinnedWorkers dispatch is not reentrant: wait() "
+                 "before the next dispatchAsync(), and dispatch from "
+                 "one thread only");
 
     pending_.store(count, std::memory_order_relaxed);
     std::fill(touched_.begin(), touched_.end(), uint8_t{0});
@@ -139,7 +143,13 @@ PinnedWorkers::dispatch(const ShardTask* tasks, uint32_t count)
                 workers_[w]->wakes->inc();
         }
     }
+}
 
+void
+PinnedWorkers::wait()
+{
+    if (threads_.empty())
+        return;
     // Completion wait: spin, then yield (on oversubscribed hosts the
     // yields are what let the workers run at all). The acquire pairs
     // with each worker's release fetch_sub, so every task's writes —

@@ -107,7 +107,34 @@ class PinnedWorkers
      * submission order. Not reentrant: one dispatch() at a time, from
      * one thread (enforced by a talus_assert).
      */
-    void dispatch(const ShardTask* tasks, uint32_t count);
+    void dispatch(const ShardTask* tasks, uint32_t count)
+    {
+        dispatchAsync(tasks, count);
+        wait();
+    }
+
+    /**
+     * Submission half of dispatch(): pushes every task to its owning
+     * worker's ring, wakes parked workers, and returns WITHOUT
+     * waiting for completion — the producer can overlap its own work
+     * (scattering the next block) with the drain. With threads == 0
+     * the tasks run inline here, so async and sync modes stay
+     * bit-exact.
+     *
+     * Exactly one async dispatch may be outstanding: call wait()
+     * before the next dispatchAsync() (enforced by the same
+     * reentrancy trap dispatch() uses). The task descriptors and the
+     * sub-batches they point at must stay valid until wait() returns.
+     */
+    void dispatchAsync(const ShardTask* tasks, uint32_t count);
+
+    /**
+     * Completion half of dispatch(): returns once every task of the
+     * outstanding dispatchAsync() finished, with the same release/
+     * acquire publication dispatch() provides. No-op when nothing is
+     * outstanding (or threads == 0).
+     */
+    void wait();
 
     /** Worker threads (0 = inline execution). */
     uint32_t threadCount() const

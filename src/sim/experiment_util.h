@@ -44,6 +44,20 @@ struct BenchEnv
                                  //!< every access, the exact-curve
                                  //!< default. Maps to
                                  //!< Config::monitorSamplePeriod.
+    bool monitorSampleSet = false; //!< True when --monitor-sample or
+                                   //!< TALUS_MONITOR_SAMPLE was given
+                                   //!< explicitly; lets binaries with
+                                   //!< a non-1 default (see
+                                   //!< monitorSampleOr()) still honor
+                                   //!< an explicit --monitor-sample=1.
+    bool pipeline = true;        //!< Double-buffered pipelined batch
+                                 //!< dispatch in the sharded engine
+                                 //!< (--pipeline=0|1 /
+                                 //!< TALUS_PIPELINE). Maps to
+                                 //!< ShardedTalusCache::Config::
+                                 //!< pipelineDispatch; default on,
+                                 //!< 0 = the serial scatter-then-wait
+                                 //!< dispatch, kept for A/B runs.
     std::string metricsPath;     //!< Dump a global-registry metrics
                                  //!< snapshot here at process exit
                                  //!< (TALUS_METRICS); "" = no dump.
@@ -58,11 +72,26 @@ struct BenchEnv
     bool metricsWanted() const { return !metricsPath.empty(); }
 
     /**
+     * The monitor sampling period a binary with default
+     * @p binary_default should run at: the explicit
+     * --monitor-sample/TALUS_MONITOR_SAMPLE value when one was given,
+     * @p binary_default otherwise. Figure binaries use
+     * env.monitorSample directly (default 1, exact curves); serving
+     * binaries pass kServingMonitorSamplePeriod here so they default
+     * to sampled monitoring while --monitor-sample=1 still opts back
+     * into exact curves.
+     */
+    uint32_t monitorSampleOr(uint32_t binary_default) const
+    {
+        return monitorSampleSet ? monitorSample : binary_default;
+    }
+
+    /**
      * Parses the common bench command line over environment-variable
      * defaults (flags win over env vars). Accepted flags: --csv,
      * --full, --scale=N, --instr=N, --mixes=N, --accesses=N, --seed=N,
-     * --shards=N, --threads=N, --reconfig=N, --trace=PATH, and
-     * --help/-h (prints usage() and exits 0). Any other `--` argument
+     * --shards=N, --threads=N, --reconfig=N, --pipeline=0|1,
+     * --trace=PATH, and --help/-h (prints usage() and exits 0). Any other `--` argument
      * is an error: usage goes to stderr and the process exits 1.
      * --trace/TALUS_TRACE is validated like the shard knobs: a
      * missing, unreadable, or corrupt trace file is a usage error

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared result arithmetic for the sim drivers: miss ratio and
+ * throughput from raw (accesses, hits, seconds) counters.
+ *
+ * Every driver result struct (sim/sharded_replay.h's
+ * ShardedReplayResult, sim/serving_harness.h's ServingResult) exposes
+ * the same two derived quantities; keeping the formulas here — one
+ * header-inline definition each — pins the conventions in one place:
+ * hits never exceed accesses, an empty window reports ratio 0 (not
+ * NaN), and an untimeably fast window reports throughput 0.
+ */
+
+#ifndef TALUS_SIM_RUN_STATS_H
+#define TALUS_SIM_RUN_STATS_H
+
+#include <cstdint>
+
+namespace talus {
+
+/** Misses / accesses; 0 before any access. */
+inline double
+runMissRatio(uint64_t accesses, uint64_t hits)
+{
+    return accesses > 0 ? static_cast<double>(accesses - hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+}
+
+/** Accesses / wall seconds; 0 when the window was too fast to time. */
+inline double
+runAccessesPerSecond(uint64_t accesses, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(accesses) / seconds
+                         : 0.0;
+}
+
+} // namespace talus
+
+#endif // TALUS_SIM_RUN_STATS_H

@@ -40,10 +40,25 @@
 #include <vector>
 
 #include "shard/sharded_cache.h"
+#include "sim/run_stats.h"
 #include "util/types.h"
 #include "workload/access_stream.h"
 
 namespace talus {
+
+/**
+ * Default TalusCache::Config::monitorSamplePeriod for serving-shaped
+ * binaries (examples/serving_bench and anything else driving this
+ * harness for throughput). Serving cares about items/s, and sampled
+ * monitoring at period 8 recovers most of the monitor's hot-path cost
+ * while leaving the control plane statistically sound curves (the
+ * ROADMAP's sampled-monitoring lever). Figure binaries stay at
+ * period 1 — exact curves are the point there — which is also
+ * BenchEnv's default; serving binaries opt into this constant via
+ * BenchEnv::monitorSampleOr(), so --monitor-sample=1 restores exact
+ * monitoring.
+ */
+inline constexpr uint32_t kServingMonitorSamplePeriod = 8;
 
 /** Knobs for one serving-harness run. */
 struct ServingOptions
@@ -111,18 +126,12 @@ struct ServingResult
                           //!< (open) times.
 
     /** Misses / accesses; 0 before any access. */
-    double missRatio() const
-    {
-        return accesses > 0 ? static_cast<double>(accesses - hits) /
-                                  static_cast<double>(accesses)
-                            : 0.0;
-    }
+    double missRatio() const { return runMissRatio(accesses, hits); }
 
     /** Achieved throughput; 0 when the window was too fast to time. */
     double accessesPerSecond() const
     {
-        return seconds > 0.0 ? static_cast<double>(accesses) / seconds
-                             : 0.0;
+        return runAccessesPerSecond(accesses, seconds);
     }
 };
 

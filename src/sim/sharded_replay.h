@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "shard/sharded_cache.h"
+#include "sim/run_stats.h"
 #include "util/types.h"
 #include "workload/access_stream.h"
 
@@ -51,18 +52,12 @@ struct ShardedReplayResult
     double seconds = 0.0;  //!< Wall time of the replay loop only.
 
     /** Misses / accesses; 0 before any access. */
-    double missRatio() const
-    {
-        return accesses > 0 ? static_cast<double>(accesses - hits) /
-                                  static_cast<double>(accesses)
-                            : 0.0;
-    }
+    double missRatio() const { return runMissRatio(accesses, hits); }
 
     /** Replay throughput; 0 when the loop was too fast to time. */
     double accessesPerSecond() const
     {
-        return seconds > 0.0 ? static_cast<double>(accesses) / seconds
-                             : 0.0;
+        return runAccessesPerSecond(accesses, seconds);
     }
 };
 

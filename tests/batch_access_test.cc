@@ -123,6 +123,68 @@ TEST(BatchAccess, OddBatchSizesAndEmptySpansAreSafe)
     expectBatchMatchesSerial(cfg, randomAddrs(10'000, 2048, 59), 3);
 }
 
+/** Addresses where odd entries collide with their predecessor in the
+ *  32-bit tag fingerprint (low32 ^ high32) while remaining distinct
+ *  tags: flipping bit 0 and bit 32 together preserves the fold. */
+std::vector<Addr>
+fingerprintCollidingAddrs(uint64_t n, uint64_t working_set,
+                          uint64_t seed)
+{
+    std::vector<Addr> addrs = randomAddrs(n, working_set, seed);
+    for (size_t i = 1; i < addrs.size(); i += 2)
+        addrs[i] = addrs[i - 1] ^ 0x1'0000'0001ull;
+    return addrs;
+}
+
+TEST(BatchAccess, FingerprintProbeMatchesFullTagProbeInLockstep)
+{
+    // The single-access fast path resolves hits through the set
+    // layout's 32-bit fingerprint mirror before verifying the full
+    // tag; the batched fused kernel still probes full 64-bit tags —
+    // the pre-SoA probe. Driving both one address at a time pins the
+    // fingerprint layout to the full-tag probe result at every single
+    // access, not just in aggregate — on a trace engineered so half
+    // the addresses share a fingerprint with a distinct neighbor tag
+    // (a collision may cost a verify, never a different answer).
+    TalusCache::Config cfg;
+    cfg.llcLines = 1024;
+    cfg.ways = 16;
+    cfg.numParts = 1;
+    cfg.allocatorName = "";
+    cfg.seed = 13;
+
+    TalusCache fp_path(cfg);   // access(): fingerprint probe.
+    TalusCache full_path(cfg); // accessBatch: full-tag probe.
+    const std::vector<Addr> addrs =
+        fingerprintCollidingAddrs(30'000, 2048, 71);
+    for (size_t i = 0; i < addrs.size(); ++i) {
+        const bool hit = fp_path.access(addrs[i], 0);
+        const uint64_t batch_hit = full_path.accessBatch(
+            Span<const Addr>(&addrs[i], 1), 0);
+        ASSERT_EQ(batch_hit, hit ? 1u : 0u)
+            << "probe divergence at access " << i << " (addr 0x"
+            << std::hex << addrs[i] << ")";
+    }
+    EXPECT_EQ(fp_path.stats(0).misses, full_path.stats(0).misses);
+}
+
+TEST(BatchAccess, FingerprintCollisionsNeverChangeBatchResults)
+{
+    // The same collision-heavy trace through the standard
+    // serial-vs-batched diff, with auto-reconfig boundaries landing
+    // mid-batch: monitors, curves, and reconfiguration points must
+    // all survive constant fingerprint-verify rejections.
+    TalusCache::Config cfg;
+    cfg.llcLines = 4096;
+    cfg.ways = 16;
+    cfg.numParts = 1;
+    cfg.allocatorName = "HillClimb";
+    cfg.reconfigInterval = 7'777;
+    cfg.seed = 13;
+    expectBatchMatchesSerial(
+        cfg, fingerprintCollidingAddrs(60'000, 8192, 73), 4096);
+}
+
 TEST(BatchAccess, MultiplePartitionsInterleaved)
 {
     // Batches alternate between logical partitions; totals must match

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/experiment_util.h"
+#include "sim/serving_harness.h"
 #include "trace/trace_file.h"
 
 namespace talus {
@@ -160,8 +161,39 @@ TEST(BenchEnvDeathTest, EnvVarShardKnobsAreRangeCheckedToo)
 
 TEST(BenchEnv, MonitorSampleDefaultsToOne)
 {
-    // 1 = monitor every access, the exact-curve default.
+    // 1 = monitor every access, the exact-curve default. The figure
+    // binaries (fig08/09/12/13) consume env.monitorSample directly,
+    // so this pins them at period 1 unless the user asks otherwise.
     EXPECT_EQ(initWith({}).monitorSample, 1u);
+    EXPECT_FALSE(initWith({}).monitorSampleSet);
+}
+
+TEST(BenchEnv, MonitorSampleOrGivesServingBinariesTheirOwnDefault)
+{
+    // Serving binaries default to sampled monitoring (period 8, the
+    // throughput-first setting) via monitorSampleOr(); an explicit
+    // --monitor-sample — including =1, the exact-curve opt-out —
+    // always wins. Figure binaries read env.monitorSample directly
+    // and are untouched by the serving default.
+    EXPECT_EQ(kServingMonitorSamplePeriod, 8u);
+    const BenchEnv dflt = initWith({});
+    EXPECT_EQ(dflt.monitorSampleOr(kServingMonitorSamplePeriod), 8u);
+    EXPECT_EQ(dflt.monitorSample, 1u); // The figure-binary view.
+
+    const BenchEnv opt_out = initWith({"--monitor-sample=1"});
+    EXPECT_TRUE(opt_out.monitorSampleSet);
+    EXPECT_EQ(opt_out.monitorSampleOr(kServingMonitorSamplePeriod),
+              1u);
+
+    EXPECT_EQ(initWith({"--monitor-sample=32"})
+                  .monitorSampleOr(kServingMonitorSamplePeriod),
+              32u);
+
+    // The env-var spelling counts as explicit too.
+    ::setenv("TALUS_MONITOR_SAMPLE", "1", 1);
+    EXPECT_EQ(initWith({}).monitorSampleOr(kServingMonitorSamplePeriod),
+              1u);
+    ::unsetenv("TALUS_MONITOR_SAMPLE");
 }
 
 TEST(BenchEnv, MonitorSampleFlagAndEnvVar)
@@ -199,6 +231,43 @@ TEST(BenchEnvDeathTest, MonitorSampleRejectsZeroAndGarbage)
     EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
                 "TALUS_MONITOR_SAMPLE must be >= 1");
     ::unsetenv("TALUS_MONITOR_SAMPLE");
+}
+
+TEST(BenchEnv, PipelineDefaultsOnAndFlagAndEnvToggleIt)
+{
+    // Pipelined dispatch is the production default; 0 selects the
+    // serial scatter-then-wait path for A/B comparison.
+    EXPECT_TRUE(initWith({}).pipeline);
+    EXPECT_FALSE(initWith({"--pipeline=0"}).pipeline);
+    EXPECT_TRUE(initWith({"--pipeline=1"}).pipeline);
+
+    ::setenv("TALUS_PIPELINE", "0", 1);
+    EXPECT_FALSE(initWith({}).pipeline);
+    // Flags win over env vars, as for every other knob.
+    EXPECT_TRUE(initWith({"--pipeline=1"}).pipeline);
+    ::unsetenv("TALUS_PIPELINE");
+}
+
+TEST(BenchEnvDeathTest, PipelineRejectsNonBooleanValues)
+{
+    // Validated like the shard knobs: malformed, negative, or
+    // out-of-range values are usage errors, not silent truths.
+    EXPECT_EXIT(initWith({"--pipeline=2"}),
+                ::testing::ExitedWithCode(1), "must be 0 or 1");
+    EXPECT_EXIT(initWith({"--pipeline=abc"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+    EXPECT_EXIT(initWith({"--pipeline=-1"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+
+    // The env path hits the same checks — a negative TALUS_PIPELINE
+    // must not wrap into "enabled".
+    ::setenv("TALUS_PIPELINE", "-1", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "TALUS_PIPELINE must be 0 or 1");
+    ::setenv("TALUS_PIPELINE", "7", 1);
+    EXPECT_EXIT(initWith({}), ::testing::ExitedWithCode(1),
+                "must be 0 or 1");
+    ::unsetenv("TALUS_PIPELINE");
 }
 
 /** Writes a small valid binary trace and returns its path. */

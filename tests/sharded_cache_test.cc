@@ -470,6 +470,137 @@ TEST(ShardedCache, EpochDeferredReconfigureIsThreadCountInvariant)
     EXPECT_EQ(run(1), inline_engine.reconfigurations());
 }
 
+// --- Pipelined dispatch (PR 10). --------------------------------------
+
+ShardedTalusCache::Config
+pipelineConfig(uint32_t shards, uint32_t threads, bool pipeline)
+{
+    ShardedTalusCache::Config cfg = engineConfig(shards, threads);
+    cfg.pipelineDispatch = pipeline;
+    return cfg;
+}
+
+/**
+ * Double-buffered dispatch vs serial dispatch, thread counts
+ * {0, 1, 4}: multi-block ragged batches (block > 2 * kPipelineBlock,
+ * not a multiple of it) with the 5'000-access reconfigInterval firing
+ * automatic control steps inside every batch. The pipelined path must
+ * be bit-exact with the serial scatter-then-wait path AND with the
+ * hand-built serial reference.
+ */
+class ShardedPipelineDeterminism
+    : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ShardedPipelineDeterminism, PipelinedMatchesSerialDispatch)
+{
+    const uint32_t threads = GetParam();
+    const std::vector<Addr> addrs = mixedTrace(60'000, 1511);
+    const size_t block =
+        2 * ShardedTalusCache::kPipelineBlock + 1237;
+    const ShardTrace pipelined =
+        runSharded(pipelineConfig(4, threads, true), addrs, block);
+    const ShardTrace serial =
+        runSharded(pipelineConfig(4, threads, false), addrs, block);
+    expectTracesEqual(pipelined, serial);
+    const ShardTrace reference =
+        runHandBuilt(pipelineConfig(4, threads, true), addrs, block);
+    expectTracesEqual(pipelined, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ShardedPipelineDeterminism,
+                         ::testing::Values(0u, 1u, 4u));
+
+TEST(ShardedCache, PipelinedRaggedAndEmptyBatchesStayExact)
+{
+    // Batch lengths straddling the kPipelineBlock boundary — empty,
+    // a single address, exactly one block (unpipelined by design),
+    // one block plus one (the smallest pipelined batch), whole
+    // multiples, and ragged multi-block sizes — driven in sequence
+    // through a pipelined threaded engine and a serial inline one.
+    const std::vector<Addr> addrs = mixedTrace(45'000, 1607);
+    const uint64_t kB = ShardedTalusCache::kPipelineBlock;
+    const std::vector<uint64_t> lens = {0,      1,           kB,
+                                        kB + 1, 3 * kB,      5,
+                                        2 * kB + 777, 4 * kB};
+    for (uint32_t threads : {1u, 4u}) {
+        ShardedTalusCache on(pipelineConfig(4, threads, true));
+        ShardedTalusCache off(pipelineConfig(4, 0, false));
+        size_t pos = 0;
+        for (uint64_t len : lens) {
+            len = std::min<uint64_t>(len, addrs.size() - pos);
+            const Span<const Addr> batch(addrs.data() + pos, len);
+            EXPECT_EQ(on.accessBatch(batch, 0),
+                      off.accessBatch(batch, 0))
+                << "batch of " << len << " at " << pos << ", threads "
+                << threads;
+            pos += len;
+        }
+        expectShardStatesEqual(on, off);
+    }
+}
+
+TEST(ShardedCache, PipelinedSingleHotShardLeavesOthersEmpty)
+{
+    // Every address routes to one shard, so 7 of 8 shards get no task
+    // in any pipeline block: the skip-empty-shard task building and
+    // the gather-only-touched-slots accounting are both on trial
+    // across block boundaries.
+    ShardedTalusCache probe(pipelineConfig(8, 0, true));
+    const ShardRouter& router = probe.router();
+    Rng rng(1709);
+    std::vector<Addr> hot;
+    while (hot.size() < 20'000) {
+        const Addr a = rng.below(1 << 14);
+        if (router.route(a) == 3)
+            hot.push_back(a);
+    }
+    const ShardTrace pipelined =
+        runSharded(pipelineConfig(8, 3, true), hot, 9419);
+    const ShardTrace reference =
+        runHandBuilt(pipelineConfig(8, 3, true), hot, 9419);
+    expectTracesEqual(pipelined, reference);
+}
+
+TEST(ShardedCache, PipelinedEpochDeferredReconfigStaysExact)
+{
+    // Epoch-deferred control steps computed between multi-block
+    // pipelined batches but applied mid-stream at fixed per-shard
+    // access counts — so applications land inside later pipeline
+    // blocks. Pipeline on/off and thread counts must all agree.
+    ShardedTalusCache::Config base = pipelineConfig(4, 0, false);
+    base.shard.reconfigInterval = 0;
+    const std::vector<Addr> addrs = mixedTrace(45'000, 1801);
+
+    auto run = [&](uint32_t threads, bool pipeline) {
+        ShardedTalusCache::Config cfg = base;
+        cfg.threads = threads;
+        cfg.pipelineDispatch = pipeline;
+        ShardedTalusCache engine(cfg);
+        for (size_t off = 0; off < addrs.size(); off += 13'000) {
+            const size_t n =
+                std::min<size_t>(13'000, addrs.size() - off);
+            engine.accessBatch(Span<const Addr>(addrs.data() + off, n),
+                               0);
+            engine.reconfigureAllAtEpoch(6'000);
+        }
+        std::vector<uint64_t> fingerprint;
+        for (uint32_t s = 0; s < engine.numShards(); ++s) {
+            fingerprint.push_back(engine.shardStats(s, 0).accesses);
+            fingerprint.push_back(engine.shardStats(s, 0).misses);
+            fingerprint.push_back(engine.shard(s).reconfigurations());
+        }
+        return fingerprint;
+    };
+
+    const std::vector<uint64_t> reference = run(0, false);
+    EXPECT_EQ(run(0, true), reference);
+    EXPECT_EQ(run(1, true), reference);
+    EXPECT_EQ(run(4, true), reference);
+    EXPECT_EQ(run(4, false), reference);
+}
+
 TEST(ShardedCache, MissRatioAndStatsShareResetWindows)
 {
     // missRatio() aggregates the same PartStats snapshots stats()
